@@ -1,0 +1,111 @@
+// Shared infrastructure for the figure-reproduction benches.
+//
+// Every bench binary reproduces one table or figure from the paper
+// (see DESIGN.md §4).  All results are in *simulated seconds* on the scaled
+// Cascade Lake platform; shapes -- orderings and ratios -- are the
+// reproduction target, not absolute numbers (the authors ran on real
+// Optane hardware).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dnn/models.hpp"
+#include "dnn/trainer.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"
+#include "util/format.hpp"
+
+namespace ca::bench {
+
+using dnn::Harness;
+using dnn::HarnessConfig;
+using dnn::IterationMetrics;
+using dnn::Mode;
+using dnn::ModelSpec;
+
+/// The paper's operating-mode lineup for Figs. 2, 5 and 6 (§IV).
+inline const std::vector<Mode>& all_modes() {
+  static const std::vector<Mode> modes = {
+      Mode::kTwoLmNone, Mode::kTwoLmM, Mode::kCaNone,
+      Mode::kCaL,       Mode::kCaLM,   Mode::kCaLMP,
+  };
+  return modes;
+}
+
+struct RunConfig {
+  ModelSpec spec;
+  Mode mode = Mode::kCaLM;
+  std::size_t dram = 180 * util::MiB;
+  std::size_t nvram = 1300 * util::MiB;
+  int iterations = 3;  ///< first iteration warms the heaps; later ones are
+                       ///< steady state (the paper runs 4 and checks
+                       ///< consistency)
+  telemetry::TimeSeries* occupancy = nullptr;
+};
+
+struct RunResult {
+  std::vector<IterationMetrics> iterations;
+
+  /// Steady-state iteration (the last one).
+  [[nodiscard]] const IterationMetrics& steady() const {
+    return iterations.back();
+  }
+};
+
+/// Run `iterations` training iterations of `spec` under `mode` and collect
+/// per-iteration metrics.
+inline RunResult run_training(const RunConfig& cfg) {
+  HarnessConfig hc;
+  hc.mode = cfg.mode;
+  hc.dram_bytes = cfg.dram;
+  hc.nvram_bytes = cfg.nvram;
+  hc.backend = dnn::Backend::kSim;
+  hc.compute_efficiency = cfg.spec.compute_efficiency;
+  hc.conv_read_passes = cfg.spec.conv_read_passes;
+  Harness harness(hc);
+  auto model = dnn::build_model(harness.engine(), cfg.spec);
+  model->init(harness.engine(), 1);
+  dnn::TrainerOptions opts;
+  opts.occupancy = cfg.occupancy;
+  dnn::Trainer trainer(harness, *model, opts);
+  RunResult result;
+  for (int i = 0; i < cfg.iterations; ++i) {
+    result.iterations.push_back(trainer.run_iteration());
+  }
+  return result;
+}
+
+inline void print_header(const char* figure, const char* description) {
+  const auto platform = sim::Platform::cascade_lake_default();
+  std::printf("=== %s ===\n%s\n", figure, description);
+  std::printf(
+      "Platform: %s\n"
+      "Config: DRAM %s, NVRAM %s (2LM modes: DRAM acts as the hardware "
+      "cache)\nAll times are simulated seconds; reproduce shapes, not "
+      "absolute numbers.\n\n",
+      platform.scale_note,
+      util::format_bytes(platform.spec(sim::kFast).capacity).c_str(),
+      util::format_bytes(platform.spec(sim::kSlow).capacity).c_str());
+}
+
+/// Best-effort CSV export: every bench accepts an optional output
+/// directory as argv[1]; tables are written there as <name>.csv.
+inline void maybe_write_csv(int argc, char** argv, const char* name,
+                            const std::vector<std::vector<std::string>>& rows) {
+  if (argc < 2) return;
+  const std::string path = std::string(argv[1]) + "/" + name;
+  if (telemetry::write_csv(path, rows)) {
+    std::printf("[csv] wrote %s\n", path.c_str());
+  } else {
+    std::printf("[csv] could not write %s\n", path.c_str());
+  }
+}
+
+inline std::string mib(std::uint64_t bytes) {
+  return util::format_fixed(static_cast<double>(bytes) / (1024.0 * 1024.0),
+                            0);
+}
+
+}  // namespace ca::bench

@@ -1,0 +1,54 @@
+// Fig. 2: average runtime of one training iteration for the large
+// networks, across all operating modes, plus the headline speedup of the
+// best CachedArrays mode over unoptimized 2LM (paper: 1.4x - 2.03x).
+#include <algorithm>
+
+#include "common.hpp"
+
+using namespace ca;
+using namespace ca::bench;
+
+int main(int argc, char** argv) {
+  print_header("Figure 2",
+               "Average execution time of a single training iteration for "
+               "the large networks,\nby operating mode.  Expected shape: "
+               "2LM:M < 2LM:0; CA:0 slower than 2LM:M (for VGG\nslower even "
+               "than 2LM:0); CA:L < CA:0; CA:LM best overall; prefetching "
+               "(LMP) hurts\nDenseNet/ResNet but helps VGG.");
+
+  const std::vector<ModelSpec> models = {ModelSpec::densenet264_large(),
+                                         ModelSpec::resnet200_large(),
+                                         ModelSpec::vgg416_large()};
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {"model"};
+  for (const Mode mode : all_modes()) header.emplace_back(to_string(mode));
+  header.emplace_back("speedup(best CA vs 2LM:0)");
+  rows.push_back(header);
+
+  for (const auto& spec : models) {
+    std::vector<std::string> line = {spec.name};
+    double two_lm_base = 0.0;
+    double best_ca = 1e300;
+    for (const Mode mode : all_modes()) {
+      RunConfig cfg;
+      cfg.spec = spec;
+      cfg.mode = mode;
+      const auto result = run_training(cfg);
+      // Average the steady-state iterations (all but the first).
+      double avg = 0.0;
+      for (std::size_t i = 1; i < result.iterations.size(); ++i) {
+        avg += result.iterations[i].seconds;
+      }
+      avg /= static_cast<double>(result.iterations.size() - 1);
+      line.push_back(util::format_fixed(avg, 1) + "s");
+      if (mode == Mode::kTwoLmNone) two_lm_base = avg;
+      if (!dnn::is_two_lm(mode)) best_ca = std::min(best_ca, avg);
+    }
+    line.push_back(util::format_fixed(two_lm_base / best_ca, 2) + "x");
+    rows.push_back(line);
+  }
+  std::fputs(util::render_table(rows).c_str(), stdout);
+  maybe_write_csv(argc, argv, "fig2_large_runtime.csv", rows);
+  return 0;
+}

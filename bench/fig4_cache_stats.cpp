@@ -1,0 +1,49 @@
+// Fig. 4: DRAM-cache tag statistics (hit / clean-miss / dirty-miss rates)
+// for one ResNet training iteration, 2LM:0 vs 2LM:M.
+//
+// Paper: the annotated run (2LM:M) has an 18% higher hit rate and a 50%
+// lower dirty-miss rate -- semantic memory freeing improves even the
+// hardware cache, because freed physical pages are reused while their
+// blocks are still cached.
+#include "common.hpp"
+
+using namespace ca;
+using namespace ca::bench;
+
+int main() {
+  print_header("Figure 4",
+               "DRAM cache tag statistics for a single training iteration "
+               "of ResNet 200.\nExpected: 2LM:M has a higher hit rate and a "
+               "lower dirty-miss rate than 2LM:0.");
+
+  twolm::CacheStats stats[2];
+  const Mode modes[2] = {Mode::kTwoLmNone, Mode::kTwoLmM};
+  for (int i = 0; i < 2; ++i) {
+    RunConfig cfg;
+    cfg.spec = ModelSpec::resnet200_large();
+    cfg.mode = modes[i];
+    const auto result = run_training(cfg);
+    stats[i] = result.steady().cache;
+  }
+
+  std::vector<std::vector<std::string>> rows = {
+      {"mode", "hit rate", "clean miss", "dirty miss", "block accesses"}};
+  for (int i = 0; i < 2; ++i) {
+    rows.push_back({to_string(modes[i]),
+                    util::format_fixed(100.0 * stats[i].hit_rate(), 1) + "%",
+                    util::format_fixed(100.0 * stats[i].clean_miss_rate(), 1) +
+                        "%",
+                    util::format_fixed(100.0 * stats[i].dirty_miss_rate(), 1) +
+                        "%",
+                    std::to_string(stats[i].accesses)});
+  }
+  std::fputs(util::render_table(rows).c_str(), stdout);
+
+  std::printf(
+      "\nhit-rate improvement (M vs 0): +%.1f%% relative (paper: +18%%)\n",
+      100.0 * (stats[1].hit_rate() / stats[0].hit_rate() - 1.0));
+  std::printf(
+      "dirty-miss reduction (M vs 0): -%.1f%% relative (paper: -50%%)\n",
+      100.0 * (1.0 - stats[1].dirty_miss_rate() / stats[0].dirty_miss_rate()));
+  return 0;
+}

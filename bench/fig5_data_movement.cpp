@@ -1,0 +1,55 @@
+// Fig. 5: DRAM and NVRAM read/write traffic for one training iteration of
+// the large networks, across all operating modes.
+//
+// Expected shapes (paper §V):
+//   * CA:0 generates traffic comparable to 2LM:0 but with fewer NVRAM
+//     writes (the GC still runs between iterations);
+//   * local allocation (L) removes the compulsory NVRAM->DRAM copy:
+//     NVRAM reads and DRAM writes drop sharply;
+//   * memory optimizations (M) collapse NVRAM writes (DenseNet: ~1100 ->
+//     ~350 in the paper) and flip NVRAM reads above writes;
+//   * prefetching (P) trades NVRAM reads for DRAM reads.
+#include "common.hpp"
+
+using namespace ca;
+using namespace ca::bench;
+
+int main() {
+  print_header("Figure 5",
+               "Data moved (MiB) during a single training iteration, per "
+               "device and direction.");
+
+  const std::vector<ModelSpec> models = {ModelSpec::densenet264_large(),
+                                         ModelSpec::resnet200_large(),
+                                         ModelSpec::vgg416_large()};
+
+  for (const auto& spec : models) {
+    std::printf("--- %s ---\n", spec.name.c_str());
+    std::vector<std::vector<std::string>> rows = {
+        {"mode", "DRAM read", "DRAM write", "NVRAM read", "NVRAM write"}};
+    std::uint64_t ca_l_writes = 0;
+    std::uint64_t ca_lm_writes = 0;
+    std::uint64_t ca_lm_reads = 0;
+    for (const Mode mode : all_modes()) {
+      RunConfig cfg;
+      cfg.spec = spec;
+      cfg.mode = mode;
+      const auto m = run_training(cfg).steady();
+      rows.push_back({to_string(mode), mib(m.dram.bytes_read),
+                      mib(m.dram.bytes_written), mib(m.nvram.bytes_read),
+                      mib(m.nvram.bytes_written)});
+      if (mode == Mode::kCaL) ca_l_writes = m.nvram.bytes_written;
+      if (mode == Mode::kCaLM) {
+        ca_lm_writes = m.nvram.bytes_written;
+        ca_lm_reads = m.nvram.bytes_read;
+      }
+    }
+    std::fputs(util::render_table(rows).c_str(), stdout);
+    std::printf(
+        "NVRAM writes, CA:L -> CA:LM: %s -> %s MiB; reads exceed writes "
+        "under LM: %s\n\n",
+        mib(ca_l_writes).c_str(), mib(ca_lm_writes).c_str(),
+        ca_lm_reads > ca_lm_writes ? "yes" : "no");
+  }
+  return 0;
+}

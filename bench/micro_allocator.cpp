@@ -1,0 +1,95 @@
+// Microbenchmarks for the free-list allocator: allocation/free throughput,
+// fit-policy comparison, address-order walking (the evictfrom primitive),
+// and behaviour under fragmentation.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mem/freelist_allocator.hpp"
+#include "util/align.hpp"
+#include "util/rng.hpp"
+
+using namespace ca;
+using mem::FreeListAllocator;
+
+namespace {
+
+void BM_AllocFreePair(benchmark::State& state) {
+  FreeListAllocator alloc(64 * util::MiB);
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto off = alloc.allocate(size);
+    benchmark::DoNotOptimize(off);
+    alloc.free(*off);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AllocFreePair)->Arg(256)->Arg(64 * 1024)->Arg(4 * 1024 * 1024);
+
+template <FreeListAllocator::Fit fit>
+void BM_MixedWorkload(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    FreeListAllocator alloc(16 * util::MiB, 64, fit);
+    util::Xoshiro256 rng(42);
+    std::vector<std::size_t> live;
+    state.ResumeTiming();
+    for (int i = 0; i < 2000; ++i) {
+      if (live.empty() || rng.uniform() < 0.6) {
+        if (auto off = alloc.allocate(1 + rng.bounded(32 * 1024))) {
+          live.push_back(*off);
+        }
+      } else {
+        const std::size_t idx = rng.bounded(live.size());
+        alloc.free(live[idx]);
+        live[idx] = live.back();
+        live.pop_back();
+      }
+    }
+    benchmark::DoNotOptimize(alloc.stats());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+void BM_MixedFirstFit(benchmark::State& s) {
+  BM_MixedWorkload<FreeListAllocator::Fit::kFirstFit>(s);
+}
+void BM_MixedBestFit(benchmark::State& s) {
+  BM_MixedWorkload<FreeListAllocator::Fit::kBestFit>(s);
+}
+BENCHMARK(BM_MixedFirstFit);
+BENCHMARK(BM_MixedBestFit);
+
+void BM_AddressOrderWalk(benchmark::State& state) {
+  FreeListAllocator alloc(16 * util::MiB);
+  std::vector<std::size_t> offs;
+  while (auto off = alloc.allocate(8 * 1024)) offs.push_back(*off);
+  for (std::size_t i = 0; i < offs.size(); i += 2) alloc.free(offs[i]);
+  for (auto _ : state) {
+    std::size_t blocks = 0;
+    alloc.for_blocks_from(0, [&](const FreeListAllocator::BlockView&) {
+      ++blocks;
+      return true;
+    });
+    benchmark::DoNotOptimize(blocks);
+  }
+}
+BENCHMARK(BM_AddressOrderWalk);
+
+void BM_FragmentedAllocation(benchmark::State& state) {
+  // Allocation when the free space is shattered into many small holes.
+  for (auto _ : state) {
+    state.PauseTiming();
+    FreeListAllocator alloc(16 * util::MiB);
+    std::vector<std::size_t> offs;
+    while (auto off = alloc.allocate(4 * 1024)) offs.push_back(*off);
+    for (std::size_t i = 0; i < offs.size(); i += 2) alloc.free(offs[i]);
+    state.ResumeTiming();
+    // Request something bigger than any hole: full scan then failure.
+    benchmark::DoNotOptimize(alloc.allocate(64 * 1024));
+  }
+}
+BENCHMARK(BM_FragmentedAllocation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,183 @@
+// Writing a custom data-movement policy (the paper's central claim: the
+// application, the policy and the data manager are independent, so an
+// expert can swap the policy without touching application code).
+//
+// This example implements WriteBufferPolicy: a policy specialized for
+// streaming/append workloads.  It keeps only *written* objects in fast
+// memory (a write buffer) and serves every read from NVRAM, evicting
+// buffered objects in strict FIFO order.  The same workload then runs
+// under WriteBufferPolicy and under the stock LruPolicy -- identical
+// application code, different movement behaviour.
+//
+// Build & run:  ./build/examples/custom_policy
+#include <cstdio>
+#include <deque>
+
+#include "core/cached_array.hpp"
+#include "policy/lru_policy.hpp"
+#include "policy/policy.hpp"
+#include "util/rng.hpp"
+#include "util/format.hpp"
+
+using namespace ca;
+
+namespace {
+
+class WriteBufferPolicy final : public policy::Policy {
+ public:
+  explicit WriteBufferPolicy(dm::DataManager& dm) : dm_(&dm) {}
+
+  dm::Region& place_new(dm::Object& object) override {
+    // Fresh objects are about to be written: buffer them in fast memory.
+    if (dm::Region* r = fast_alloc(object.size())) {
+      dm_->setprimary(object, *r);
+      fifo_.push_back(&object);
+      return *r;
+    }
+    dm::Region* r = dm_->allocate(sim::kSlow, object.size());
+    if (r == nullptr) throw OutOfMemoryError("slow tier exhausted");
+    dm_->setprimary(object, *r);
+    return *r;
+  }
+
+  void will_read(dm::Object&) override {}  // reads are served in place
+  void will_use(dm::Object&) override {}
+
+  void will_write(dm::Object& object) override {
+    dm::Region* primary = dm_->getprimary(object);
+    if (dm_->in(*primary, sim::kFast)) return;
+    dm::Region* r = fast_alloc(object.size());
+    if (r == nullptr) return;  // buffer full beyond relief: write in place
+    dm_->copyto(*r, *primary);
+    dm_->link(*primary, *r);
+    dm_->setprimary(object, *r);
+    fifo_.push_back(&object);
+  }
+
+  void archive(dm::Object&) override {}  // FIFO order already handles age
+
+  bool retire(dm::Object&) override { return true; }
+
+  void on_destroy(dm::Object& object) override {
+    for (auto it = fifo_.begin(); it != fifo_.end(); ++it) {
+      if (*it == &object) {
+        fifo_.erase(it);
+        break;
+      }
+    }
+  }
+
+  void begin_kernel(std::span<dm::Object* const>) override {}
+  void end_kernel() override {}
+  void set_pressure_handler(PressureHandler handler) override {
+    pressure_ = std::move(handler);
+  }
+
+  [[nodiscard]] std::size_t drains() const noexcept { return drains_; }
+
+ private:
+  /// Allocate in fast memory, draining the oldest buffered objects to
+  /// NVRAM until the request fits (a Listing-1 eviction per drain).
+  dm::Region* fast_alloc(std::size_t size) {
+    for (;;) {
+      if (dm::Region* r = dm_->allocate(sim::kFast, size)) return r;
+      if (fifo_.empty()) return nullptr;
+      dm::Object* victim = fifo_.front();
+      fifo_.pop_front();
+      drain(*victim);
+      ++drains_;
+    }
+  }
+
+  void drain(dm::Object& object) {
+    dm::Region* x = dm_->getprimary(object);
+    if (!dm_->in(*x, sim::kFast)) return;
+    dm::Region* y = dm_->getlinked(*x, sim::kSlow);
+    const bool allocated = y == nullptr;
+    if (allocated) {
+      y = dm_->allocate(sim::kSlow, object.size());
+      if (y == nullptr && pressure_ && pressure_()) {
+        y = dm_->allocate(sim::kSlow, object.size());
+      }
+      if (y == nullptr) throw OutOfMemoryError("slow tier exhausted");
+    }
+    if (dm_->isdirty(*x) || allocated) dm_->copyto(*y, *x);
+    dm_->setprimary(object, *y);
+    if (!allocated) dm_->unlink(*x);
+    dm_->free(x);
+  }
+
+  dm::DataManager* dm_;
+  PressureHandler pressure_;
+  std::deque<dm::Object*> fifo_;
+  std::size_t drains_ = 0;
+};
+
+/// The "application": an append-heavy log pipeline.  It writes batches,
+/// occasionally re-reads an old batch, and never mutates history.  Note it
+/// only touches CachedArrays and hints -- no policy-specific code.
+template <typename MakeRuntime>
+double run_pipeline(const char* label, MakeRuntime&& make) {
+  auto rt = make();
+  std::vector<core::CachedArray<float>> batches;
+  util::Xoshiro256 rng(7);
+  // A hot index structure, rewritten on every append.  An access-recency
+  // policy keeps it resident; a FIFO write buffer keeps draining it.
+  core::CachedArray<float> index(*rt, 64 * 1024, "index");
+  for (int step = 0; step < 64; ++step) {
+    core::CachedArray<float> batch(*rt, 64 * 1024,
+                                   "batch" + std::to_string(step));
+    batch.will_write();
+    batch.with_write([&](std::span<float> s) {
+      s[0] = static_cast<float>(step);
+    });
+    batch.archive();  // history: likely never touched again
+    batches.push_back(batch);
+    index.will_write();
+    index.with_write([&](std::span<float> s) {
+      s[static_cast<std::size_t>(step)] = 1.0f;
+    });
+    if (step % 7 == 6) {  // occasional audit read of an old batch
+      auto& old = batches[rng.bounded(batches.size())];
+      old.will_read();
+      old.with_read([](std::span<const float> s) {
+        volatile float sink = s[0];
+        (void)sink;
+      });
+    }
+  }
+  const double t = rt->clock().now();
+  std::printf("%-18s simulated time %.3fs, NVRAM writes %s\n", label, t,
+              util::format_bytes(
+                  rt->counters().device(sim::kSlow).bytes_written)
+                  .c_str());
+  return t;
+}
+
+std::unique_ptr<core::Runtime> make_runtime(core::Runtime::PolicyFactory f) {
+  return std::make_unique<core::Runtime>(
+      sim::Platform::cascade_lake_scaled(1 * util::MiB, 64 * util::MiB),
+      std::move(f));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Custom policy: same application, two policies ==\n\n");
+  run_pipeline("WriteBufferPolicy", [] {
+    return make_runtime([](dm::DataManager& dm) {
+      return std::make_unique<WriteBufferPolicy>(dm);
+    });
+  });
+  run_pipeline("LruPolicy (LM)", [] {
+    return make_runtime([](dm::DataManager& dm) {
+      return std::make_unique<policy::LruPolicy>(
+          dm, policy::LruPolicyConfig{.min_migratable = 4 * util::KiB});
+    });
+  });
+  std::printf(
+      "\nThe pipeline code never mentions devices, regions or copies: the\n"
+      "policy swap is invisible to it (the paper's separation of "
+      "concerns).\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// DLRM-style sparse embeddings on CachedArrays (the paper's §VI
+// extension, after Hildebrand et al.'s DLRM work: "the policy must be
+// flexible enough to adapt to the workload").
+//
+// A recommendation-model skeleton: several large embedding tables living
+// in NVRAM (together far larger than DRAM), a tiny MLP living in DRAM.
+// Every step gathers a handful of rows from each table.  Two policies run
+// the same code:
+//   * sparse-aware (default): will_read_partial leaves the tables in
+//     NVRAM and reads just the touched rows;
+//   * naive prefetching: treats each partial read as a full one and
+//     ping-pongs whole tables through DRAM every step -- the failure mode
+//     the paper warns about for sparse workloads.
+//
+// Build & run:  ./build/examples/dlrm_sparse
+#include <cstdio>
+
+#include "dnn/harness.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+using namespace ca;
+using namespace ca::dnn;
+
+namespace {
+
+struct Result {
+  double seconds;
+  std::uint64_t nvram_traffic;
+  std::uint64_t dram_writes;
+};
+
+Result run(bool sparse_aware) {
+  // 64 MiB table vs a 16 MiB DRAM tier: the table cannot live in DRAM.
+  sim::Platform platform =
+      sim::Platform::cascade_lake_scaled(16 * util::MiB, 256 * util::MiB);
+  core::Runtime rt(std::move(platform), [&](dm::DataManager& dm) {
+    policy::LruPolicyConfig cfg;
+    cfg.local_alloc = true;
+    cfg.eager_retire = true;
+    cfg.prefetch = true;  // the paper's P toggle -- dangerous when naive
+    cfg.sparse_aware = sparse_aware;
+    return std::make_unique<policy::LruPolicy>(dm, cfg);
+  });
+  CaExecContext ctx(rt, 8);
+  EngineConfig ec;
+  ec.backend = Backend::kSim;
+  Engine engine(rt, ctx, ec);
+
+  // Four 12 MiB tables: each fits in the 16 MiB DRAM tier alone, but
+  // together they are 3x oversubscribed -- exactly the thrash trap.
+  const std::size_t rows = 192 * 1024;  // 12 MiB at dim 16
+  const std::size_t dim = 16;
+  const std::size_t batch = 256;
+  std::vector<Tensor> tables;
+  for (int t = 0; t < 4; ++t) {
+    tables.push_back(
+        engine.parameter({rows, dim}, "table" + std::to_string(t)));
+  }
+  // One small dense head per table; per-table logits are summed (the
+  // usual DLRM feature-interaction stage, simplified).
+  std::vector<Tensor> heads;
+  for (int t = 0; t < 4; ++t) {
+    heads.push_back(
+        engine.parameter({8, dim}, "mlp.w" + std::to_string(t)));
+  }
+  Tensor hb = engine.parameter({8}, "mlp.b");
+
+  for (int step = 0; step < 32; ++step) {
+    Tensor logits;
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+      Tensor idx = engine.tensor({batch}, "idx");
+      Tensor gathered =
+          engine.embedding_lookup(tables[t], idx, /*lr=*/0.05f);
+      Tensor partial = engine.dense(gathered, heads[t], hb);
+      logits = logits.valid() ? engine.add(logits, partial) : partial;
+    }
+    Tensor labels = engine.tensor({batch}, "labels");
+    engine.softmax_ce_loss(logits, labels);
+    engine.backward();
+    engine.sgd_step(0.05f);
+    engine.end_iteration();
+  }
+
+  const auto& nvram = rt.counters().device(sim::kSlow);
+  const auto& dram = rt.counters().device(sim::kFast);
+  return {rt.clock().now(), nvram.total(), dram.bytes_written};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== DLRM-style sparse embeddings: 4x 12 MiB tables, 16 MiB DRAM "
+              "tier, 32 steps ==\n\n");
+  const Result aware = run(/*sparse_aware=*/true);
+  const Result naive = run(/*sparse_aware=*/false);
+
+  std::printf("%-24s %12s %16s %14s\n", "policy", "sim time",
+              "NVRAM traffic", "DRAM writes");
+  std::printf("%-24s %11.2fs %16s %14s\n", "sparse-aware (ours)",
+              aware.seconds, util::format_bytes(aware.nvram_traffic).c_str(),
+              util::format_bytes(aware.dram_writes).c_str());
+  std::printf("%-24s %11.2fs %16s %14s\n", "naive prefetch",
+              naive.seconds, util::format_bytes(naive.nvram_traffic).c_str(),
+              util::format_bytes(naive.dram_writes).c_str());
+  std::printf(
+      "\nThe naive policy migrates the whole table per step (%0.1fx slower);"
+      "\nthe sparse-aware policy reads only the touched rows in place.\n",
+      naive.seconds / aware.seconds);
+  return 0;
+}

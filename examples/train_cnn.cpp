@@ -1,0 +1,70 @@
+// End-to-end CNN training on CachedArrays (the paper's §III-E scenario).
+//
+// Trains a small ResNet with the *real* numeric backend on a DRAM tier too
+// small for the working set: every iteration forces evictions to NVRAM and
+// prefetches back, while the tape inserts will_read / will_write / archive
+// / retire annotations automatically.  The falling loss is the proof that
+// no byte is lost in migration.
+//
+// Build & run:  ./build/examples/train_cnn
+#include <cstdio>
+
+#include "dnn/models.hpp"
+#include "dnn/trainer.hpp"
+#include "policy/lru_policy.hpp"
+#include "util/format.hpp"
+
+using namespace ca;
+using namespace ca::dnn;
+
+int main() {
+  ModelSpec spec = ModelSpec::resnet_tiny();
+  spec.batch = 16;  // big enough to outgrow the DRAM tier below
+
+  HarnessConfig hc;
+  hc.mode = Mode::kCaLM;
+  hc.dram_bytes = 256 * util::KiB;  // deliberately tiny: force tiering
+  hc.nvram_bytes = 64 * util::MiB;
+  hc.backend = Backend::kReal;  // actual convolutions, actual gradients
+  hc.min_migratable = 4 * util::KiB;
+  Harness harness(hc);
+  auto& engine = harness.engine();
+
+  auto model = build_model(engine, spec);
+  model->init(engine, /*seed=*/7);
+  std::printf("== Training %s (%zu parameters) ==\n", spec.name.c_str(),
+              model->parameter_count());
+  std::printf("DRAM tier: %s | model working set exceeds it on purpose\n\n",
+              util::format_bytes(hc.dram_bytes).c_str());
+
+  // Fixed batch -> the loss must decrease monotonically-ish.
+  for (int iter = 0; iter < 10; ++iter) {
+    Tensor input = engine.tensor(model->input_shape(), "input");
+    engine.fill_normal(input, 1.0f, 42);
+    Tensor labels = engine.tensor({spec.batch}, "labels");
+    engine.fill_labels(labels, spec.classes, 77);
+
+    Tensor logits = model->forward(engine, input);
+    const float loss = engine.softmax_ce_loss(logits, labels);
+    engine.backward();
+    engine.sgd_step(0.05f);
+    engine.end_iteration();
+
+    std::printf("iter %2d  loss %.4f\n", iter, loss);
+  }
+
+  auto& lru = static_cast<policy::LruPolicy&>(harness.runtime().policy());
+  const auto& ops = lru.op_stats();
+  const auto& nvram = harness.runtime().counters().device(sim::kSlow);
+  std::printf(
+      "\nwhile training, the policy performed %llu evictions and %llu "
+      "prefetches;\n%s crossed the NVRAM interface; %llu dirty writebacks "
+      "were elided.\n",
+      (unsigned long long)ops.evictions, (unsigned long long)ops.prefetches,
+      util::format_bytes(nvram.total()).c_str(),
+      (unsigned long long)ops.elided_writebacks);
+  std::printf("engine issued %llu retire and %llu archive annotations.\n",
+              (unsigned long long)harness.engine().stats().retires_issued,
+              (unsigned long long)harness.engine().stats().archives_issued);
+  return 0;
+}

@@ -1,0 +1,147 @@
+// CachedArray<T>: the application-facing array type (paper §IV).
+//
+// A CachedArray is a shared handle to a data-manager Object.  The
+// application never sees regions or devices; it reads and writes element
+// spans and may attach semantic hints (Table II).  Hints are forwarded to
+// the policy, which is free to move the backing data between memory tiers
+// at any time the array is not inside an access bracket.
+//
+// Access model: all data access happens inside `with_read` / `with_write`
+// brackets (the kernel programming model, §III-C).  Entering a bracket
+// resolves the object indirection once -- the primary region's pointer --
+// and pins the object so the pointer stays valid; leaving unpins.  This is
+// the "essentially zero overhead" indirection of the paper: one resolution
+// per kernel, not per element.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "core/runtime.hpp"
+#include "util/error.hpp"
+
+namespace ca::core {
+
+template <typename T>
+class CachedArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "CachedArray elements must be trivially copyable: the data "
+                "manager relocates them with raw memory copies");
+
+ public:
+  CachedArray() = default;
+
+  /// Allocate an array of `n` elements; the policy chooses the initial
+  /// placement.  Contents are unspecified (like the paper's Julia arrays).
+  CachedArray(Runtime& rt, std::size_t n, std::string name = {})
+      : state_(std::make_shared<State>()) {
+    state_->rt = &rt;
+    state_->object = &rt.new_object(n * sizeof(T), std::move(name));
+    state_->n = n;
+  }
+
+  [[nodiscard]] bool valid() const noexcept {
+    return state_ != nullptr && state_->object != nullptr;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return state_ ? state_->n : 0;
+  }
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return size() * sizeof(T);
+  }
+
+  /// The underlying data-manager object (for policy-level tooling and the
+  /// kernel engine).  nullptr once retired.
+  [[nodiscard]] dm::Object* object() const noexcept {
+    return state_ ? state_->object : nullptr;
+  }
+
+  /// Stable identity token shared by all copies of this handle; remains
+  /// valid (as a key) even after the array is retired.  Used by the DNN
+  /// engine's gradient maps.
+  [[nodiscard]] const void* identity() const noexcept {
+    return state_.get();
+  }
+
+  // --- semantic hints (Table II) ----------------------------------------
+
+  void will_read() const { runtime().will_read(live()); }
+  void will_write() const { runtime().will_write(live()); }
+  void will_use() const { runtime().will_use(live()); }
+  void archive() const { runtime().archive(live()); }
+
+  /// "I will never access this again."  Under a policy with the memory
+  /// optimization (M) the storage is released immediately and every handle
+  /// to this array becomes invalid; otherwise the GC reclaims it later.
+  /// Only improper use of retire can affect correctness (paper §III-D).
+  bool retire() {
+    if (!valid()) return false;
+    if (state_->rt->retire(*state_->object)) {
+      state_->object = nullptr;
+      return true;
+    }
+    return false;
+  }
+
+  // --- bracketed access ----------------------------------------------------
+
+  /// Read access: `fn` receives std::span<const T>.
+  template <typename Fn>
+  decltype(auto) with_read(Fn&& fn) const {
+    Bracket b(*this, /*write=*/false);
+    return std::forward<Fn>(fn)(
+        std::span<const T>(static_cast<const T*>(b.data), size()));
+  }
+
+  /// Write access: `fn` receives std::span<T>.  Marks the primary dirty.
+  template <typename Fn>
+  decltype(auto) with_write(Fn&& fn) {
+    Bracket b(*this, /*write=*/true);
+    return std::forward<Fn>(fn)(std::span<T>(static_cast<T*>(b.data), size()));
+  }
+
+ private:
+  struct State {
+    Runtime* rt = nullptr;
+    dm::Object* object = nullptr;
+    std::size_t n = 0;
+
+    ~State() {
+      if (object != nullptr) rt->release(*object);
+    }
+  };
+
+  /// RAII kernel bracket for single-array access.
+  struct Bracket {
+    Bracket(const CachedArray& a, bool write)
+        : rt(&a.runtime()), obj(&a.live()) {
+      rt->begin_kernel({&obj, 1});
+      data = rt->resolve(*obj, write);
+    }
+    ~Bracket() { rt->end_kernel({&obj, 1}); }
+    Bracket(const Bracket&) = delete;
+
+    Runtime* rt;
+    dm::Object* obj;
+    void* data = nullptr;
+  };
+
+  [[nodiscard]] Runtime& runtime() const {
+    CA_CHECK(state_ != nullptr, "use of an empty CachedArray");
+    return *state_->rt;
+  }
+
+  [[nodiscard]] dm::Object& live() const {
+    CA_CHECK(state_ != nullptr && state_->object != nullptr,
+             "use of an empty or retired CachedArray");
+    return *state_->object;
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ca::core

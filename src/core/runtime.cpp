@@ -1,0 +1,114 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ca::core {
+
+Runtime::Runtime(sim::Platform platform, const PolicyFactory& make_policy,
+                 RuntimeOptions options)
+    : platform_(std::move(platform)), options_(options) {
+  CA_CHECK(make_policy != nullptr, "a policy factory is required");
+  dm_ = std::make_unique<dm::DataManager>(platform_, clock_, counters_);
+  policy_ = make_policy(*dm_);
+  CA_CHECK(policy_ != nullptr, "policy factory returned null");
+  policy_->set_pressure_handler([this] {
+    ++gc_.pressure_triggers;
+    return gc_collect() > 0;
+  });
+  for (const auto& spec : platform_.devices) total_capacity_ += spec.capacity;
+}
+
+dm::Object& Runtime::new_object(std::size_t bytes, std::string name) {
+  maybe_trigger_gc();
+  dm::Object* object = dm_->create_object(bytes, std::move(name));
+  try {
+    policy_->place_new(*object);
+  } catch (...) {
+    dm_->destroy_object(object);
+    throw;
+  }
+  return *object;
+}
+
+void Runtime::release(dm::Object& object) {
+  CA_CHECK(!object.pinned(), "released object is still pinned");
+  dead_.push_back(&object);
+}
+
+bool Runtime::retire(dm::Object& object) {
+  if (policy_->retire(object)) {
+    destroy_now(object);
+    return true;
+  }
+  return false;
+}
+
+void Runtime::begin_kernel(std::span<dm::Object* const> args) {
+  // Stage arguments under displacement protection, then pin them so the
+  // resolved pointers stay valid for the kernel's duration.
+  policy_->begin_kernel(args);
+  for (dm::Object* obj : args) {
+    if (obj != nullptr) dm_->pin(*obj);
+  }
+}
+
+void Runtime::end_kernel(std::span<dm::Object* const> args) {
+  for (dm::Object* obj : args) {
+    if (obj != nullptr) dm_->unpin(*obj);
+  }
+  policy_->end_kernel();
+}
+
+std::byte* Runtime::resolve(dm::Object& object, bool write) {
+  CA_CHECK(object.pinned(),
+           "resolve outside a begin_kernel/end_kernel bracket");
+  dm::Region* primary = dm_->getprimary(object);
+  CA_CHECK(primary != nullptr, "object has no primary region");
+  // If an asynchronous fill is still in flight, stall for the remainder
+  // (this is the only synchronous cost async movement leaves behind).
+  dm_->wait_ready(*primary);
+  if (write) dm_->markdirty(*primary);
+  return primary->data();
+}
+
+void Runtime::destroy_now(dm::Object& object) {
+  policy_->on_destroy(object);
+  dm_->destroy_object(&object);
+}
+
+std::size_t Runtime::gc_collect() {
+  if (dead_.empty()) return 0;
+  std::size_t bytes = 0;
+  const std::size_t n = dead_.size();
+  for (dm::Object* obj : dead_) {
+    bytes += obj->size();
+    destroy_now(*obj);
+  }
+  dead_.clear();
+  ++gc_.collections;
+  gc_.objects_collected += n;
+  gc_.bytes_collected += bytes;
+  clock_.advance(options_.gc_base_seconds +
+                     options_.gc_per_object_seconds * static_cast<double>(n),
+                 sim::TimeCategory::kGc);
+  return bytes;
+}
+
+void Runtime::maybe_trigger_gc() {
+  if (options_.gc_trigger_fraction <= 0.0 || dead_.empty()) return;
+  const auto resident = static_cast<double>(dm_->resident_bytes());
+  if (resident > options_.gc_trigger_fraction *
+                     static_cast<double>(total_capacity_)) {
+    gc_collect();
+  }
+}
+
+void Runtime::defragment_all() {
+  for (std::uint32_t d = 0; d < platform_.devices.size(); ++d) {
+    dm_->defragment(sim::DeviceId{d});
+  }
+}
+
+}  // namespace ca::core

@@ -1,0 +1,419 @@
+#include "dm/data_manager.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/align.hpp"
+#include "util/error.hpp"
+
+namespace ca::dm {
+
+namespace {
+constexpr std::size_t kHeapAlignment = 64;  // cache-line aligned regions
+}
+
+DataManager::DeviceHeap::DeviceHeap(const sim::DeviceSpec& spec)
+    : arena(spec.capacity),
+      alloc(std::make_unique<mem::FreeListAllocator>(spec.capacity,
+                                                     kHeapAlignment)) {}
+
+DataManager::DataManager(const sim::Platform& platform, sim::Clock& clock,
+                         telemetry::TrafficCounters& counters)
+    : platform_(platform),
+      clock_(clock),
+      counters_(counters),
+      engine_(platform, clock, counters) {
+  CA_CHECK(!platform.devices.empty(), "platform has no devices");
+  CA_CHECK(platform.devices.size() <= Object::kMaxDevices,
+           "too many devices for per-object region tracking");
+  heaps_.reserve(platform.devices.size());
+  for (const auto& spec : platform.devices) {
+    heaps_.push_back(std::make_unique<DeviceHeap>(spec));
+  }
+}
+
+DataManager::~DataManager() = default;
+
+DataManager::DeviceHeap& DataManager::heap(sim::DeviceId dev) {
+  CA_CHECK(dev.value < heaps_.size(), "unknown device id");
+  return *heaps_[dev.value];
+}
+
+const DataManager::DeviceHeap& DataManager::heap(sim::DeviceId dev) const {
+  CA_CHECK(dev.value < heaps_.size(), "unknown device id");
+  return *heaps_[dev.value];
+}
+
+// --- Object functions -----------------------------------------------------
+
+Object* DataManager::create_object(std::size_t size, std::string name) {
+  if (size == 0) throw UsageError("objects must have a positive size");
+  auto owned = std::make_unique<Object>();
+  Object* object = owned.get();
+  object->id_ = next_object_id_++;
+  object->size_ = size;
+  object->name_ = std::move(name);
+  objects_.emplace(object, std::move(owned));
+  return object;
+}
+
+void DataManager::destroy_object(Object* object) {
+  CA_CHECK(object != nullptr, "destroy_object(nullptr)");
+  const auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    throw UsageError("destroy_object: unknown or already-destroyed object");
+  }
+  if (object->pinned()) {
+    throw UsageError("destroy_object: object '" + object->name() +
+                     "' is pinned by a running kernel");
+  }
+  for (auto*& region : object->regions_) {
+    if (region != nullptr) {
+      Region* r = region;
+      region = nullptr;
+      r->parent_ = nullptr;
+      release_region(r);
+    }
+  }
+  object->primary_ = nullptr;
+  objects_.erase(it);
+}
+
+void DataManager::setprimary(Object& object, Region& region) {
+  if (object.pinned()) {
+    throw UsageError("setprimary: object '" + object.name() +
+                     "' is pinned by a running kernel");
+  }
+  if (region.parent_ == nullptr) {
+    // Attach the orphan first (the Listing-1 fast path: a fresh slow-memory
+    // region becomes primary directly, without an explicit link).
+    if (region.size() < object.size()) {
+      throw UsageError("setprimary: region is smaller than the object");
+    }
+    if (object.region_on(region.device()) != nullptr) {
+      throw UsageError(
+          "setprimary: object already has a region on that device");
+    }
+    region.parent_ = &object;
+    object.regions_[region.device().value] = &region;
+  } else if (region.parent_ != &object) {
+    throw UsageError("setprimary: region belongs to a different object");
+  }
+  object.primary_ = &region;
+}
+
+void DataManager::unpin(Object& object) {
+  CA_CHECK(object.pin_count_ > 0, "unpin of an unpinned object");
+  --object.pin_count_;
+}
+
+// --- Region functions -------------------------------------------------------
+
+Region* DataManager::allocate(sim::DeviceId dev, std::size_t size) {
+  if (size == 0) throw UsageError("allocate: size must be positive");
+  auto& h = heap(dev);
+  const auto offset = h.alloc->allocate(size);
+  if (!offset) return nullptr;
+  auto owned = std::make_unique<Region>();
+  Region* region = owned.get();
+  region->device_ = dev;
+  region->offset_ = *offset;
+  region->size_ = size;
+  region->data_ = h.arena.at(*offset);
+  h.alloc->set_cookie(*offset, region);
+  regions_.emplace(region, std::move(owned));
+  return region;
+}
+
+void DataManager::detach(Region& region) noexcept {
+  Object* object = region.parent_;
+  if (object == nullptr) return;
+  object->regions_[region.device().value] = nullptr;
+  if (object->primary_ == &region) object->primary_ = nullptr;
+  region.parent_ = nullptr;
+}
+
+void DataManager::release_region(Region* region) {
+  auto& h = heap(region->device());
+  h.alloc->free(region->offset());
+  const auto it = regions_.find(region);
+  CA_CHECK(it != regions_.end(), "release of an unknown region");
+  regions_.erase(it);
+}
+
+void DataManager::free(Region* region) {
+  CA_CHECK(region != nullptr, "free(nullptr)");
+  if (regions_.find(region) == regions_.end()) {
+    throw UsageError("free: unknown or already-freed region");
+  }
+  Object* object = region->parent();
+  if (object != nullptr) {
+    if (object->primary() == region && object->region_count() > 1) {
+      throw UsageError(
+          "free: region is the primary of an object with other regions; "
+          "setprimary elsewhere first");
+    }
+    if (object->pinned() && object->primary() == region) {
+      throw UsageError("free: region is pinned by a running kernel");
+    }
+    detach(*region);
+  }
+  release_region(region);
+}
+
+void DataManager::copyto(Region& dst, Region& src) {
+  if (dst.size() < src.size()) {
+    throw UsageError("copyto: destination region is too small");
+  }
+  const bool non_temporal = true;  // the engine always streams its stores
+  engine_.copy(dst.data(), dst.device(), src.data(), src.device(), src.size(),
+               non_temporal);
+  dst.dirty_ = false;
+  if (src.parent() != nullptr && src.parent() == dst.parent()) {
+    // Linked siblings are now synchronized.
+    src.dirty_ = false;
+  }
+}
+
+double DataManager::copyto_async(Region& dst, Region& src) {
+  if (dst.size() < src.size()) {
+    throw UsageError("copyto_async: destination region is too small");
+  }
+  // The host-side bytes move now (data correctness never depends on the
+  // timing model); only the *modeled* transfer is deferred.  Traffic is
+  // recorded immediately by the engine; the clock is NOT advanced here.
+  const double duration = engine_.modeled_copy_time(
+      src.size(), src.device(), dst.device(), /*non_temporal=*/true);
+  std::memcpy(dst.data(), src.data(), src.size());
+  counters_.record_read(src.device(), src.size());
+  counters_.record_write(dst.device(), src.size());
+
+  const double start = std::max(clock_.now(), mover_busy_until_);
+  const double done = start + duration;
+  mover_busy_until_ = done;
+  dst.ready_at_ = done;
+  dst.dirty_ = false;
+  if (src.parent() != nullptr && src.parent() == dst.parent()) {
+    src.dirty_ = false;
+  }
+  return done;
+}
+
+void DataManager::wait_ready(Region& region) {
+  if (region.ready_at_ > clock_.now()) {
+    clock_.advance(region.ready_at_ - clock_.now(),
+                   sim::TimeCategory::kMovement);
+  }
+  region.ready_at_ = 0.0;
+}
+
+void DataManager::link(Region& owned, Region& orphan) {
+  Object* object = owned.parent();
+  if (object == nullptr) {
+    throw UsageError("link: first region is not attached to an object");
+  }
+  if (orphan.parent() != nullptr) {
+    throw UsageError("link: second region is already attached to an object");
+  }
+  if (orphan.size() < object->size()) {
+    throw UsageError("link: region is smaller than the object");
+  }
+  if (object->region_on(orphan.device()) != nullptr) {
+    throw UsageError("link: object already has a region on that device");
+  }
+  orphan.parent_ = object;
+  object->regions_[orphan.device().value] = &orphan;
+}
+
+void DataManager::unlink(Region& region) {
+  Object* object = region.parent();
+  if (object == nullptr) {
+    throw UsageError("unlink: region is not attached to an object");
+  }
+  if (object->primary() == &region) {
+    throw UsageError("unlink: cannot unlink the primary region");
+  }
+  detach(region);
+}
+
+Region* DataManager::getlinked(const Region& region,
+                               sim::DeviceId dev) const noexcept {
+  const Object* object = region.parent();
+  if (object == nullptr) return nullptr;
+  return object->region_on(dev);
+}
+
+bool DataManager::evictfrom(sim::DeviceId dev, std::size_t start_offset,
+                            std::size_t size,
+                            const std::function<bool(Region&)>& evict) {
+  CA_CHECK(evict != nullptr, "evictfrom requires an eviction callback");
+  auto& h = heap(dev);
+  const std::size_t align = h.alloc->alignment();
+  size = util::align_up(size, align);
+  const std::size_t capacity = h.alloc->capacity();
+  if (size > capacity) return false;
+
+  std::size_t cursor =
+      std::min(util::align_down(start_offset, align), capacity - size);
+  const std::size_t initial = cursor;
+  bool wrapped = false;
+
+  for (;;) {
+    // Find the first live block intersecting the window [cursor, cursor+size).
+    std::optional<std::size_t> blocked;
+    h.alloc->for_blocks_from(cursor, [&](const mem::FreeListAllocator::
+                                             BlockView& b) {
+      if (b.offset >= cursor + size) return false;
+      if (b.allocated) {
+        blocked = b.offset;
+        return false;
+      }
+      return true;
+    });
+    if (!blocked) return true;  // window is entirely free (and coalesced)
+
+    auto* region = static_cast<Region*>(h.alloc->cookie(*blocked));
+    CA_CHECK(region != nullptr, "heap block without an owning region");
+    const std::size_t block_end = *blocked + h.alloc->block_size(*blocked);
+
+    if (evict(*region)) {
+      // The callback claims the region was relocated and freed; verify so a
+      // misbehaving policy cannot spin us forever.
+      if (h.alloc->is_allocated(*blocked) &&
+          h.alloc->cookie(*blocked) == region) {
+        throw UsageError(
+            "evictfrom: eviction callback returned success without freeing "
+            "the region");
+      }
+      continue;  // re-examine the same window
+    }
+
+    // Refused (e.g. pinned object): restart the search past this block.
+    std::size_t next = block_end;
+    if (next + size > capacity) {
+      if (wrapped) return false;
+      wrapped = true;
+      next = 0;
+    }
+    if (wrapped && next >= initial) return false;
+    cursor = next;
+  }
+}
+
+// --- Device functions -------------------------------------------------------
+
+DataManager::DeviceStats DataManager::device_stats(sim::DeviceId dev) const {
+  const auto& h = heap(dev);
+  const auto s = h.alloc->stats();
+  DeviceStats out;
+  out.capacity = s.capacity;
+  out.allocated = s.allocated_bytes;
+  out.free_bytes = s.free_bytes;
+  out.largest_free_block = s.largest_free_block;
+  out.regions = s.allocated_blocks;
+  out.fragmentation = s.fragmentation();
+  return out;
+}
+
+std::size_t DataManager::capacity(sim::DeviceId dev) const {
+  return heap(dev).alloc->capacity();
+}
+
+std::size_t DataManager::free_bytes(sim::DeviceId dev) const {
+  return heap(dev).alloc->stats().free_bytes;
+}
+
+std::size_t DataManager::resident_bytes() const {
+  std::size_t total = 0;
+  for (const auto& h : heaps_) total += h->alloc->stats().allocated_bytes;
+  return total;
+}
+
+void DataManager::defragment(sim::DeviceId dev) {
+  auto& h = heap(dev);
+
+  // Gather live regions in address order; refuse if any is pinned (its
+  // kernel holds a raw pointer into the arena).
+  std::vector<Region*> live;
+  for (const auto& b : h.alloc->blocks()) {
+    if (!b.allocated) continue;
+    auto* region = static_cast<Region*>(b.cookie);
+    CA_CHECK(region != nullptr, "heap block without an owning region");
+    if (region->parent() != nullptr && region->parent()->pinned()) {
+      throw UsageError("defragment: device holds a pinned region");
+    }
+    live.push_back(region);
+  }
+
+  auto fresh = std::make_unique<mem::FreeListAllocator>(
+      h.arena.size(), h.alloc->alignment());
+  std::size_t moved = 0;
+  for (Region* region : live) {
+    const auto new_offset = fresh->allocate(region->size());
+    CA_CHECK(new_offset.has_value(),
+             "defragment: compacted heap cannot hold its own contents");
+    CA_CHECK(*new_offset <= region->offset(),
+             "defragment: compaction moved a region to a higher address");
+    if (*new_offset != region->offset()) {
+      std::memmove(h.arena.at(*new_offset), h.arena.at(region->offset()),
+                   region->size());
+      moved += region->size();
+    }
+    region->offset_ = *new_offset;
+    region->data_ = h.arena.at(*new_offset);
+    fresh->set_cookie(*new_offset, region);
+  }
+  h.alloc = std::move(fresh);
+
+  if (moved > 0) {
+    // Compaction is same-device traffic: one read + one write per byte.
+    const auto& spec = platform_.spec(dev);
+    const std::size_t t = engine_.threads_for(moved);
+    const double bw =
+        std::min(spec.read_bw.at(t), spec.write_curve(true).at(t));
+    clock_.advance(static_cast<double>(moved) / bw,
+                   sim::TimeCategory::kOther);
+    counters_.record_read(dev, moved);
+    counters_.record_write(dev, moved);
+  }
+}
+
+void DataManager::check_invariants() const {
+  std::size_t blocks_with_regions = 0;
+  for (std::size_t d = 0; d < heaps_.size(); ++d) {
+    const auto& h = *heaps_[d];
+    h.alloc->check_invariants();
+    for (const auto& b : h.alloc->blocks()) {
+      if (!b.allocated) continue;
+      ++blocks_with_regions;
+      const auto* region = static_cast<const Region*>(b.cookie);
+      CA_CHECK(region != nullptr, "allocated block without a region cookie");
+      CA_CHECK(regions_.count(const_cast<Region*>(region)) == 1,
+               "block cookie does not point at a live region");
+      CA_CHECK(region->offset() == b.offset, "region/block offset mismatch");
+      CA_CHECK(region->device().value == d, "region/block device mismatch");
+      CA_CHECK(util::align_up(region->size(), h.alloc->alignment()) == b.size,
+               "region/block size mismatch");
+    }
+  }
+  CA_CHECK(blocks_with_regions == regions_.size(),
+           "region count does not match allocated block count");
+
+  for (const auto& [ptr, owned] : objects_) {
+    const Object& object = *owned;
+    CA_CHECK(ptr == owned.get(), "object map key mismatch");
+    bool primary_found = object.primary() == nullptr;
+    for (std::size_t d = 0; d < Object::kMaxDevices; ++d) {
+      const Region* region = object.regions_[d];
+      if (region == nullptr) continue;
+      CA_CHECK(region->parent() == &object, "region parent back-pointer broken");
+      CA_CHECK(region->device().value == d, "region filed on wrong device");
+      CA_CHECK(region->size() >= object.size(),
+               "region smaller than its object");
+      if (region == object.primary()) primary_found = true;
+    }
+    CA_CHECK(primary_found, "object primary is not among its regions");
+  }
+}
+
+}  // namespace ca::dm

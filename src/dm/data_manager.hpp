@@ -1,0 +1,214 @@
+// The data manager: owner of the per-device heaps and the data-management
+// API the policy layer drives (paper §III-C, "Data management API").
+//
+// Functions fall into the paper's three categories:
+//   * object functions: getprimary, setprimary (plus object lifecycle and
+//     kernel pinning);
+//   * region functions: allocate, free, copyto, link, unlink, size_of,
+//     getlinked, in, parent, dirty tracking, evictfrom;
+//   * device functions: capacity / occupancy queries, defragmentation.
+//
+// The data manager knows nothing about *why* data moves -- that is the
+// policy's job -- and the application never calls it directly.  This is the
+// separation of concerns the paper argues for.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dm/object.hpp"
+#include "mem/arena.hpp"
+#include "mem/copy_engine.hpp"
+#include "mem/freelist_allocator.hpp"
+#include "sim/clock.hpp"
+#include "sim/platform.hpp"
+#include "telemetry/counters.hpp"
+
+namespace ca::dm {
+
+class DataManager {
+ public:
+  struct DeviceStats {
+    std::size_t capacity = 0;
+    std::size_t allocated = 0;
+    std::size_t free_bytes = 0;
+    std::size_t largest_free_block = 0;
+    std::size_t regions = 0;
+    double fragmentation = 0.0;
+  };
+
+  DataManager(const sim::Platform& platform, sim::Clock& clock,
+              telemetry::TrafficCounters& counters);
+  ~DataManager();
+
+  DataManager(const DataManager&) = delete;
+  DataManager& operator=(const DataManager&) = delete;
+
+  // --- Object functions -------------------------------------------------
+
+  /// Create a logical object of `size` bytes.  No storage is attached yet;
+  /// the policy decides where the first region goes.
+  Object* create_object(std::size_t size, std::string name = {});
+
+  /// Destroy an object and free all its regions.  Must not be pinned.
+  void destroy_object(Object* object);
+
+  [[nodiscard]] Region* getprimary(const Object& object) const noexcept {
+    return object.primary();
+  }
+
+  /// Make `region` the primary for `object`.  If `region` is an orphan it
+  /// is attached to the object first; otherwise it must already be linked
+  /// to this object.  Fails if the object is pinned.
+  void setprimary(Object& object, Region& region);
+
+  /// Pin/unpin: while pinned, the primary pointer handed to a kernel stays
+  /// valid (setprimary and destroy_object are rejected).
+  void pin(Object& object) noexcept { ++object.pin_count_; }
+  void unpin(Object& object);
+
+  // --- Region functions -------------------------------------------------
+
+  /// Allocate an orphan region of `size` bytes on `dev`.  Returns nullptr
+  /// when the device heap cannot satisfy the request (not an error: the
+  /// policy probes and falls back).
+  [[nodiscard]] Region* allocate(sim::DeviceId dev, std::size_t size);
+
+  /// Free a region.  If linked, it is unlinked first; the primary of an
+  /// object with other regions cannot be freed directly (re-assign first).
+  void free(Region* region);
+
+  /// High-performance copy between regions (sizes must match).  Marks `dst`
+  /// clean: after a copy the two regions hold identical bytes.  If both are
+  /// linked to the same object, `src` is marked clean as well (they are now
+  /// synchronized).
+  void copyto(Region& dst, Region& src);
+
+  /// Asynchronous copy (the paper's §V-c future-work item: "asynchronous
+  /// data movement could be implemented with a separate thread pool").
+  /// The bytes move immediately, but the *modeled* transfer runs on a
+  /// single background mover that serializes async transfers: it starts
+  /// when the mover is free and completes `modeled_copy_time` later.  The
+  /// destination's `ready_at()` is set to the completion time; consumers
+  /// stall only for whatever remains at use time (see `wait_ready`).
+  /// Returns the completion time.
+  double copyto_async(Region& dst, Region& src);
+
+  /// Stall (advance the clock, charged as movement) until any in-flight
+  /// async fill of `region` has completed.
+  void wait_ready(Region& region);
+
+  /// Completion time of the last async transfer scheduled on the mover.
+  [[nodiscard]] double mover_busy_until() const noexcept {
+    return mover_busy_until_;
+  }
+
+  /// Link an orphan region to the object of an owned region (they become
+  /// siblings holding copies of the same logical data).
+  void link(Region& owned, Region& orphan);
+
+  /// Detach `region` from its object.  The primary cannot be unlinked.
+  void unlink(Region& region);
+
+  /// Size, device membership, parent (paper query functions).
+  [[nodiscard]] std::size_t size_of(const Region& region) const noexcept {
+    return region.size();
+  }
+  [[nodiscard]] bool in(const Region& region,
+                        sim::DeviceId dev) const noexcept {
+    return region.device() == dev;
+  }
+  [[nodiscard]] Region* getlinked(const Region& region,
+                                  sim::DeviceId dev) const noexcept;
+  [[nodiscard]] Object* parent(const Region& region) const noexcept {
+    return region.parent();
+  }
+
+  void markdirty(Region& region) noexcept { region.dirty_ = true; }
+  void markclean(Region& region) noexcept { region.dirty_ = false; }
+  [[nodiscard]] bool isdirty(const Region& region) const noexcept {
+    return region.dirty();
+  }
+
+  /// Reclaim a contiguous window of at least `size` bytes on `dev`.
+  ///
+  /// Walks blocks in address order starting at `start_offset`; for every
+  /// live region in the candidate window the `evict` callback is invoked
+  /// and must either relocate-and-free the region (returning true) or
+  /// refuse (returning false, e.g. the object is pinned), in which case the
+  /// search restarts past the refused block.  Wraps around the heap once.
+  /// Returns true once a free window of `size` bytes exists.
+  bool evictfrom(sim::DeviceId dev, std::size_t start_offset,
+                 std::size_t size,
+                 const std::function<bool(Region&)>& evict);
+
+  // --- Device functions ---------------------------------------------------
+
+  [[nodiscard]] std::size_t device_count() const noexcept {
+    return heaps_.size();
+  }
+  [[nodiscard]] DeviceStats device_stats(sim::DeviceId dev) const;
+  [[nodiscard]] std::size_t capacity(sim::DeviceId dev) const;
+  [[nodiscard]] std::size_t free_bytes(sim::DeviceId dev) const;
+
+  /// Total bytes currently allocated across all device heaps (the resident
+  /// heap footprint plotted in Fig. 3).
+  [[nodiscard]] std::size_t resident_bytes() const;
+
+  /// Compact `dev`'s heap: slide every live region to the lowest possible
+  /// address (objects are relocated; pinned objects must not exist on this
+  /// device).  Charges TimeCategory::kOther; the paper defragments between
+  /// iterations and reports the overhead as negligible.
+  void defragment(sim::DeviceId dev);
+
+  /// Verify cross-structure invariants (allocator tiling, region/block
+  /// agreement, object/region back-pointers, the fast-primary invariant is
+  /// policy-level and not checked here).  For tests.
+  void check_invariants() const;
+
+  [[nodiscard]] mem::CopyEngine& engine() noexcept { return engine_; }
+  [[nodiscard]] const sim::Platform& platform() const noexcept {
+    return platform_;
+  }
+  [[nodiscard]] sim::Clock& clock() noexcept { return clock_; }
+  [[nodiscard]] telemetry::TrafficCounters& counters() noexcept {
+    return counters_;
+  }
+
+  /// Number of live objects (for leak tests).
+  [[nodiscard]] std::size_t live_objects() const noexcept {
+    return objects_.size();
+  }
+  [[nodiscard]] std::size_t live_regions() const noexcept {
+    return regions_.size();
+  }
+
+ private:
+  struct DeviceHeap {
+    explicit DeviceHeap(const sim::DeviceSpec& spec);
+    mem::Arena arena;
+    std::unique_ptr<mem::FreeListAllocator> alloc;
+  };
+
+  DeviceHeap& heap(sim::DeviceId dev);
+  const DeviceHeap& heap(sim::DeviceId dev) const;
+  void detach(Region& region) noexcept;
+  void release_region(Region* region);
+
+  const sim::Platform& platform_;
+  sim::Clock& clock_;
+  telemetry::TrafficCounters& counters_;
+  mem::CopyEngine engine_;
+  std::vector<std::unique_ptr<DeviceHeap>> heaps_;
+  std::unordered_map<Region*, std::unique_ptr<Region>> regions_;
+  std::unordered_map<Object*, std::unique_ptr<Object>> objects_;
+  ObjectId next_object_id_ = 1;
+  double mover_busy_until_ = 0.0;
+};
+
+}  // namespace ca::dm

@@ -1,0 +1,99 @@
+// Objects and regions: the level of indirection at the heart of
+// CachedArrays (paper §III-C).
+//
+// An Object is the logical entity the application sees (e.g. the storage of
+// one tensor).  A Region is a contiguous slice of one device's heap that
+// holds data for an object.  Exactly one region per object is the *primary*
+// (holds the current data); any other linked region is a *secondary* copy
+// that is valid while the primary is clean and stale once the primary has
+// been written.  At most one region per device may be linked to an object.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/device.hpp"
+
+namespace ca::dm {
+
+class Object;
+
+using ObjectId = std::uint64_t;
+
+/// A contiguous slice of one device's heap.  Regions are created and owned
+/// by the DataManager; all pointers here are non-owning views into its
+/// state.
+class Region {
+ public:
+  [[nodiscard]] sim::DeviceId device() const noexcept { return device_; }
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::byte* data() const noexcept { return data_; }
+
+  /// Object this region is linked to; nullptr for an orphan region fresh
+  /// out of `allocate`.
+  [[nodiscard]] Object* parent() const noexcept { return parent_; }
+
+  /// Dirty means: this region's data has been modified since it was last
+  /// synchronized with its linked sibling(s).
+  [[nodiscard]] bool dirty() const noexcept { return dirty_; }
+
+  /// Simulated time at which an in-flight asynchronous fill of this region
+  /// completes; consumers must wait until then (0 = ready now).
+  [[nodiscard]] double ready_at() const noexcept { return ready_at_; }
+
+ private:
+  friend class DataManager;
+
+  sim::DeviceId device_{};
+  std::size_t offset_ = 0;
+  std::size_t size_ = 0;
+  std::byte* data_ = nullptr;
+  Object* parent_ = nullptr;
+  bool dirty_ = false;
+  double ready_at_ = 0.0;
+};
+
+/// The logical data entity.  Holds up to one region per device; the primary
+/// region holds the authoritative bytes.
+class Object {
+ public:
+  static constexpr std::size_t kMaxDevices = 4;
+
+  [[nodiscard]] ObjectId id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] Region* primary() const noexcept { return primary_; }
+
+  /// Linked region on `dev`, or nullptr.
+  [[nodiscard]] Region* region_on(sim::DeviceId dev) const noexcept {
+    return dev.value < kMaxDevices ? regions_[dev.value] : nullptr;
+  }
+
+  /// Number of devices currently holding a region for this object.
+  [[nodiscard]] std::size_t region_count() const noexcept {
+    std::size_t n = 0;
+    for (auto* r : regions_) n += (r != nullptr);
+    return n;
+  }
+
+  /// While pinned (a kernel is executing against the primary's pointer) the
+  /// primary region must not change (paper §III-C, Data Access).
+  [[nodiscard]] bool pinned() const noexcept { return pin_count_ > 0; }
+  [[nodiscard]] int pin_count() const noexcept { return pin_count_; }
+
+ private:
+  friend class DataManager;
+
+  ObjectId id_ = 0;
+  std::size_t size_ = 0;
+  std::string name_;
+  Region* primary_ = nullptr;
+  std::array<Region*, kMaxDevices> regions_{};
+  int pin_count_ = 0;
+};
+
+}  // namespace ca::dm

@@ -1,0 +1,459 @@
+#include "dnn/ops_real.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace ca::dnn::real {
+
+namespace {
+// Index helpers for NCHW layouts.
+inline std::size_t idx4(std::size_t n, std::size_t c, std::size_t y,
+                        std::size_t x, std::size_t C, std::size_t H,
+                        std::size_t W) {
+  return ((n * C + c) * H + y) * W + x;
+}
+}  // namespace
+
+void conv2d_fwd(const float* x, const float* w, const float* b, float* y,
+                const ConvDims& d) {
+  const std::size_t ho = d.hout();
+  const std::size_t wo = d.wout();
+  for (std::size_t n = 0; n < d.n; ++n) {
+    for (std::size_t co = 0; co < d.cout; ++co) {
+      for (std::size_t oy = 0; oy < ho; ++oy) {
+        for (std::size_t ox = 0; ox < wo; ++ox) {
+          float acc = (b != nullptr) ? b[co] : 0.0f;
+          for (std::size_t ci = 0; ci < d.cin; ++ci) {
+            for (std::size_t ky = 0; ky < d.k; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * d.stride + ky) -
+                  static_cast<std::ptrdiff_t>(d.pad);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(d.h)) continue;
+              for (std::size_t kx = 0; kx < d.k; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * d.stride + kx) -
+                    static_cast<std::ptrdiff_t>(d.pad);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(d.w)) continue;
+                acc += x[idx4(n, ci, static_cast<std::size_t>(iy),
+                              static_cast<std::size_t>(ix), d.cin, d.h, d.w)] *
+                       w[((co * d.cin + ci) * d.k + ky) * d.k + kx];
+              }
+            }
+          }
+          y[idx4(n, co, oy, ox, d.cout, ho, wo)] = acc;
+        }
+      }
+    }
+  }
+}
+
+void conv2d_bwd_data(const float* w, const float* gy, float* gx,
+                     const ConvDims& d) {
+  const std::size_t ho = d.hout();
+  const std::size_t wo = d.wout();
+  std::memset(gx, 0, sizeof(float) * d.n * d.cin * d.h * d.w);
+  for (std::size_t n = 0; n < d.n; ++n) {
+    for (std::size_t co = 0; co < d.cout; ++co) {
+      for (std::size_t oy = 0; oy < ho; ++oy) {
+        for (std::size_t ox = 0; ox < wo; ++ox) {
+          const float g = gy[idx4(n, co, oy, ox, d.cout, ho, wo)];
+          if (g == 0.0f) continue;
+          for (std::size_t ci = 0; ci < d.cin; ++ci) {
+            for (std::size_t ky = 0; ky < d.k; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * d.stride + ky) -
+                  static_cast<std::ptrdiff_t>(d.pad);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(d.h)) continue;
+              for (std::size_t kx = 0; kx < d.k; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * d.stride + kx) -
+                    static_cast<std::ptrdiff_t>(d.pad);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(d.w)) continue;
+                gx[idx4(n, ci, static_cast<std::size_t>(iy),
+                        static_cast<std::size_t>(ix), d.cin, d.h, d.w)] +=
+                    g * w[((co * d.cin + ci) * d.k + ky) * d.k + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_bwd_weights(const float* x, const float* gy, float* gw,
+                        const ConvDims& d) {
+  const std::size_t ho = d.hout();
+  const std::size_t wo = d.wout();
+  std::memset(gw, 0, sizeof(float) * d.cout * d.cin * d.k * d.k);
+  for (std::size_t n = 0; n < d.n; ++n) {
+    for (std::size_t co = 0; co < d.cout; ++co) {
+      for (std::size_t oy = 0; oy < ho; ++oy) {
+        for (std::size_t ox = 0; ox < wo; ++ox) {
+          const float g = gy[idx4(n, co, oy, ox, d.cout, ho, wo)];
+          if (g == 0.0f) continue;
+          for (std::size_t ci = 0; ci < d.cin; ++ci) {
+            for (std::size_t ky = 0; ky < d.k; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * d.stride + ky) -
+                  static_cast<std::ptrdiff_t>(d.pad);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(d.h)) continue;
+              for (std::size_t kx = 0; kx < d.k; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * d.stride + kx) -
+                    static_cast<std::ptrdiff_t>(d.pad);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(d.w)) continue;
+                gw[((co * d.cin + ci) * d.k + ky) * d.k + kx] +=
+                    g * x[idx4(n, ci, static_cast<std::size_t>(iy),
+                               static_cast<std::size_t>(ix), d.cin, d.h, d.w)];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_bwd_bias(const float* gy, float* gb, const ConvDims& d) {
+  const std::size_t ho = d.hout();
+  const std::size_t wo = d.wout();
+  std::memset(gb, 0, sizeof(float) * d.cout);
+  for (std::size_t n = 0; n < d.n; ++n) {
+    for (std::size_t co = 0; co < d.cout; ++co) {
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < ho * wo; ++i) {
+        acc += gy[(n * d.cout + co) * ho * wo + i];
+      }
+      gb[co] += acc;
+    }
+  }
+}
+
+void relu_fwd(const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void relu_bwd(const float* x, const float* gy, float* gx, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) gx[i] = x[i] > 0.0f ? gy[i] : 0.0f;
+}
+
+void maxpool2_fwd(const float* x, float* y, std::size_t n, std::size_t c,
+                  std::size_t h, std::size_t w) {
+  const std::size_t ho = h / 2;
+  const std::size_t wo = w / 2;
+  for (std::size_t i = 0; i < n * c; ++i) {
+    const float* xc = x + i * h * w;
+    float* yc = y + i * ho * wo;
+    for (std::size_t oy = 0; oy < ho; ++oy) {
+      for (std::size_t ox = 0; ox < wo; ++ox) {
+        const std::size_t base = (2 * oy) * w + 2 * ox;
+        yc[oy * wo + ox] = std::max(std::max(xc[base], xc[base + 1]),
+                                    std::max(xc[base + w], xc[base + w + 1]));
+      }
+    }
+  }
+}
+
+void maxpool2_bwd(const float* x, const float* gy, float* gx, std::size_t n,
+                  std::size_t c, std::size_t h, std::size_t w) {
+  const std::size_t ho = h / 2;
+  const std::size_t wo = w / 2;
+  std::memset(gx, 0, sizeof(float) * n * c * h * w);
+  for (std::size_t i = 0; i < n * c; ++i) {
+    const float* xc = x + i * h * w;
+    const float* gyc = gy + i * ho * wo;
+    float* gxc = gx + i * h * w;
+    for (std::size_t oy = 0; oy < ho; ++oy) {
+      for (std::size_t ox = 0; ox < wo; ++ox) {
+        const std::size_t base = (2 * oy) * w + 2 * ox;
+        // Route the gradient to the (first) maximal element of the window.
+        std::size_t best = base;
+        for (const std::size_t cand :
+             {base + 1, base + w, base + w + 1}) {
+          if (xc[cand] > xc[best]) best = cand;
+        }
+        gxc[best] += gyc[oy * wo + ox];
+      }
+    }
+  }
+}
+
+void avgpool2_fwd(const float* x, float* y, std::size_t n, std::size_t c,
+                  std::size_t h, std::size_t w) {
+  const std::size_t ho = h / 2;
+  const std::size_t wo = w / 2;
+  for (std::size_t i = 0; i < n * c; ++i) {
+    const float* xc = x + i * h * w;
+    float* yc = y + i * ho * wo;
+    for (std::size_t oy = 0; oy < ho; ++oy) {
+      for (std::size_t ox = 0; ox < wo; ++ox) {
+        const std::size_t base = (2 * oy) * w + 2 * ox;
+        yc[oy * wo + ox] = 0.25f * (xc[base] + xc[base + 1] + xc[base + w] +
+                                    xc[base + w + 1]);
+      }
+    }
+  }
+}
+
+void avgpool2_bwd(const float* gy, float* gx, std::size_t n, std::size_t c,
+                  std::size_t h, std::size_t w) {
+  const std::size_t ho = h / 2;
+  const std::size_t wo = w / 2;
+  for (std::size_t i = 0; i < n * c; ++i) {
+    const float* gyc = gy + i * ho * wo;
+    float* gxc = gx + i * h * w;
+    for (std::size_t oy = 0; oy < ho; ++oy) {
+      for (std::size_t ox = 0; ox < wo; ++ox) {
+        const float g = 0.25f * gyc[oy * wo + ox];
+        const std::size_t base = (2 * oy) * w + 2 * ox;
+        gxc[base] = g;
+        gxc[base + 1] = g;
+        gxc[base + w] = g;
+        gxc[base + w + 1] = g;
+      }
+    }
+  }
+}
+
+void dropout_fwd(const float* x, float* y, float* mask, float p,
+                 std::uint64_t seed, std::size_t n) {
+  ca::util::Xoshiro256 rng(seed);
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (std::size_t i = 0; i < n; ++i) {
+    mask[i] = rng.uniform() < p ? 0.0f : keep_scale;
+    y[i] = x[i] * mask[i];
+  }
+}
+
+void dropout_bwd(const float* mask, const float* gy, float* gx,
+                 std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) gx[i] = gy[i] * mask[i];
+}
+
+void global_avgpool_fwd(const float* x, float* y, std::size_t n,
+                        std::size_t c, std::size_t h, std::size_t w) {
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (std::size_t i = 0; i < n * c; ++i) {
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < h * w; ++j) acc += x[i * h * w + j];
+    y[i] = acc * inv;
+  }
+}
+
+void global_avgpool_bwd(const float* gy, float* gx, std::size_t n,
+                        std::size_t c, std::size_t h, std::size_t w) {
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (std::size_t i = 0; i < n * c; ++i) {
+    const float g = gy[i] * inv;
+    for (std::size_t j = 0; j < h * w; ++j) gx[i * h * w + j] = g;
+  }
+}
+
+void batchnorm_fwd(const float* x, const float* gamma, const float* beta,
+                   float* y, float* save_mean, float* save_istd,
+                   std::size_t n, std::size_t c, std::size_t h,
+                   std::size_t w, float eps) {
+  const std::size_t hw = h * w;
+  const float m = static_cast<float>(n * hw);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    double sum = 0.0;
+    for (std::size_t b = 0; b < n; ++b) {
+      const float* xc = x + (b * c + ch) * hw;
+      for (std::size_t j = 0; j < hw; ++j) sum += xc[j];
+    }
+    const float mean = static_cast<float>(sum) / m;
+    double var = 0.0;
+    for (std::size_t b = 0; b < n; ++b) {
+      const float* xc = x + (b * c + ch) * hw;
+      for (std::size_t j = 0; j < hw; ++j) {
+        const float d = xc[j] - mean;
+        var += static_cast<double>(d) * d;
+      }
+    }
+    const float istd =
+        1.0f / std::sqrt(static_cast<float>(var) / m + eps);
+    save_mean[ch] = mean;
+    save_istd[ch] = istd;
+    for (std::size_t b = 0; b < n; ++b) {
+      const float* xc = x + (b * c + ch) * hw;
+      float* yc = y + (b * c + ch) * hw;
+      for (std::size_t j = 0; j < hw; ++j) {
+        yc[j] = gamma[ch] * (xc[j] - mean) * istd + beta[ch];
+      }
+    }
+  }
+}
+
+void batchnorm_bwd(const float* x, const float* gamma, const float* save_mean,
+                   const float* save_istd, const float* gy, float* gx,
+                   float* ggamma, float* gbeta, std::size_t n, std::size_t c,
+                   std::size_t h, std::size_t w) {
+  const std::size_t hw = h * w;
+  const float m = static_cast<float>(n * hw);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    const float mean = save_mean[ch];
+    const float istd = save_istd[ch];
+    double sum_gy = 0.0;
+    double sum_gy_xhat = 0.0;
+    for (std::size_t b = 0; b < n; ++b) {
+      const float* xc = x + (b * c + ch) * hw;
+      const float* gyc = gy + (b * c + ch) * hw;
+      for (std::size_t j = 0; j < hw; ++j) {
+        const float xhat = (xc[j] - mean) * istd;
+        sum_gy += gyc[j];
+        sum_gy_xhat += static_cast<double>(gyc[j]) * xhat;
+      }
+    }
+    ggamma[ch] = static_cast<float>(sum_gy_xhat);
+    gbeta[ch] = static_cast<float>(sum_gy);
+    const float k1 = static_cast<float>(sum_gy) / m;
+    const float k2 = static_cast<float>(sum_gy_xhat) / m;
+    for (std::size_t b = 0; b < n; ++b) {
+      const float* xc = x + (b * c + ch) * hw;
+      const float* gyc = gy + (b * c + ch) * hw;
+      float* gxc = gx + (b * c + ch) * hw;
+      for (std::size_t j = 0; j < hw; ++j) {
+        const float xhat = (xc[j] - mean) * istd;
+        gxc[j] = gamma[ch] * istd * (gyc[j] - k1 - xhat * k2);
+      }
+    }
+  }
+}
+
+void dense_fwd(const float* x, const float* w, const float* b, float* y,
+               std::size_t n, std::size_t in, std::size_t out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t o = 0; o < out; ++o) {
+      float acc = (b != nullptr) ? b[o] : 0.0f;
+      for (std::size_t j = 0; j < in; ++j) acc += x[i * in + j] * w[o * in + j];
+      y[i * out + o] = acc;
+    }
+  }
+}
+
+void dense_bwd_data(const float* w, const float* gy, float* gx, std::size_t n,
+                    std::size_t in, std::size_t out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < in; ++j) {
+      float acc = 0.0f;
+      for (std::size_t o = 0; o < out; ++o) {
+        acc += gy[i * out + o] * w[o * in + j];
+      }
+      gx[i * in + j] = acc;
+    }
+  }
+}
+
+void dense_bwd_weights(const float* x, const float* gy, float* gw,
+                       std::size_t n, std::size_t in, std::size_t out) {
+  std::memset(gw, 0, sizeof(float) * in * out);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t o = 0; o < out; ++o) {
+      const float g = gy[i * out + o];
+      if (g == 0.0f) continue;
+      for (std::size_t j = 0; j < in; ++j) gw[o * in + j] += g * x[i * in + j];
+    }
+  }
+}
+
+void dense_bwd_bias(const float* gy, float* gb, std::size_t n,
+                    std::size_t out) {
+  std::memset(gb, 0, sizeof(float) * out);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t o = 0; o < out; ++o) gb[o] += gy[i * out + o];
+  }
+}
+
+float softmax_ce_fwd(const float* logits, const float* labels, float* probs,
+                     std::size_t n, std::size_t classes) {
+  double loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits + i * classes;
+    float* prow = probs + i * classes;
+    float mx = row[0];
+    for (std::size_t c = 1; c < classes; ++c) mx = std::max(mx, row[c]);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      prow[c] = std::exp(row[c] - mx);
+      denom += prow[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t c = 0; c < classes; ++c) prow[c] *= inv;
+    const auto label = static_cast<std::size_t>(labels[i]);
+    loss -= std::log(std::max(prow[label], 1e-12f));
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+void softmax_ce_bwd(const float* probs, const float* labels, float* gx,
+                    std::size_t n, std::size_t classes) {
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto label = static_cast<std::size_t>(labels[i]);
+    for (std::size_t c = 0; c < classes; ++c) {
+      const float p = probs[i * classes + c];
+      gx[i * classes + c] = (p - (c == label ? 1.0f : 0.0f)) * inv_n;
+    }
+  }
+}
+
+void add_fwd(const float* a, const float* b, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = a[i] + b[i];
+}
+
+void concat_fwd(const float* a, const float* b, float* y, std::size_t n,
+                std::size_t ca, std::size_t cb, std::size_t h,
+                std::size_t w) {
+  const std::size_t hw = h * w;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(y + i * (ca + cb) * hw, a + i * ca * hw,
+                sizeof(float) * ca * hw);
+    std::memcpy(y + (i * (ca + cb) + ca) * hw, b + i * cb * hw,
+                sizeof(float) * cb * hw);
+  }
+}
+
+void concat_bwd(const float* gy, float* ga, float* gb, std::size_t n,
+                std::size_t ca, std::size_t cb, std::size_t h,
+                std::size_t w) {
+  const std::size_t hw = h * w;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(ga + i * ca * hw, gy + i * (ca + cb) * hw,
+                sizeof(float) * ca * hw);
+    std::memcpy(gb + i * cb * hw, gy + (i * (ca + cb) + ca) * hw,
+                sizeof(float) * cb * hw);
+  }
+}
+
+void embedding_gather(const float* table, const float* indices, float* out,
+                      std::size_t batch, std::size_t dim) {
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto row = static_cast<std::size_t>(indices[i]);
+    std::memcpy(out + i * dim, table + row * dim, sizeof(float) * dim);
+  }
+}
+
+void embedding_scatter_sgd(float* table, const float* indices,
+                           const float* grads, float lr, std::size_t batch,
+                           std::size_t dim) {
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto row = static_cast<std::size_t>(indices[i]);
+    for (std::size_t j = 0; j < dim; ++j) {
+      table[row * dim + j] -= lr * grads[i * dim + j];
+    }
+  }
+}
+
+void sgd_update(float* w, const float* g, float lr, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) w[i] -= lr * g[i];
+}
+
+void accumulate(float* acc, const float* g, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += g[i];
+}
+
+}  // namespace ca::dnn::real

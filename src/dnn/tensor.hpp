@@ -1,0 +1,110 @@
+// Tensors over CachedArrays -- the workload-side data type (paper §IV).
+//
+// A Tensor is a shape plus a CachedArray<float>.  All semantic hints reach
+// the policy through the array; the DNN engine never touches the data
+// manager directly.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+
+#include "core/cached_array.hpp"
+#include "util/error.hpp"
+
+namespace ca::dnn {
+
+/// Up to 4 dimensions, NCHW order for feature maps, (rows, cols) for
+/// matrices, (n) for vectors.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims) {
+    CA_CHECK(dims.size() >= 1 && dims.size() <= 4, "1..4 dimensions");
+    rank_ = dims.size();
+    std::size_t i = 0;
+    for (const auto d : dims) dims_[i++] = d;
+  }
+
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+  [[nodiscard]] std::size_t operator[](std::size_t i) const {
+    CA_CHECK(i < rank_, "shape index out of range");
+    return dims_[i];
+  }
+  [[nodiscard]] std::size_t numel() const noexcept {
+    std::size_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  // NCHW accessors for rank-4 shapes.
+  [[nodiscard]] std::size_t n() const { return (*this)[0]; }
+  [[nodiscard]] std::size_t c() const { return (*this)[1]; }
+  [[nodiscard]] std::size_t h() const { return (*this)[2]; }
+  [[nodiscard]] std::size_t w() const { return (*this)[3]; }
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    if (a.rank_ != b.rank_) return false;
+    for (std::size_t i = 0; i < a.rank_; ++i) {
+      if (a.dims_[i] != b.dims_[i]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string s = "(";
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (i > 0) s += "x";
+      s += std::to_string(dims_[i]);
+    }
+    return s + ")";
+  }
+
+ private:
+  std::array<std::size_t, 4> dims_{1, 1, 1, 1};
+  std::size_t rank_ = 0;
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  Tensor(core::Runtime& rt, Shape shape, std::string name = {},
+         bool parameter = false)
+      : shape_(shape),
+        array_(rt, shape.numel(), std::move(name)),
+        parameter_(parameter) {}
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t numel() const noexcept { return shape_.numel(); }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return numel() * sizeof(float);
+  }
+  [[nodiscard]] bool valid() const noexcept { return array_.valid(); }
+
+  /// Parameters (weights, biases) persist across iterations and are never
+  /// retired by the engine.
+  [[nodiscard]] bool is_parameter() const noexcept { return parameter_; }
+
+  [[nodiscard]] core::CachedArray<float>& array() noexcept { return array_; }
+  [[nodiscard]] const core::CachedArray<float>& array() const noexcept {
+    return array_;
+  }
+  [[nodiscard]] dm::Object* object() const noexcept {
+    return array_.object();
+  }
+
+  /// Identity: two Tensor handles alias iff they share the object.
+  friend bool operator==(const Tensor& a, const Tensor& b) noexcept {
+    return a.object() != nullptr && a.object() == b.object();
+  }
+
+ private:
+  Shape shape_;
+  core::CachedArray<float> array_;
+  bool parameter_ = false;
+};
+
+}  // namespace ca::dnn

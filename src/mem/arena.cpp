@@ -1,0 +1,45 @@
+#include "mem/arena.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "util/align.hpp"
+#include "util/error.hpp"
+
+namespace ca::mem {
+
+void Arena::Free::operator()(void* p) const noexcept { std::free(p); }
+
+Arena::Arena(std::size_t size, std::size_t alignment, bool prefault) {
+  CA_CHECK(size > 0, "arena size must be positive");
+  CA_CHECK(util::is_pow2(alignment), "arena alignment must be a power of 2");
+  const std::size_t rounded = util::align_up(size, alignment);
+  void* p = std::aligned_alloc(alignment, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  storage_.reset(p);
+  base_ = static_cast<std::byte*>(p);
+  size_ = size;
+  if (prefault) {
+    // Touch every page so physical frames are assigned now, not during the
+    // measured run (zeroing also gives deterministic content).
+    std::memset(base_, 0, rounded);
+  }
+}
+
+std::byte* Arena::at(std::size_t offset) {
+  CA_CHECK(offset < size_, "arena offset out of range");
+  return base_ + offset;
+}
+
+const std::byte* Arena::at(std::size_t offset) const {
+  CA_CHECK(offset < size_, "arena offset out of range");
+  return base_ + offset;
+}
+
+bool Arena::contains(const void* p) const noexcept {
+  const auto* b = static_cast<const std::byte*>(p);
+  return b >= base_ && b < base_ + size_;
+}
+
+}  // namespace ca::mem

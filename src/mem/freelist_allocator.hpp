@@ -1,0 +1,145 @@
+// Offset-space heap allocator for one device arena.
+//
+// Design requirements taken from the paper's data manager (§III-C):
+//   * allocate / free variable-sized regions from a preallocated heap;
+//   * iterate live blocks in *address order*, which `evictfrom` needs to
+//     reclaim a contiguous window of fast memory by evicting whatever
+//     objects currently occupy it;
+//   * attach an owner cookie to each allocation so a block found during an
+//     address-order walk can be mapped back to the Region that owns it
+//     (the DM.parent direction);
+//   * support compaction ("CachedArrays inherently supports object
+//     reallocation which mitigates fragmentation").
+//
+// The allocator works purely in offset space (no memory is touched), which
+// keeps it independently testable and lets the data manager combine it with
+// any Arena.  Blocks are kept in an address-ordered map with eager
+// coalescing of adjacent free blocks; a size-ordered index of free blocks
+// supports best-fit in O(log n).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "util/align.hpp"
+
+namespace ca::mem {
+
+class FreeListAllocator {
+ public:
+  enum class Fit {
+    kFirstFit,  ///< lowest-address free block that fits
+    kBestFit,   ///< smallest free block that fits (ties: lowest address)
+  };
+
+  /// Read-only view of one block, in the tiling of the heap.
+  struct BlockView {
+    std::size_t offset = 0;
+    std::size_t size = 0;
+    bool allocated = false;
+    void* cookie = nullptr;
+  };
+
+  struct Stats {
+    std::size_t capacity = 0;
+    std::size_t allocated_bytes = 0;
+    std::size_t free_bytes = 0;
+    std::size_t largest_free_block = 0;
+    std::size_t allocated_blocks = 0;
+    std::size_t free_blocks = 0;
+    std::uint64_t total_allocs = 0;
+    std::uint64_t total_frees = 0;
+    std::uint64_t failed_allocs = 0;
+
+    /// External fragmentation in [0,1]: 1 - largest_free / free_bytes.
+    [[nodiscard]] double fragmentation() const noexcept {
+      if (free_bytes == 0) return 0.0;
+      return 1.0 - static_cast<double>(largest_free_block) /
+                       static_cast<double>(free_bytes);
+    }
+  };
+
+  /// `capacity` bytes of heap; all blocks are multiples of `alignment`
+  /// (power of two) so every returned offset is aligned.
+  explicit FreeListAllocator(std::size_t capacity,
+                             std::size_t alignment = 64,
+                             Fit fit = Fit::kFirstFit);
+
+  FreeListAllocator(const FreeListAllocator&) = delete;
+  FreeListAllocator& operator=(const FreeListAllocator&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t alignment() const noexcept { return alignment_; }
+
+  /// Allocate `size` bytes (rounded up to the alignment).  Returns the
+  /// block offset, or nullopt if no free block fits.  Never throws for
+  /// ordinary exhaustion -- the policy layer probes the fast tier and
+  /// handles failure by evicting.
+  [[nodiscard]] std::optional<std::size_t> allocate(std::size_t size);
+
+  /// Free the block at `offset` (must be currently allocated).  Adjacent
+  /// free blocks are coalesced immediately.
+  void free(std::size_t offset);
+
+  /// True iff `offset` is the start of a live allocation.
+  [[nodiscard]] bool is_allocated(std::size_t offset) const;
+
+  /// Usable size of the allocated block at `offset`.
+  [[nodiscard]] std::size_t block_size(std::size_t offset) const;
+
+  /// Attach/read an owner cookie on an allocated block.
+  void set_cookie(std::size_t offset, void* cookie);
+  [[nodiscard]] void* cookie(std::size_t offset) const;
+
+  /// All blocks (allocated and free) in address order.
+  [[nodiscard]] std::vector<BlockView> blocks() const;
+
+  /// Visit blocks in address order starting with the block containing (or
+  /// first after) `from`.  `fn` returns false to stop the walk.
+  void for_blocks_from(std::size_t from,
+                       const std::function<bool(const BlockView&)>& fn) const;
+
+  /// Offset of the first allocated block at or after `from`, if any.
+  [[nodiscard]] std::optional<std::size_t> first_allocated_from(
+      std::size_t from) const;
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Verify structural invariants (blocks tile [0, capacity) exactly, no
+  /// two adjacent free blocks, indexes consistent).  Throws InternalError
+  /// on violation.  Used by the property-based test suite.
+  void check_invariants() const;
+
+ private:
+  struct Block {
+    std::size_t size = 0;
+    bool allocated = false;
+    void* cookie = nullptr;
+  };
+
+  using BlockMap = std::map<std::size_t, Block>;
+
+  /// Free-block index entry ordered by (size, offset) for best-fit.
+  using FreeKey = std::pair<std::size_t, std::size_t>;
+
+  [[nodiscard]] BlockMap::iterator find_fit(std::size_t size);
+  void index_insert(std::size_t offset, std::size_t size);
+  void index_erase(std::size_t offset, std::size_t size);
+
+  std::size_t capacity_;
+  std::size_t alignment_;
+  Fit fit_;
+  BlockMap blocks_;
+  std::set<FreeKey> free_index_;
+  std::size_t allocated_bytes_ = 0;
+  std::size_t allocated_blocks_ = 0;
+  std::uint64_t total_allocs_ = 0;
+  std::uint64_t total_frees_ = 0;
+  std::uint64_t failed_allocs_ = 0;
+};
+
+}  // namespace ca::mem

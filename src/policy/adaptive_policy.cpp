@@ -1,0 +1,58 @@
+#include "policy/adaptive_policy.hpp"
+
+#include "util/error.hpp"
+
+namespace ca::policy {
+
+AdaptivePolicy::AdaptivePolicy(dm::DataManager& dm,
+                               AdaptivePolicyConfig config)
+    : dm_(dm),
+      config_(config),
+      inner_(dm, config.base),
+      rng_(config.seed) {
+  CA_CHECK(config_.window_kernels > 0, "window must cover >= 1 kernel");
+  CA_CHECK(config_.explore >= 0.0 && config_.explore <= 1.0,
+           "exploration rate must be a probability");
+  CA_CHECK(config_.ema > 0.0 && config_.ema <= 1.0,
+           "EMA factor must be in (0, 1]");
+  // Start by sampling the 'off' arm; the first two windows always try both.
+  inner_.set_prefetch(false);
+  window_start_ = dm_.clock().now();
+}
+
+void AdaptivePolicy::begin_kernel(std::span<dm::Object* const> args) {
+  if (++kernels_in_window_ > config_.window_kernels) finish_window();
+  inner_.begin_kernel(args);
+}
+
+void AdaptivePolicy::finish_window() {
+  const double now = dm_.clock().now();
+  const double elapsed = now - window_start_;
+  const int arm = inner_.config().prefetch ? 1 : 0;
+
+  // Score the finished window.
+  if (cost_[arm] < 0.0) {
+    cost_[arm] = elapsed;
+  } else {
+    cost_[arm] = (1.0 - config_.ema) * cost_[arm] + config_.ema * elapsed;
+  }
+  ++windows_;
+  if (arm == 1) ++windows_on_;
+
+  // Choose the next arm: sample any unsampled arm first, then
+  // epsilon-greedy on the cost estimates.
+  bool next_on;
+  if (cost_[1 - arm] < 0.0) {
+    next_on = arm == 0;  // try the other arm once
+  } else if (rng_.uniform() < config_.explore) {
+    next_on = rng_.uniform() < 0.5;
+  } else {
+    next_on = cost_[1] < cost_[0];
+  }
+  inner_.set_prefetch(next_on);
+
+  kernels_in_window_ = 0;
+  window_start_ = now;
+}
+
+}  // namespace ca::policy

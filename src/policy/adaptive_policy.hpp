@@ -1,0 +1,96 @@
+// AdaptivePolicy: self-tuning prefetch strategy (paper §VI: "we could
+// augment the policy with real-time kernel performance information,
+// allowing the policy to explore and adapt its strategy").
+//
+// The paper finds there is no one-size-fits-all prefetch answer --
+// prefetching on will_read helps VGG but hurts DenseNet and ResNet.  This
+// policy removes the need to know in advance: it wraps the reference
+// LruPolicy and runs an epsilon-greedy bandit over the prefetch toggle.
+// Kernel launches are grouped into fixed-size windows; each window runs
+// with one arm (prefetch on or off) and is scored by the simulated time it
+// consumed.  The faster arm is exploited; the other is still explored at a
+// small rate so phase changes in the workload are noticed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "policy/lru_policy.hpp"
+#include "util/rng.hpp"
+
+namespace ca::policy {
+
+struct AdaptivePolicyConfig {
+  LruPolicyConfig base;  ///< underlying policy (prefetch field is managed)
+
+  /// Kernel launches per measurement window.
+  std::size_t window_kernels = 64;
+
+  /// Exploration rate: probability of trying the non-best arm.
+  double explore = 0.1;
+
+  /// Exponential moving-average factor for per-arm cost estimates.
+  double ema = 0.3;
+
+  std::uint64_t seed = 2024;
+};
+
+class AdaptivePolicy final : public Policy {
+ public:
+  AdaptivePolicy(dm::DataManager& dm, AdaptivePolicyConfig config);
+
+  dm::Region& place_new(dm::Object& object) override {
+    return inner_.place_new(object);
+  }
+  void will_use(dm::Object& object) override { inner_.will_use(object); }
+  void will_read(dm::Object& object) override { inner_.will_read(object); }
+  void will_write(dm::Object& object) override { inner_.will_write(object); }
+  void archive(dm::Object& object) override { inner_.archive(object); }
+  bool retire(dm::Object& object) override { return inner_.retire(object); }
+  void on_destroy(dm::Object& object) override { inner_.on_destroy(object); }
+
+  void begin_kernel(std::span<dm::Object* const> args) override;
+  void end_kernel() override { inner_.end_kernel(); }
+
+  void set_pressure_handler(PressureHandler handler) override {
+    inner_.set_pressure_handler(std::move(handler));
+  }
+
+  // --- introspection -----------------------------------------------------
+
+  [[nodiscard]] bool prefetch_enabled() const noexcept {
+    return inner_.config().prefetch;
+  }
+  [[nodiscard]] std::size_t windows_run() const noexcept { return windows_; }
+
+  /// EMA of simulated seconds per window for each arm (0 = off, 1 = on);
+  /// negative means "not yet sampled".
+  [[nodiscard]] double arm_cost(bool prefetch_on) const noexcept {
+    return cost_[prefetch_on ? 1 : 0];
+  }
+
+  /// Fraction of completed windows that ran with prefetching enabled.
+  [[nodiscard]] double prefetch_fraction() const noexcept {
+    return windows_ == 0 ? 0.0
+                         : static_cast<double>(windows_on_) /
+                               static_cast<double>(windows_);
+  }
+
+  [[nodiscard]] LruPolicy& inner() noexcept { return inner_; }
+
+ private:
+  void finish_window();
+
+  dm::DataManager& dm_;
+  AdaptivePolicyConfig config_;
+  LruPolicy inner_;
+  util::Xoshiro256 rng_;
+
+  std::size_t kernels_in_window_ = 0;
+  double window_start_ = 0.0;
+  std::array<double, 2> cost_ = {-1.0, -1.0};  // [off, on]
+  std::size_t windows_ = 0;
+  std::size_t windows_on_ = 0;
+};
+
+}  // namespace ca::policy

@@ -1,0 +1,244 @@
+#include "policy/lru_policy.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ca::policy {
+
+LruPolicy::LruPolicy(dm::DataManager& dm, LruPolicyConfig config)
+    : dm_(dm), config_(config) {
+  CA_CHECK(config_.fast != config_.slow,
+           "fast and slow must be distinct devices");
+}
+
+LruPolicy::Node& LruPolicy::node(dm::Object& object) {
+  auto [it, inserted] = nodes_.try_emplace(&object);
+  if (inserted) it->second.object = &object;
+  return it->second;
+}
+
+void LruPolicy::touch(Node& n) {
+  if (n.lru_hook.linked()) lru_.move_to_front(n);
+}
+
+void LruPolicy::remove_from_lru(Node& n) { lru_.erase(n); }
+
+void LruPolicy::set_pressure_handler(PressureHandler handler) {
+  pressure_ = std::move(handler);
+}
+
+// --- placement --------------------------------------------------------------
+
+dm::Region& LruPolicy::place_new(dm::Object& object) {
+  if (config_.local_alloc || object.size() < config_.min_migratable) {
+    // L: unlinked regions directly in fast memory -- no compulsory NVRAM
+    // birth, no initial copy (paper requirement 1, §III-A).
+    if (dm::Region* r = allocate_fast_forced(object.size())) {
+      dm_.setprimary(object, *r);
+      lru_.push_front(node(object));
+      return *r;
+    }
+  }
+  // Either local allocation is disabled (CA:0 emulates a true cache where
+  // every object is born in backing memory) or fast memory cannot hold the
+  // object at all.
+  dm::Region& r = allocate_slow_checked(object.size());
+  dm_.setprimary(object, r);
+  return r;
+}
+
+// --- hints ------------------------------------------------------------------
+
+void LruPolicy::will_use(dm::Object& object) {
+  // Generic "about to use": treated like will_read; a kernel that writes
+  // will also issue will_write for the written arguments.
+  will_read(object);
+}
+
+void LruPolicy::will_read(dm::Object& object) {
+  if (config_.prefetch || !config_.local_alloc) {
+    // P: always stage reads in fast memory.  Without L we emulate a true
+    // cache, where reads likewise fault data into the cache first.
+    prefetch(object, /*force=*/true);
+  }
+  // Otherwise: NVRAM read bandwidth is high enough that reads are served in
+  // place (paper §III-D).  Touch the LRU either way.
+  touch(node(object));
+}
+
+void LruPolicy::will_read_partial(dm::Object& object, std::size_t bytes) {
+  if (!config_.sparse_aware) {
+    will_read(object);
+    return;
+  }
+  const double fraction = static_cast<double>(bytes) /
+                          static_cast<double>(object.size());
+  if (fraction >= config_.sparse_threshold) {
+    // Mostly-dense read: behave like a plain will_read.
+    will_read(object);
+    return;
+  }
+  // Sparse read: migrating the whole object for a fractional touch is a
+  // loss under every regime; serve it in place.  NVRAM read bandwidth is
+  // high enough for this to be cheap (paper SIII-D).
+  ++stats_.sparse_reads_in_place;
+  touch(node(object));
+}
+
+void LruPolicy::will_write(dm::Object& object) {
+  // NVRAM writes are slow and low-bandwidth: written objects always go to
+  // fast memory, evicting colder data if necessary.
+  prefetch(object, /*force=*/true);
+  touch(node(object));
+}
+
+void LruPolicy::archive(dm::Object& object) {
+  // "Will not be used for some time": never evict eagerly (if everything
+  // fits in fast memory there must be no downside, §III-E) -- just make the
+  // object the preferred victim under future pressure.
+  Node& n = node(object);
+  if (n.lru_hook.linked()) lru_.move_to_back(n);
+}
+
+bool LruPolicy::retire(dm::Object& object) {
+  if (config_.eager_retire) {
+    // M: release storage now; the runtime destroys the object.
+    ++stats_.retires_honored;
+    return true;
+  }
+  // Without M the object lingers until the emulated GC runs; make it the
+  // preferred eviction victim in the meantime.
+  archive(object);
+  return false;
+}
+
+void LruPolicy::on_destroy(dm::Object& object) {
+  const auto it = nodes_.find(&object);
+  if (it == nodes_.end()) return;
+  remove_from_lru(it->second);
+  nodes_.erase(it);
+}
+
+void LruPolicy::begin_kernel(std::span<dm::Object* const> args) {
+  for (dm::Object* obj : args) {
+    if (obj != nullptr) node(*obj).in_flight = true;
+  }
+}
+
+void LruPolicy::end_kernel() {
+  for (auto& [obj, n] : nodes_) n.in_flight = false;
+}
+
+// --- mechanisms (paper Listings 1 and 2) -------------------------------------
+
+void LruPolicy::evict(dm::Object& object) {
+  dm::Region* x = dm_.getprimary(object);
+  CA_CHECK(x != nullptr, "evict of an object without storage");
+  if (!dm_.in(*x, config_.fast)) return;
+
+  dm::Region* y = dm_.getlinked(*x, config_.slow);
+  const std::size_t sz = dm_.size_of(*x);
+  bool allocated = false;
+  if (y == nullptr) {
+    y = &allocate_slow_checked(object.size());
+    allocated = true;
+  }
+  if (dm_.isdirty(*x) || allocated) {
+    dm_.copyto(*y, *x);
+  } else {
+    // The slow copy is already valid: the expensive NVRAM write is elided
+    // (paper requirement 2, §III-A).
+    ++stats_.elided_writebacks;
+  }
+  dm_.setprimary(object, *y);
+  if (!allocated) dm_.unlink(*x);
+  dm_.free(x);
+
+  ++stats_.evictions;
+  stats_.eviction_bytes += sz;
+  remove_from_lru(node(object));
+}
+
+bool LruPolicy::prefetch(dm::Object& object, bool force) {
+  dm::Region* x = dm_.getprimary(object);
+  CA_CHECK(x != nullptr, "prefetch of an object without storage");
+  if (!dm_.in(*x, config_.slow)) return true;  // already fast
+  // A pinned object's primary cannot change (a kernel holds its pointer);
+  // the hint arrives too late to act on.
+  if (object.pinned()) return false;
+
+  dm::Region* y = dm_.allocate(config_.fast, object.size());
+  if (y == nullptr) {
+    if (!force) return false;
+    y = allocate_fast_forced(object.size());
+    if (y == nullptr) return false;  // cannot fit in fast at all
+  }
+  if (config_.async_prefetch) {
+    dm_.copyto_async(*y, *x);
+  } else {
+    dm_.copyto(*y, *x);
+  }
+  dm_.link(*x, *y);
+  dm_.setprimary(object, *y);
+  lru_.push_front(node(object));
+  ++stats_.prefetches;
+  stats_.prefetch_bytes += object.size();
+  return true;
+}
+
+bool LruPolicy::try_displace(dm::Region& region) {
+  dm::Object* object = dm_.parent(region);
+  if (object == nullptr) return false;  // orphan: not ours to move
+  if (object->pinned()) return false;   // a kernel holds its pointer
+  if (object->size() < config_.min_migratable) return false;  // not worth it
+  Node& n = node(*object);
+  if (n.in_flight) return false;  // argument of the kernel being staged
+  evict(*object);
+  return true;
+}
+
+dm::Region* LruPolicy::allocate_fast_forced(std::size_t size) {
+  if (size > dm_.capacity(config_.fast)) return nullptr;
+  if (dm::Region* r = dm_.allocate(config_.fast, size)) return r;
+
+  // Fast memory is under pressure.  Pick a starting point at the coldest
+  // *evictable* resident object (the paper's "some heuristic like LRU",
+  // Listing 2 line 8) and reclaim a contiguous window from there.
+  std::size_t start = 0;
+  Node* victim = lru_.find_from_back([](const Node& n) {
+    return !n.in_flight && !n.object->pinned();
+  });
+  if (victim != nullptr) {
+    if (dm::Region* vr = dm_.getprimary(*victim->object);
+        vr != nullptr && dm_.in(*vr, config_.fast)) {
+      start = vr->offset();
+    }
+  }
+  ++stats_.forced_reclaims;
+  if (!dm_.evictfrom(config_.fast, start, size,
+                     [this](dm::Region& r) { return try_displace(r); })) {
+    return nullptr;
+  }
+  dm::Region* r = dm_.allocate(config_.fast, size);
+  CA_CHECK(r != nullptr, "evictfrom succeeded but allocation still failed");
+  return r;
+}
+
+dm::Region& LruPolicy::allocate_slow_checked(std::size_t size) {
+  if (dm::Region* r = dm_.allocate(config_.slow, size)) return *r;
+  // Memory pressure: ask the runtime to collect dead objects, then retry.
+  if (pressure_) {
+    ++stats_.gc_pressure_calls;
+    if (pressure_()) {
+      if (dm::Region* r = dm_.allocate(config_.slow, size)) return *r;
+    }
+  }
+  // Last resort: compaction (the heap may merely be fragmented).
+  dm_.defragment(config_.slow);
+  if (dm::Region* r = dm_.allocate(config_.slow, size)) return *r;
+  throw OutOfMemoryError("slow memory exhausted allocating " +
+                         std::to_string(size) + " bytes");
+}
+
+}  // namespace ca::policy

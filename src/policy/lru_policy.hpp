@@ -1,0 +1,149 @@
+// The reference policy for DRAM/NVRAM CNN training (paper §III-D / §IV).
+//
+// Placement rules, keyed to the device characteristics of a Cascade Lake
+// DRAM+NVRAM machine (NVRAM reads are acceptable, NVRAM writes are not):
+//   * will_write  -> make sure the primary is in fast memory, forcibly
+//                    evicting colder objects if needed (Listing 2);
+//   * will_read   -> prefetch into fast memory only when the P toggle is
+//                    on; otherwise serve reads from wherever the data is;
+//   * archive     -> do not evict eagerly, just move the object to the
+//                    front of the eviction queue;
+//   * retire      -> with the M toggle, release storage immediately;
+//                    without it, deprioritize and let the GC reclaim.
+//
+// Optimization toggles (paper §IV):
+//   L  local allocation: new objects are placed directly in fast memory.
+//      With L off the policy emulates a true cache: objects are born in
+//      slow memory and *every* access (read or write) first faults them
+//      into fast memory -- the compulsory miss of 2LM (mode CA:0).
+//   M  eager retire, as above.
+//   P  prefetch on will_read, as above.
+//
+// Eviction candidates are tracked on an LRU list of objects whose primary
+// is in fast memory; `archive` moves an object to the cold end.  The policy
+// maintains the paper's invariant: an object with a fast-memory region has
+// that region as its primary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+
+#include "policy/policy.hpp"
+#include "sim/platform.hpp"
+#include "util/align.hpp"
+#include "util/intrusive_list.hpp"
+
+namespace ca::policy {
+
+struct LruPolicyConfig {
+  sim::DeviceId fast = sim::kFast;
+  sim::DeviceId slow = sim::kSlow;
+  bool local_alloc = true;   ///< L: allocate new objects directly in fast
+  bool eager_retire = true;  ///< M: free storage on retire
+  bool prefetch = false;     ///< P: move data to fast on will_read
+
+  /// Objects smaller than this are pinned to fast memory and never
+  /// migrated (when possible): below the migration granularity the fixed
+  /// per-transfer overhead exceeds any bandwidth benefit, and the paper's
+  /// object-level approach explicitly targets "relatively large (> 100s of
+  /// KiB)" tensors (SIII-C).  Applies in every mode, including the
+  /// true-cache emulation.  Set to 0 to disable.
+  std::size_t min_migratable = 64 * util::KiB;
+
+  /// Honor will_read_partial: an object about to be read only
+  /// fractionally (< sparse_threshold of its size) is served in place
+  /// instead of being migrated -- the flexibility the paper's SVI calls
+  /// for on DLRM-style sparse workloads.  When false, partial reads are
+  /// treated as full reads (the naive behaviour the extension fixes).
+  bool sparse_aware = true;
+  double sparse_threshold = 0.5;
+
+  /// Use the asynchronous mover for prefetches (paper SV-c future work):
+  /// the copy overlaps with execution and consumers stall only for the
+  /// unfinished remainder at first use.
+  bool async_prefetch = false;
+};
+
+class LruPolicy final : public Policy {
+ public:
+  struct OpStats {
+    std::uint64_t evictions = 0;
+    std::uint64_t eviction_bytes = 0;
+    std::uint64_t elided_writebacks = 0;  ///< clean evicts: no copy needed
+    std::uint64_t prefetches = 0;
+    std::uint64_t prefetch_bytes = 0;
+    std::uint64_t forced_reclaims = 0;  ///< evictfrom invocations
+    std::uint64_t retires_honored = 0;
+    std::uint64_t gc_pressure_calls = 0;
+    std::uint64_t sparse_reads_in_place = 0;  ///< partial reads not migrated
+  };
+
+  LruPolicy(dm::DataManager& dm, LruPolicyConfig config);
+
+  dm::Region& place_new(dm::Object& object) override;
+  void will_use(dm::Object& object) override;
+  void will_read(dm::Object& object) override;
+  void will_write(dm::Object& object) override;
+  void will_read_partial(dm::Object& object, std::size_t bytes) override;
+  void archive(dm::Object& object) override;
+  bool retire(dm::Object& object) override;
+  void on_destroy(dm::Object& object) override;
+  void begin_kernel(std::span<dm::Object* const> args) override;
+  void end_kernel() override;
+  void set_pressure_handler(PressureHandler handler) override;
+
+  [[nodiscard]] const OpStats& op_stats() const noexcept { return stats_; }
+  [[nodiscard]] const LruPolicyConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Toggle the prefetch response to will_read at runtime (used by
+  /// AdaptivePolicy to explore strategies, paper §VI).
+  void set_prefetch(bool enabled) noexcept { config_.prefetch = enabled; }
+
+  /// Number of objects currently resident (primary) in fast memory.
+  [[nodiscard]] std::size_t fast_resident_objects() const noexcept {
+    return lru_.size();
+  }
+
+  /// Evict one object from fast to slow memory (paper Listing 1).  Public
+  /// so tests and custom policies can drive it directly.
+  void evict(dm::Object& object);
+
+  /// Ensure the object's primary is in fast memory (paper Listing 2).
+  /// Returns true on success; false when fast memory cannot hold it.
+  bool prefetch(dm::Object& object, bool force);
+
+ private:
+  struct Node {
+    dm::Object* object = nullptr;
+    util::ListHook lru_hook;
+    bool in_flight = false;  ///< argument of the kernel being staged
+  };
+
+  Node& node(dm::Object& object);
+  void touch(Node& n);
+  void remove_from_lru(Node& n);
+
+  /// Allocate on fast, forcing room by eviction if needed.  Returns nullptr
+  /// if the object simply cannot fit.
+  dm::Region* allocate_fast_forced(std::size_t size);
+
+  /// Allocate on slow; on failure asks the runtime to GC and retries, then
+  /// throws OutOfMemoryError.
+  dm::Region& allocate_slow_checked(std::size_t size);
+
+  /// Eviction callback handed to DM.evictfrom.
+  bool try_displace(dm::Region& region);
+
+  dm::DataManager& dm_;
+  LruPolicyConfig config_;
+  PressureHandler pressure_;
+  OpStats stats_;
+  std::unordered_map<const dm::Object*, Node> nodes_;
+  util::IntrusiveList<Node, &Node::lru_hook> lru_;
+};
+
+}  // namespace ca::policy

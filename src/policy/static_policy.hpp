@@ -1,0 +1,64 @@
+// Degenerate single-device policies.
+//
+// PinnedDevicePolicy places every object on one device and never moves
+// anything.  Two uses:
+//   * slow-only: the Fig. 7 "0 GB DRAM" end point (NVRAM-only execution);
+//   * fast-only: an in-DRAM upper bound for sanity checks.
+// Both still honor `retire` (storage release) so the memory-optimization
+// toggle remains meaningful.
+#pragma once
+
+#include "policy/policy.hpp"
+#include "sim/platform.hpp"
+
+namespace ca::policy {
+
+class PinnedDevicePolicy final : public Policy {
+ public:
+  PinnedDevicePolicy(dm::DataManager& dm, sim::DeviceId device,
+                     bool eager_retire = true)
+      : dm_(dm), device_(device), eager_retire_(eager_retire) {}
+
+  dm::Region& place_new(dm::Object& object) override {
+    if (dm::Region* r = dm_.allocate(device_, object.size())) {
+      dm_.setprimary(object, *r);
+      return *r;
+    }
+    if (pressure_ && pressure_()) {
+      if (dm::Region* r = dm_.allocate(device_, object.size())) {
+        dm_.setprimary(object, *r);
+        return *r;
+      }
+    }
+    try {
+      dm_.defragment(device_);
+    } catch (const UsageError&) {
+      // A pinned region blocks compaction; fall through to OOM.
+    }
+    if (dm::Region* r = dm_.allocate(device_, object.size())) {
+      dm_.setprimary(object, *r);
+      return *r;
+    }
+    throw OutOfMemoryError("pinned device exhausted");
+  }
+
+  void will_use(dm::Object&) override {}
+  void will_read(dm::Object&) override {}
+  void will_write(dm::Object&) override {}
+  void archive(dm::Object&) override {}
+  bool retire(dm::Object&) override { return eager_retire_; }
+  void on_destroy(dm::Object&) override {}
+  void begin_kernel(std::span<dm::Object* const>) override {}
+  void end_kernel() override {}
+  void set_pressure_handler(PressureHandler handler) override {
+    pressure_ = std::move(handler);
+  }
+
+ private:
+  dm::DataManager& dm_;
+  sim::DeviceId device_;
+  bool eager_retire_;
+  PressureHandler pressure_;
+};
+
+}  // namespace ca::policy

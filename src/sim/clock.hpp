@@ -1,0 +1,62 @@
+// Simulated time.
+//
+// All performance results in this repository are reported in *simulated
+// seconds*: every data movement and every kernel execution charges time to
+// this clock according to the calibrated device models in
+// sim/platform.hpp.  This decouples the reproduced figures from the host
+// machine (the paper's platform had 56 cores and Optane DIMMs; the build
+// machine may have neither) and makes every bench bit-for-bit
+// deterministic.
+//
+// The clock additionally accounts busy time per category, which Fig. 7 uses
+// to project the "perfectly asynchronous data movement" lower bound (total
+// minus synchronous-movement time).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "util/error.hpp"
+
+namespace ca::sim {
+
+/// What an interval of simulated time was spent on.
+enum class TimeCategory : std::size_t {
+  kCompute = 0,   ///< kernel execution
+  kMovement = 1,  ///< synchronous data movement (copies, cache fills)
+  kGc = 2,        ///< emulated garbage collection
+  kOther = 3,     ///< bookkeeping, defragmentation, ...
+};
+
+constexpr std::size_t kTimeCategoryCount = 4;
+
+class Clock {
+ public:
+  Clock() = default;
+
+  /// Current simulated time in seconds since construction/reset.
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Advance the clock, attributing the interval to `category`.
+  void advance(double seconds, TimeCategory category) {
+    CA_CHECK(seconds >= 0.0, "cannot advance the clock backwards");
+    now_ += seconds;
+    by_category_[static_cast<std::size_t>(category)] += seconds;
+  }
+
+  /// Total simulated time attributed to `category`.
+  [[nodiscard]] double spent(TimeCategory category) const noexcept {
+    return by_category_[static_cast<std::size_t>(category)];
+  }
+
+  void reset() noexcept {
+    now_ = 0.0;
+    by_category_.fill(0.0);
+  }
+
+ private:
+  double now_ = 0.0;
+  std::array<double, kTimeCategoryCount> by_category_{};
+};
+
+}  // namespace ca::sim

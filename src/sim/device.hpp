@@ -1,0 +1,61 @@
+// Device identity and per-device timing specification.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/bandwidth.hpp"
+
+namespace ca::sim {
+
+/// Memory technology class.  The policy layer keys its decisions off this
+/// (e.g. "writes to NVRAM are slow"), never off device names.
+enum class DeviceKind : std::uint8_t {
+  kDram = 0,
+  kNvram = 1,
+};
+
+[[nodiscard]] constexpr const char* to_string(DeviceKind kind) noexcept {
+  switch (kind) {
+    case DeviceKind::kDram:
+      return "DRAM";
+    case DeviceKind::kNvram:
+      return "NVRAM";
+  }
+  return "?";
+}
+
+/// Index of a device within a Platform.  Strongly typed so region/device
+/// bookkeeping cannot silently mix with other integer ids.
+struct DeviceId {
+  std::uint32_t value = 0;
+
+  friend auto operator<=>(DeviceId, DeviceId) = default;
+};
+
+/// Static description of one memory device: capacity plus the timing model
+/// the simulator charges for traffic to/from it.
+struct DeviceSpec {
+  std::string name;
+  DeviceKind kind = DeviceKind::kDram;
+  std::size_t capacity = 0;  ///< bytes of backing arena
+
+  BandwidthCurve read_bw;      ///< sustained read bandwidth vs threads
+  BandwidthCurve write_bw_nt;  ///< write bandwidth with non-temporal stores
+  BandwidthCurve write_bw;     ///< write bandwidth with regular stores
+
+  /// Fixed per-operation overhead (software launch + device latency) charged
+  /// once per copy/fill regardless of size.  Penalizes many small transfers,
+  /// which is how the paper's "parallelization overhead on small batches"
+  /// effect (VGG, Fig. 6) manifests.
+  double op_latency_s = 0.0;
+
+  /// Write bandwidth for a transfer, honouring the store type.
+  [[nodiscard]] const BandwidthCurve& write_curve(bool non_temporal) const {
+    return non_temporal ? write_bw_nt : write_bw;
+  }
+};
+
+}  // namespace ca::sim

@@ -1,0 +1,66 @@
+// Traffic counters -- the software analogue of the hardware performance
+// counters the paper reads (uncore IMC counters for DRAM and NVRAM read /
+// write traffic).  Every byte that crosses a device interface is recorded
+// here, whether it comes from the copy engine, from kernel execution, or
+// from the simulated 2LM cache's fills and writebacks.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/device.hpp"
+
+namespace ca::telemetry {
+
+struct DeviceTraffic {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return bytes_read + bytes_written;
+  }
+};
+
+/// Per-device traffic accounting.  Devices are addressed by sim::DeviceId.
+class TrafficCounters {
+ public:
+  static constexpr std::size_t kMaxDevices = 8;
+
+  void record_read(sim::DeviceId dev, std::uint64_t bytes) {
+    auto& t = traffic_.at(dev.value);
+    t.bytes_read += bytes;
+    ++t.read_ops;
+  }
+
+  void record_write(sim::DeviceId dev, std::uint64_t bytes) {
+    auto& t = traffic_.at(dev.value);
+    t.bytes_written += bytes;
+    ++t.write_ops;
+  }
+
+  [[nodiscard]] const DeviceTraffic& device(sim::DeviceId dev) const {
+    return traffic_.at(dev.value);
+  }
+
+  /// Difference since a snapshot -- used to report per-iteration traffic.
+  [[nodiscard]] DeviceTraffic delta(sim::DeviceId dev,
+                                    const DeviceTraffic& snapshot) const {
+    const auto& now = traffic_.at(dev.value);
+    DeviceTraffic d;
+    d.bytes_read = now.bytes_read - snapshot.bytes_read;
+    d.bytes_written = now.bytes_written - snapshot.bytes_written;
+    d.read_ops = now.read_ops - snapshot.read_ops;
+    d.write_ops = now.write_ops - snapshot.write_ops;
+    return d;
+  }
+
+  void reset() noexcept { traffic_.fill(DeviceTraffic{}); }
+
+ private:
+  std::array<DeviceTraffic, kMaxDevices> traffic_{};
+};
+
+}  // namespace ca::telemetry

@@ -1,0 +1,40 @@
+#include "telemetry/report.hpp"
+
+#include <fstream>
+
+namespace ca::telemetry {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string to_csv(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += csv_escape(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool write_csv(const std::string& path,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_csv(rows);
+  return static_cast<bool>(f);
+}
+
+}  // namespace ca::telemetry

@@ -1,0 +1,23 @@
+// CSV reporting: machine-readable export of the figure data the benches
+// print, so the reproduced tables can feed external plotting tools.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ca::telemetry {
+
+/// RFC-4180-style CSV: fields containing commas, quotes or newlines are
+/// quoted, quotes are doubled.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Render rows (first row = header) as CSV text.
+[[nodiscard]] std::string to_csv(
+    const std::vector<std::vector<std::string>>& rows);
+
+/// Write rows to `path` as CSV.  Returns false (without throwing) if the
+/// file cannot be opened -- bench binaries treat export as best-effort.
+bool write_csv(const std::string& path,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace ca::telemetry

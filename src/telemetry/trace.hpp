@@ -1,0 +1,69 @@
+// Time-series tracing: heap occupancy (Fig. 3) and bus utilization (Fig. 6).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ca::telemetry {
+
+/// A (simulated-time, value) sample stream, e.g. resident heap bytes.
+class TimeSeries {
+ public:
+  struct Sample {
+    double t;
+    double value;
+  };
+
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void record(double t, double value) { samples_.push_back({t, value}); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Maximum value over the series (0 when empty).
+  [[nodiscard]] double max_value() const noexcept;
+
+  /// Downsample to at most `buckets` points by averaging within equal time
+  /// bins; used to print compact figure data.
+  [[nodiscard]] std::vector<Sample> downsample(std::size_t buckets) const;
+
+  /// Serialize as "t,value" CSV lines (with header).
+  [[nodiscard]] std::string to_csv() const;
+
+  void clear() noexcept { samples_.clear(); }
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
+/// Integrates busy intervals of the DRAM bus to produce an *average
+/// utilization* over a run: sum(busy time at full bandwidth) / elapsed.
+class BusUtilization {
+ public:
+  /// Record that the bus was driven for `busy_seconds` transferring
+  /// `bytes` at an achieved bandwidth of bytes/busy_seconds.
+  void record_transfer(double busy_seconds) { busy_ += busy_seconds; }
+
+  /// Average utilization over [0, elapsed]: fraction of wall (simulated)
+  /// time the bus was busy.  Clamped to [0, 1].
+  [[nodiscard]] double average(double elapsed) const noexcept {
+    if (elapsed <= 0.0) return 0.0;
+    const double u = busy_ / elapsed;
+    return u > 1.0 ? 1.0 : u;
+  }
+
+  [[nodiscard]] double busy_seconds() const noexcept { return busy_; }
+
+  void reset() noexcept { busy_ = 0.0; }
+
+ private:
+  double busy_ = 0.0;
+};
+
+}  // namespace ca::telemetry

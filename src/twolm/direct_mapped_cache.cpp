@@ -1,0 +1,135 @@
+#include "twolm/direct_mapped_cache.hpp"
+
+#include "util/align.hpp"
+#include "util/error.hpp"
+
+namespace ca::twolm {
+
+DirectMappedCache::DirectMappedCache(const CacheConfig& config,
+                                     const sim::Platform& platform,
+                                     telemetry::TrafficCounters& counters,
+                                     sim::DeviceId fast, sim::DeviceId slow)
+    : config_(config),
+      platform_(platform),
+      counters_(counters),
+      fast_(fast),
+      slow_(slow) {
+  CA_CHECK(util::is_pow2(config_.block_size), "block size must be 2^k");
+  CA_CHECK(config_.capacity >= config_.block_size,
+           "cache must hold at least one block");
+  CA_CHECK(config_.ways >= 1 && util::is_pow2(config_.ways),
+           "associativity must be a power of two");
+  const std::size_t blocks = config_.capacity / config_.block_size;
+  CA_CHECK(blocks % config_.ways == 0,
+           "capacity/block_size must be a multiple of the associativity");
+  lines_.resize(blocks);
+
+  const std::size_t t = config_.kernel_threads;
+  const auto& dram = platform_.spec(fast_);
+  const auto& nvram = platform_.spec(slow_);
+  // DRAM side of hits, fills and writeback reads.
+  dram_bw_ = std::min(dram.read_bw.at(t), dram.write_bw.at(t));
+  // NVRAM fills and writebacks run at block granularity in conflict-miss
+  // order: a fraction of sequential bandwidth.
+  nvram_fill_bw_ = nvram.read_bw.at(t) * config_.nvram_read_efficiency;
+  // Writebacks drain through the write-pending queue (streaming stores),
+  // but in conflict-miss order rather than the copy engine's shaped runs.
+  nvram_writeback_bw_ =
+      nvram.write_bw_nt.at(t) * config_.nvram_write_efficiency;
+}
+
+void DirectMappedCache::access_block(std::size_t block, bool write,
+                                     std::uint64_t& hits,
+                                     std::uint64_t& clean,
+                                     std::uint64_t& dirty) {
+  const std::size_t nsets = num_sets();
+  const std::size_t set = block % nsets;
+  const std::uint64_t tag = block / nsets;
+  Line* base = lines_.data() + set * config_.ways;
+
+  Line* hit = nullptr;
+  Line* victim = base;
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      hit = &line;
+      break;
+    }
+    if (!line.valid) {
+      victim = &line;  // prefer an invalid way
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+  Line* line = hit;
+  if (line == nullptr) {
+    if (victim->valid && victim->dirty) {
+      ++dirty;
+    } else {
+      ++clean;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = false;
+    line = victim;
+  } else {
+    ++hits;
+  }
+  if (write) line->dirty = true;
+  line->lru = ++tick_;
+}
+
+double DirectMappedCache::access(std::size_t addr, std::size_t bytes,
+                                 bool write) {
+  if (bytes == 0) return 0.0;
+  const std::size_t bs = config_.block_size;
+  const std::size_t first = addr / bs;
+  const std::size_t last = (addr + bytes - 1) / bs;
+
+  std::uint64_t hits = 0;
+  std::uint64_t clean = 0;
+  std::uint64_t dirty = 0;
+  for (std::size_t block = first; block <= last; ++block) {
+    access_block(block, write, hits, clean, dirty);
+  }
+
+  const std::uint64_t blocks = last - first + 1;
+  const std::uint64_t misses = clean + dirty;
+  stats_.accesses += blocks;
+  stats_.hits += hits;
+  stats_.clean_misses += clean;
+  stats_.dirty_misses += dirty;
+
+  // Traffic.  Every block-level access touches DRAM (the cache).  Misses
+  // fill from NVRAM (write-allocate: reads *and* writes fill).  Dirty
+  // victims are read from DRAM and written back to NVRAM.
+  const std::uint64_t access_bytes = blocks * bs;
+  const std::uint64_t fill_bytes = misses * bs;
+  const std::uint64_t wb_bytes = dirty * bs;
+
+  if (write) {
+    counters_.record_write(fast_, access_bytes);
+  } else {
+    counters_.record_read(fast_, access_bytes);
+  }
+  if (fill_bytes > 0) {
+    counters_.record_read(slow_, fill_bytes);
+    counters_.record_write(fast_, fill_bytes);
+  }
+  if (wb_bytes > 0) {
+    counters_.record_read(fast_, wb_bytes);
+    counters_.record_write(slow_, wb_bytes);
+  }
+
+  return static_cast<double>(access_bytes) / dram_bw_ +
+         static_cast<double>(fill_bytes) *
+             (1.0 / nvram_fill_bw_ + 1.0 / dram_bw_) +
+         static_cast<double>(wb_bytes) *
+             (1.0 / nvram_writeback_bw_ + 1.0 / dram_bw_);
+}
+
+void DirectMappedCache::flush() {
+  for (auto& line : lines_) line = Line{};
+}
+
+}  // namespace ca::twolm

@@ -1,0 +1,45 @@
+// Alignment and power-of-two arithmetic used throughout the allocators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ca::util {
+
+/// True iff `x` is a power of two (zero is not).
+constexpr bool is_pow2(std::size_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Round `x` up to the next multiple of `align` (align must be a power of 2).
+constexpr std::size_t align_up(std::size_t x, std::size_t align) noexcept {
+  return (x + align - 1) & ~(align - 1);
+}
+
+/// Round `x` down to the previous multiple of `align` (power of 2).
+constexpr std::size_t align_down(std::size_t x, std::size_t align) noexcept {
+  return x & ~(align - 1);
+}
+
+/// True iff `x` is a multiple of `align` (power of 2).
+constexpr bool is_aligned(std::size_t x, std::size_t align) noexcept {
+  return (x & (align - 1)) == 0;
+}
+
+/// True iff the pointer is aligned to `align` bytes.
+inline bool is_aligned(const void* p, std::size_t align) noexcept {
+  return is_aligned(reinterpret_cast<std::uintptr_t>(p), align);
+}
+
+/// Integer ceiling division.
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+// Byte-size literals.  The simulated platform is scaled 1:1000 against the
+// paper's machine, so "GB" quantities in the paper map to MiB here.
+constexpr std::size_t KiB = 1024;
+constexpr std::size_t MiB = 1024 * KiB;
+constexpr std::size_t GiB = 1024 * MiB;
+
+}  // namespace ca::util

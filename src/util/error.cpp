@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace ca::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << "CA_CHECK failed: (" << expr << ") at " << file << ":" << line << ": "
+     << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace ca::detail

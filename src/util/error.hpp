@@ -1,0 +1,56 @@
+// Error handling primitives for the CachedArrays runtime.
+//
+// We follow the C++ Core Guidelines: exceptions for errors that the caller
+// cannot reasonably be expected to handle inline (E.2), assertions for
+// programming errors (I.6).  Allocation *failure* inside a memory tier is
+// not exceptional for this library -- the policy layer routinely probes the
+// fast tier and falls back -- so allocation APIs return optional-like
+// results instead of throwing.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ca {
+
+/// Base class for all exceptions thrown by the CachedArrays runtime.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A precondition or invariant of the runtime was violated by the caller.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+/// The runtime's own internal state is inconsistent (a bug in the library).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// A memory tier could not satisfy a request that the caller declared
+/// mandatory (e.g. a forced eviction still failed to make room).
+class OutOfMemoryError : public Error {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace ca
+
+/// Always-on invariant check (active in release builds as well: the cost is
+/// negligible next to the memory traffic this library manages, and silent
+/// corruption of tiering metadata is far worse than an abort).
+#define CA_CHECK(expr, msg)                                            \
+  do {                                                                 \
+    if (!(expr)) [[unlikely]] {                                        \
+      ::ca::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                  \
+  } while (0)

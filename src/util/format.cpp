@@ -1,0 +1,57 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace ca::util {
+
+std::string format_bytes(std::size_t bytes) {
+  static constexpr const char* suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t s = 0;
+  while (value >= 1024.0 && s + 1 < std::size(suffixes)) {
+    value /= 1024.0;
+    ++s;
+  }
+  std::ostringstream os;
+  if (s == 0) {
+    os << bytes << " B";
+  } else {
+    os << std::fixed << std::setprecision(2) << value << ' ' << suffixes[s];
+  }
+  return os.str();
+}
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string render_table(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return {};
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  emit(rows[0]);
+  for (std::size_t c = 0; c < rows[0].size(); ++c) {
+    os << std::string(widths[c], '-') << "  ";
+  }
+  os << '\n';
+  for (std::size_t r = 1; r < rows.size(); ++r) emit(rows[r]);
+  return os.str();
+}
+
+}  // namespace ca::util

@@ -1,0 +1,21 @@
+// Small formatting helpers for telemetry output and bench tables.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ca::util {
+
+/// "1.50 GiB", "512.00 MiB", "17 B" -- human readable byte counts.
+std::string format_bytes(std::size_t bytes);
+
+/// Fixed-point with `digits` decimals, e.g. format_fixed(3.14159, 2) ==
+/// "3.14".
+std::string format_fixed(double value, int digits);
+
+/// Render rows as an aligned plain-text table. The first row is treated as
+/// the header and underlined.
+std::string render_table(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace ca::util

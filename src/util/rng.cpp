@@ -1,0 +1,17 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ca::util {
+
+double Xoshiro256::normal() noexcept {
+  // Box-Muller transform; clamp the uniform away from zero so log() is safe.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace ca::util

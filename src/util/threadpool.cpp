@@ -1,0 +1,97 @@
+#include "util/threadpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+
+#include "util/error.hpp"
+
+namespace ca::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  CA_CHECK(task != nullptr, "null task submitted to thread pool");
+  {
+    std::lock_guard lock(mu_);
+    CA_CHECK(!stop_, "submit after shutdown");
+    tasks_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = thread_count();
+  if (workers == 1 || n == 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunks = std::min(workers, n);
+  const std::size_t per = n / chunks;
+  const std::size_t extra = n % chunks;
+
+  std::atomic<std::size_t> remaining{chunks};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = per + (c < extra ? 1 : 0);
+    const std::size_t end = begin + len;
+    submit([&, begin, end] {
+      fn(begin, end);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(done_mu);
+        done_cv.notify_all();
+      }
+    });
+    begin = end;
+  }
+  std::unique_lock lock(done_mu);
+  done_cv.wait(lock,
+               [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace ca::util

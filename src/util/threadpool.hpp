@@ -1,0 +1,57 @@
+// Fixed-size worker pool used by the copy engine.
+//
+// The paper's data mover is "highly multi-threaded, specifically targeting
+// large memory sizes" (SV-b).  Real parallel memcpy happens through this
+// pool; the *simulated* bandwidth effect of parallelism is modeled
+// separately in sim::BandwidthModel so results do not depend on host core
+// count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ca::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueue a task. Tasks must not throw; a throwing task terminates.
+  void submit(std::function<void()> task);
+
+  /// Partition [0, n) into ~thread_count chunks and run
+  /// `fn(begin, end)` on each, blocking until all complete.  Runs inline
+  /// when n is small or the pool has a single worker.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Block until the task queue is empty and all workers are idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ca::util

@@ -1,0 +1,181 @@
+#include "core/cached_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/kernel_launch.hpp"
+#include "policy/lru_policy.hpp"
+#include "util/align.hpp"
+#include "util/error.hpp"
+
+namespace ca::core {
+namespace {
+
+Runtime::PolicyFactory lru_factory(policy::LruPolicyConfig cfg = {}) {
+  return [cfg](dm::DataManager& dm) {
+    return std::make_unique<policy::LruPolicy>(dm, cfg);
+  };
+}
+
+sim::Platform small_platform() {
+  return sim::Platform::cascade_lake_scaled(256 * util::KiB, 1 * util::MiB);
+}
+
+TEST(CachedArray, EmptyHandle) {
+  CachedArray<float> a;
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(a.object(), nullptr);
+}
+
+TEST(CachedArray, AllocateAndSizes) {
+  Runtime rt(small_platform(), lru_factory());
+  CachedArray<float> a(rt, 1000, "acts");
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.size(), 1000u);
+  EXPECT_EQ(a.size_bytes(), 4000u);
+  EXPECT_EQ(a.object()->name(), "acts");
+}
+
+TEST(CachedArray, WriteThenReadRoundTrip) {
+  Runtime rt(small_platform(), lru_factory());
+  CachedArray<int> a(rt, 256);
+  a.with_write([](std::span<int> s) {
+    std::iota(s.begin(), s.end(), 0);
+  });
+  a.with_read([](std::span<const int> s) {
+    for (int i = 0; i < 256; ++i) EXPECT_EQ(s[i], i);
+  });
+}
+
+TEST(CachedArray, WriteMarksPrimaryDirty) {
+  Runtime rt(small_platform(), lru_factory());
+  CachedArray<int> a(rt, 16);
+  a.with_write([](std::span<int> s) { s[0] = 1; });
+  EXPECT_TRUE(rt.manager().isdirty(*rt.manager().getprimary(*a.object())));
+}
+
+TEST(CachedArray, CopiesShareTheObject) {
+  Runtime rt(small_platform(), lru_factory());
+  CachedArray<int> a(rt, 16);
+  CachedArray<int> b = a;
+  EXPECT_EQ(a.object(), b.object());
+  a.with_write([](std::span<int> s) { s[0] = 42; });
+  b.with_read([](std::span<const int> s) { EXPECT_EQ(s[0], 42); });
+}
+
+TEST(CachedArray, DataSurvivesEvictionAndReturn) {
+  Runtime rt(small_platform(), lru_factory());
+  CachedArray<int> a(rt, 1024);
+  a.with_write([](std::span<int> s) {
+    for (std::size_t i = 0; i < s.size(); ++i) s[i] = static_cast<int>(i * 3);
+  });
+  auto& lru = static_cast<policy::LruPolicy&>(rt.policy());
+  lru.evict(*a.object());
+  EXPECT_TRUE(rt.manager().in(*rt.manager().getprimary(*a.object()),
+                              sim::kSlow));
+  // Reading from slow memory still sees the data (no movement required).
+  a.with_read([](std::span<const int> s) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      ASSERT_EQ(s[i], static_cast<int>(i * 3));
+    }
+  });
+  // will_write pulls it back to fast.
+  a.will_write();
+  EXPECT_TRUE(rt.manager().in(*rt.manager().getprimary(*a.object()),
+                              sim::kFast));
+  a.with_read([](std::span<const int> s) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      ASSERT_EQ(s[i], static_cast<int>(i * 3));
+    }
+  });
+}
+
+TEST(CachedArray, RetireWithMInvalidatesAllHandles) {
+  Runtime rt(small_platform(), lru_factory({.eager_retire = true}));
+  CachedArray<int> a(rt, 16);
+  CachedArray<int> b = a;
+  EXPECT_TRUE(a.retire());
+  EXPECT_FALSE(a.valid());
+  EXPECT_FALSE(b.valid());
+  EXPECT_EQ(rt.manager().live_objects(), 0u);
+}
+
+TEST(CachedArray, RetireWithoutMKeepsHandleUsable) {
+  Runtime rt(small_platform(), lru_factory({.eager_retire = false}));
+  CachedArray<int> a(rt, 16);
+  EXPECT_FALSE(a.retire());
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(rt.manager().live_objects(), 1u);
+}
+
+TEST(CachedArray, AccessAfterRetireThrows) {
+  Runtime rt(small_platform(), lru_factory({.eager_retire = true}));
+  CachedArray<int> a(rt, 16);
+  a.retire();
+  EXPECT_THROW(a.with_read([](std::span<const int>) {}), InternalError);
+  EXPECT_THROW(a.will_read(), InternalError);
+}
+
+TEST(CachedArray, DestructorRoutesToGc) {
+  Runtime rt(small_platform(), lru_factory());
+  { CachedArray<int> a(rt, 16); }
+  EXPECT_EQ(rt.gc_pending(), 1u);
+  rt.gc_collect();
+  EXPECT_EQ(rt.manager().live_objects(), 0u);
+}
+
+TEST(CachedArray, HintsForwardWithoutError) {
+  Runtime rt(small_platform(), lru_factory());
+  CachedArray<int> a(rt, 16);
+  a.will_read();
+  a.will_write();
+  a.will_use();
+  a.archive();
+  SUCCEED();
+}
+
+TEST(KernelLaunch, MultiArgumentStagingAndPinning) {
+  Runtime rt(small_platform(), lru_factory());
+  CachedArray<float> x(rt, 128), w(rt, 128), y(rt, 128);
+  x.with_write([](std::span<float> s) { std::fill(s.begin(), s.end(), 2.f); });
+  w.with_write([](std::span<float> s) { std::fill(s.begin(), s.end(), 3.f); });
+
+  KernelLaunch launch(rt);
+  launch.reads(x).reads(w).writes(y);
+  launch.run([&] {
+    EXPECT_TRUE(x.object()->pinned());
+    EXPECT_TRUE(w.object()->pinned());
+    EXPECT_TRUE(y.object()->pinned());
+    y.with_write([&](std::span<float> out) {
+      x.with_read([&](std::span<const float> a) {
+        w.with_read([&](std::span<const float> b) {
+          for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] * b[i];
+        });
+      });
+    });
+  });
+  EXPECT_FALSE(x.object()->pinned());
+  y.with_read([](std::span<const float> s) {
+    for (const float v : s) EXPECT_FLOAT_EQ(v, 6.f);
+  });
+}
+
+TEST(KernelLaunch, WrittenArgumentsLandInFastMemory) {
+  Runtime rt(small_platform(), lru_factory({.local_alloc = true}));
+  CachedArray<float> y(rt, 128);
+  auto& lru = static_cast<policy::LruPolicy&>(rt.policy());
+  lru.evict(*y.object());
+  ASSERT_TRUE(rt.manager().in(*rt.manager().getprimary(*y.object()),
+                              sim::kSlow));
+  KernelLaunch launch(rt);
+  launch.writes(y);
+  launch.run([&] {
+    EXPECT_TRUE(rt.manager().in(*rt.manager().getprimary(*y.object()),
+                                sim::kFast));
+  });
+}
+
+}  // namespace
+}  // namespace ca::core

@@ -1,0 +1,125 @@
+// Tests for the asynchronous mover (the paper's §V-c future-work item):
+// modeled overlap of data movement with execution, remainder stalls at
+// first use, mover serialization, and data correctness.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "dm/data_manager.hpp"
+#include "util/align.hpp"
+
+namespace ca::dm {
+namespace {
+
+class AsyncFixture : public ::testing::Test {
+ protected:
+  AsyncFixture()
+      : platform_(sim::Platform::cascade_lake_scaled(16 * util::MiB,
+                                                     64 * util::MiB)),
+        dm_(platform_, clock_, counters_) {}
+
+  sim::Platform platform_;
+  sim::Clock clock_;
+  telemetry::TrafficCounters counters_;
+  DataManager dm_;
+};
+
+TEST_F(AsyncFixture, BytesMoveImmediatelyClockDoesNot) {
+  Region* src = dm_.allocate(sim::kSlow, 4 * util::MiB);
+  Region* dst = dm_.allocate(sim::kFast, 4 * util::MiB);
+  std::memset(src->data(), 0x5C, src->size());
+  const double t0 = clock_.now();
+  const double done = dm_.copyto_async(*dst, *src);
+  // Data is there right away; simulated time has not advanced.
+  EXPECT_EQ(std::to_integer<unsigned>(dst->data()[123456]), 0x5Cu);
+  EXPECT_DOUBLE_EQ(clock_.now(), t0);
+  EXPECT_GT(done, t0);
+  EXPECT_DOUBLE_EQ(dst->ready_at(), done);
+  dm_.free(src);
+  dm_.free(dst);
+}
+
+TEST_F(AsyncFixture, AsyncCompletionMatchesSyncDuration) {
+  Region* src = dm_.allocate(sim::kSlow, 4 * util::MiB);
+  Region* dst = dm_.allocate(sim::kFast, 4 * util::MiB);
+  const double expected = dm_.engine().modeled_copy_time(
+      src->size(), sim::kSlow, sim::kFast, true);
+  const double done = dm_.copyto_async(*dst, *src);
+  EXPECT_DOUBLE_EQ(done - clock_.now(), expected);
+  dm_.free(src);
+  dm_.free(dst);
+}
+
+TEST_F(AsyncFixture, WaitReadyStallsForRemainderOnly) {
+  Region* src = dm_.allocate(sim::kSlow, 4 * util::MiB);
+  Region* dst = dm_.allocate(sim::kFast, 4 * util::MiB);
+  const double done = dm_.copyto_async(*dst, *src);
+  // Overlap: 60% of the transfer time passes doing "compute".
+  const double duration = done - clock_.now();
+  clock_.advance(0.6 * duration, sim::TimeCategory::kCompute);
+  const double before_wait = clock_.now();
+  dm_.wait_ready(*dst);
+  EXPECT_NEAR(clock_.now() - before_wait, 0.4 * duration, 1e-9);
+  EXPECT_DOUBLE_EQ(clock_.now(), done);
+  dm_.free(src);
+  dm_.free(dst);
+}
+
+TEST_F(AsyncFixture, NoStallWhenTransferAlreadyFinished) {
+  Region* src = dm_.allocate(sim::kSlow, 1 * util::MiB);
+  Region* dst = dm_.allocate(sim::kFast, 1 * util::MiB);
+  const double done = dm_.copyto_async(*dst, *src);
+  clock_.advance(2.0 * (done - clock_.now()), sim::TimeCategory::kCompute);
+  const double before = clock_.now();
+  dm_.wait_ready(*dst);
+  EXPECT_DOUBLE_EQ(clock_.now(), before);
+  dm_.free(src);
+  dm_.free(dst);
+}
+
+TEST_F(AsyncFixture, WaitOnUntouchedRegionIsFree) {
+  Region* r = dm_.allocate(sim::kFast, 1 * util::MiB);
+  const double before = clock_.now();
+  dm_.wait_ready(*r);
+  EXPECT_DOUBLE_EQ(clock_.now(), before);
+  dm_.free(r);
+}
+
+TEST_F(AsyncFixture, MoverSerializesBackToBackTransfers) {
+  Region* s1 = dm_.allocate(sim::kSlow, 2 * util::MiB);
+  Region* s2 = dm_.allocate(sim::kSlow, 2 * util::MiB);
+  Region* d1 = dm_.allocate(sim::kFast, 2 * util::MiB);
+  Region* d2 = dm_.allocate(sim::kFast, 2 * util::MiB);
+  const double done1 = dm_.copyto_async(*d1, *s1);
+  const double done2 = dm_.copyto_async(*d2, *s2);
+  // The second transfer queues behind the first on the single mover.
+  EXPECT_NEAR(done2 - done1, done1 - clock_.now(), 1e-9);
+  EXPECT_DOUBLE_EQ(dm_.mover_busy_until(), done2);
+  for (auto* r : {s1, s2, d1, d2}) dm_.free(r);
+}
+
+TEST_F(AsyncFixture, AsyncRecordsTrafficImmediately) {
+  Region* src = dm_.allocate(sim::kSlow, 1 * util::MiB);
+  Region* dst = dm_.allocate(sim::kFast, 1 * util::MiB);
+  dm_.copyto_async(*dst, *src);
+  EXPECT_EQ(counters_.device(sim::kSlow).bytes_read, 1 * util::MiB);
+  EXPECT_EQ(counters_.device(sim::kFast).bytes_written, 1 * util::MiB);
+  dm_.free(src);
+  dm_.free(dst);
+}
+
+TEST_F(AsyncFixture, AsyncCleansDirtyBits) {
+  Object* obj = dm_.create_object(1 * util::MiB);
+  Region* slow = dm_.allocate(sim::kSlow, obj->size());
+  dm_.setprimary(*obj, *slow);
+  dm_.markdirty(*slow);
+  Region* fast = dm_.allocate(sim::kFast, obj->size());
+  dm_.link(*slow, *fast);
+  dm_.copyto_async(*fast, *slow);
+  EXPECT_FALSE(fast->dirty());
+  EXPECT_FALSE(slow->dirty());
+  dm_.destroy_object(obj);
+}
+
+}  // namespace
+}  // namespace ca::dm

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "dm/data_manager.hpp"
+#include "util/align.hpp"
+#include "util/error.hpp"
+
+namespace ca::dm {
+namespace {
+
+class DmFixture : public ::testing::Test {
+ protected:
+  DmFixture()
+      : platform_(sim::Platform::cascade_lake_scaled(1 * util::MiB,
+                                                     4 * util::MiB)),
+        dm_(platform_, clock_, counters_) {}
+
+  sim::Platform platform_;
+  sim::Clock clock_;
+  telemetry::TrafficCounters counters_;
+  DataManager dm_;
+};
+
+TEST_F(DmFixture, CreateObjectHasNoStorage) {
+  Object* obj = dm_.create_object(1024, "x");
+  EXPECT_EQ(obj->size(), 1024u);
+  EXPECT_EQ(obj->name(), "x");
+  EXPECT_EQ(obj->primary(), nullptr);
+  EXPECT_EQ(obj->region_count(), 0u);
+  EXPECT_FALSE(obj->pinned());
+  dm_.destroy_object(obj);
+}
+
+TEST_F(DmFixture, ObjectIdsAreUnique) {
+  Object* a = dm_.create_object(64);
+  Object* b = dm_.create_object(64);
+  EXPECT_NE(a->id(), b->id());
+  dm_.destroy_object(a);
+  dm_.destroy_object(b);
+}
+
+TEST_F(DmFixture, ZeroSizeObjectRejected) {
+  EXPECT_THROW(dm_.create_object(0), UsageError);
+}
+
+TEST_F(DmFixture, AllocateOrphanRegion) {
+  Region* r = dm_.allocate(sim::kFast, 4096);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->size(), 4096u);
+  EXPECT_EQ(r->device(), sim::kFast);
+  EXPECT_EQ(r->parent(), nullptr);
+  EXPECT_FALSE(r->dirty());
+  EXPECT_NE(r->data(), nullptr);
+  dm_.free(r);
+}
+
+TEST_F(DmFixture, AllocationFailureReturnsNull) {
+  Region* r = dm_.allocate(sim::kFast, 2 * util::MiB);  // > fast capacity
+  EXPECT_EQ(r, nullptr);
+}
+
+TEST_F(DmFixture, SetPrimaryAttachesOrphan) {
+  Object* obj = dm_.create_object(1024);
+  Region* r = dm_.allocate(sim::kSlow, 1024);
+  ASSERT_NE(r, nullptr);
+  dm_.setprimary(*obj, *r);
+  EXPECT_EQ(dm_.getprimary(*obj), r);
+  EXPECT_EQ(r->parent(), obj);
+  EXPECT_EQ(obj->region_on(sim::kSlow), r);
+  dm_.destroy_object(obj);
+  EXPECT_EQ(dm_.live_regions(), 0u);
+}
+
+TEST_F(DmFixture, SetPrimaryRejectsUndersizedRegion) {
+  Object* obj = dm_.create_object(2048);
+  Region* r = dm_.allocate(sim::kSlow, 1024);
+  ASSERT_NE(r, nullptr);
+  EXPECT_THROW(dm_.setprimary(*obj, *r), UsageError);
+  dm_.free(r);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(DmFixture, SetPrimaryRejectsForeignRegion) {
+  Object* a = dm_.create_object(1024);
+  Object* b = dm_.create_object(1024);
+  Region* ra = dm_.allocate(sim::kSlow, 1024);
+  dm_.setprimary(*a, *ra);
+  EXPECT_THROW(dm_.setprimary(*b, *ra), UsageError);
+  dm_.destroy_object(a);
+  dm_.destroy_object(b);
+}
+
+TEST_F(DmFixture, LinkCreatesSiblingCopy) {
+  Object* obj = dm_.create_object(1024);
+  Region* slow = dm_.allocate(sim::kSlow, 1024);
+  dm_.setprimary(*obj, *slow);
+  Region* fast = dm_.allocate(sim::kFast, 1024);
+  dm_.link(*slow, *fast);
+  EXPECT_EQ(fast->parent(), obj);
+  EXPECT_EQ(dm_.getlinked(*slow, sim::kFast), fast);
+  EXPECT_EQ(dm_.getlinked(*fast, sim::kSlow), slow);
+  EXPECT_EQ(obj->region_count(), 2u);
+  // Primary unchanged by linking.
+  EXPECT_EQ(dm_.getprimary(*obj), slow);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(DmFixture, LinkRejectsSecondRegionOnSameDevice) {
+  Object* obj = dm_.create_object(1024);
+  Region* s1 = dm_.allocate(sim::kSlow, 1024);
+  dm_.setprimary(*obj, *s1);
+  Region* s2 = dm_.allocate(sim::kSlow, 1024);
+  EXPECT_THROW(dm_.link(*s1, *s2), UsageError);
+  dm_.free(s2);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(DmFixture, LinkRejectsTwoOrphans) {
+  Region* a = dm_.allocate(sim::kSlow, 1024);
+  Region* b = dm_.allocate(sim::kFast, 1024);
+  EXPECT_THROW(dm_.link(*a, *b), UsageError);
+  dm_.free(a);
+  dm_.free(b);
+}
+
+TEST_F(DmFixture, UnlinkDetachesSecondary) {
+  Object* obj = dm_.create_object(1024);
+  Region* slow = dm_.allocate(sim::kSlow, 1024);
+  dm_.setprimary(*obj, *slow);
+  Region* fast = dm_.allocate(sim::kFast, 1024);
+  dm_.link(*slow, *fast);
+  dm_.unlink(*fast);
+  EXPECT_EQ(fast->parent(), nullptr);
+  EXPECT_EQ(obj->region_count(), 1u);
+  dm_.free(fast);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(DmFixture, UnlinkPrimaryRejected) {
+  Object* obj = dm_.create_object(1024);
+  Region* slow = dm_.allocate(sim::kSlow, 1024);
+  dm_.setprimary(*obj, *slow);
+  EXPECT_THROW(dm_.unlink(*slow), UsageError);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(DmFixture, QueryFunctions) {
+  Object* obj = dm_.create_object(1024);
+  Region* r = dm_.allocate(sim::kSlow, 1024);
+  dm_.setprimary(*obj, *r);
+  EXPECT_EQ(dm_.size_of(*r), 1024u);
+  EXPECT_TRUE(dm_.in(*r, sim::kSlow));
+  EXPECT_FALSE(dm_.in(*r, sim::kFast));
+  EXPECT_EQ(dm_.parent(*r), obj);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(DmFixture, DirtyTracking) {
+  Region* r = dm_.allocate(sim::kFast, 64);
+  EXPECT_FALSE(dm_.isdirty(*r));
+  dm_.markdirty(*r);
+  EXPECT_TRUE(dm_.isdirty(*r));
+  dm_.markclean(*r);
+  EXPECT_FALSE(dm_.isdirty(*r));
+  dm_.free(r);
+}
+
+TEST_F(DmFixture, PinPreventsPrimaryChange) {
+  Object* obj = dm_.create_object(1024);
+  Region* slow = dm_.allocate(sim::kSlow, 1024);
+  dm_.setprimary(*obj, *slow);
+  dm_.pin(*obj);
+  Region* fast = dm_.allocate(sim::kFast, 1024);
+  dm_.link(*slow, *fast);
+  EXPECT_THROW(dm_.setprimary(*obj, *fast), UsageError);
+  EXPECT_THROW(dm_.destroy_object(obj), UsageError);
+  dm_.unpin(*obj);
+  dm_.setprimary(*obj, *fast);
+  EXPECT_EQ(dm_.getprimary(*obj), fast);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(DmFixture, PinCountsNest) {
+  Object* obj = dm_.create_object(64);
+  dm_.pin(*obj);
+  dm_.pin(*obj);
+  dm_.unpin(*obj);
+  EXPECT_TRUE(obj->pinned());
+  dm_.unpin(*obj);
+  EXPECT_FALSE(obj->pinned());
+  dm_.destroy_object(obj);
+}
+
+TEST_F(DmFixture, UnpinWithoutPinThrows) {
+  Object* obj = dm_.create_object(64);
+  EXPECT_THROW(dm_.unpin(*obj), InternalError);
+  dm_.destroy_object(obj);
+}
+
+}  // namespace
+}  // namespace ca::dm

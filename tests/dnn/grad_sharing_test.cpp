@@ -1,0 +1,205 @@
+// Tests for gradient bookkeeping corner cases: diamond graphs where the
+// same pass-through gradient reaches several producers (the copy-on-write
+// path), deep residual chains, and mixed accumulate orders.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dnn/harness.hpp"
+#include "util/align.hpp"
+
+namespace ca::dnn {
+namespace {
+
+class GradSharing : public ::testing::Test {
+ protected:
+  GradSharing() : harness_(config()) {}
+
+  static HarnessConfig config() {
+    HarnessConfig cfg;
+    cfg.mode = Mode::kCaL;  // keep tensors inspectable
+    cfg.dram_bytes = 16 * util::MiB;
+    cfg.nvram_bytes = 64 * util::MiB;
+    cfg.backend = Backend::kReal;
+    return cfg;
+  }
+
+  float run_loss(const std::function<Tensor(Engine&, Tensor)>& body,
+                 std::vector<float>* grad_x_out = nullptr) {
+    auto& e = harness_.engine();
+    Tensor x = e.tensor({2, 2, 4, 4}, "x");
+    e.fill_normal(x, 1.0f, 5);
+    Tensor hw = e.parameter({3, 2}, "hw");
+    Tensor hb = e.parameter({3}, "hb");
+    e.fill_normal(hw, 0.5f, 6);
+    e.fill_zero(hb);
+    Tensor labels = e.tensor({2}, "labels");
+    e.fill_labels(labels, 3, 7);
+
+    Tensor out = body(e, x);
+    const float loss =
+        e.softmax_ce_loss(e.dense(e.global_avgpool(out), hw, hb), labels);
+    e.backward();
+    if (grad_x_out != nullptr) {
+      Tensor g = e.grad(x);
+      EXPECT_TRUE(g.valid());
+      grad_x_out->resize(g.numel());
+      g.array().with_read([&](std::span<const float> s) {
+        std::copy(s.begin(), s.end(), grad_x_out->begin());
+      });
+    }
+    e.end_iteration();
+    return loss;
+  }
+
+  Harness harness_;
+};
+
+TEST_F(GradSharing, DiamondOfAddsUsesCopyOnWrite) {
+  // x -> a=relu(x), b=relu(a), c=relu(a); out = add(add(a, b), c).
+  // a's gradient receives the shared pass-through grad from two adds plus
+  // relu backward contributions: the COW path must fire without
+  // corrupting either accumulator.
+  std::vector<float> gx;
+  run_loss(
+      [](Engine& e, Tensor x) {
+        Tensor a = e.relu(x);
+        Tensor b = e.relu(a);
+        Tensor c = e.relu(a);
+        return e.add(e.add(a, b), c);
+      },
+      &gx);
+  for (const float g : gx) EXPECT_TRUE(std::isfinite(g));
+  // With positive-biased inputs at least some gradient flows.
+  double norm = 0.0;
+  for (const float g : gx) norm += std::abs(g);
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST_F(GradSharing, DiamondGradientMatchesFiniteDifference) {
+  auto& e = harness_.engine();
+  auto body = [](Engine& eng, Tensor x) {
+    Tensor a = eng.relu(x);
+    Tensor b = eng.relu(a);
+    return eng.add(a, b);
+  };
+  // Analytic gradient for one element vs central difference.
+  Tensor x = e.tensor({1, 1, 2, 2}, "x");
+  Tensor hw = e.parameter({2, 1}, "hw");
+  Tensor hb = e.parameter({2}, "hb");
+  Tensor labels = e.tensor({1}, "labels");
+  x.array().with_write([](std::span<float> s) {
+    s[0] = 0.4f; s[1] = -0.3f; s[2] = 1.2f; s[3] = 0.8f;
+  });
+  e.fill_normal(hw, 0.7f, 2);
+  e.fill_zero(hb);
+  e.fill_labels(labels, 2, 3);
+
+  auto loss = [&] {
+    Tensor out = body(e, x);
+    return e.softmax_ce_loss(e.dense(e.global_avgpool(out), hw, hb), labels);
+  };
+  loss();
+  e.backward();
+  Tensor g = e.grad(x);
+  ASSERT_TRUE(g.valid());
+  float analytic0 = 0.0f;
+  g.array().with_read([&](std::span<const float> s) { analytic0 = s[0]; });
+  e.end_iteration();
+
+  const float eps = 1e-2f;
+  x.array().with_write([&](std::span<float> s) { s[0] = 0.4f + eps; });
+  const float up = loss();
+  e.end_iteration();
+  x.array().with_write([&](std::span<float> s) { s[0] = 0.4f - eps; });
+  const float down = loss();
+  e.end_iteration();
+  const double numeric = (up - down) / (2.0 * eps);
+  EXPECT_NEAR(analytic0, numeric, 0.05 * std::max(std::abs(numeric), 0.05));
+}
+
+TEST_F(GradSharing, DeepResidualChain) {
+  // Eight stacked residual adds: gradients accumulate down the skip path.
+  std::vector<float> gx;
+  const float loss = run_loss(
+      [](Engine& e, Tensor x) {
+        Tensor cur = e.relu(x);
+        for (int i = 0; i < 8; ++i) {
+          cur = e.add(e.relu(cur), cur);
+        }
+        return cur;
+      },
+      &gx);
+  EXPECT_TRUE(std::isfinite(loss));
+  for (const float g : gx) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST_F(GradSharing, NoGradLeaksAfterIteration) {
+  auto& e = harness_.engine();
+  run_loss([](Engine& eng, Tensor x) {
+    Tensor a = eng.relu(x);
+    return eng.add(a, eng.relu(a));
+  });
+  // run_loss's local input/label handles dropped at its return; collect
+  // them, after which only parameters survive.
+  harness_.runtime().gc_collect();
+  EXPECT_EQ(harness_.runtime().manager().live_objects(),
+            e.parameters().size());
+}
+
+TEST(EngineHooks, KernelHookFiresPerLaunch) {
+  HarnessConfig cfg;
+  cfg.mode = Mode::kCaLM;
+  cfg.dram_bytes = 8 * util::MiB;
+  cfg.nvram_bytes = 16 * util::MiB;
+  cfg.backend = Backend::kReal;
+  Harness h(cfg);
+  auto& e = h.engine();
+  int hooks = 0;
+  e.set_kernel_hook([&] { ++hooks; });
+  Tensor x = e.tensor({1, 1, 4, 4});
+  e.relu(x);
+  e.maxpool2(x);
+  EXPECT_EQ(hooks, 2);
+  e.set_kernel_hook(nullptr);
+  e.relu(x);
+  EXPECT_EQ(hooks, 2);
+  e.end_iteration();
+}
+
+TEST(TypedArrays, NonFloatElementTypes) {
+  core::Runtime rt(
+      sim::Platform::cascade_lake_scaled(1 * util::MiB, 4 * util::MiB),
+      [](dm::DataManager& dm) {
+        return std::make_unique<policy::LruPolicy>(
+            dm, policy::LruPolicyConfig{.min_migratable = 0});
+      });
+  core::CachedArray<std::uint64_t> ids(rt, 1024, "ids");
+  ids.with_write([](std::span<std::uint64_t> s) {
+    for (std::size_t i = 0; i < s.size(); ++i) s[i] = i * i;
+  });
+  struct Record {
+    std::int32_t key;
+    float value;
+  };
+  core::CachedArray<Record> records(rt, 256, "records");
+  records.with_write([](std::span<Record> s) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      s[i] = {static_cast<std::int32_t>(i), 0.5f * static_cast<float>(i)};
+    }
+  });
+  // Round-trip through an eviction.
+  auto& lru = static_cast<policy::LruPolicy&>(rt.policy());
+  lru.evict(*ids.object());
+  lru.evict(*records.object());
+  ids.with_read([](std::span<const std::uint64_t> s) {
+    EXPECT_EQ(s[31], 31u * 31u);
+  });
+  records.with_read([](std::span<const Record> s) {
+    EXPECT_EQ(s[100].key, 100);
+    EXPECT_FLOAT_EQ(s[100].value, 50.0f);
+  });
+}
+
+}  // namespace
+}  // namespace ca::dnn

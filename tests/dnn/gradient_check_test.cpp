@@ -1,0 +1,263 @@
+// Numeric gradient checks: for each differentiable op, build a small net
+// containing it, compute the loss gradient with the tape, and compare
+// against central finite differences.  This validates both the reference
+// backward kernels and the engine's accumulation/routing logic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "dnn/harness.hpp"
+#include "util/align.hpp"
+
+namespace ca::dnn {
+namespace {
+
+class GradCheck : public ::testing::Test {
+ protected:
+  GradCheck() : harness_(config()) {}
+
+  static HarnessConfig config() {
+    HarnessConfig cfg;
+    cfg.mode = Mode::kCaL;  // no eager retire: keep tensors inspectable
+    cfg.dram_bytes = 16 * util::MiB;
+    cfg.nvram_bytes = 64 * util::MiB;
+    cfg.backend = Backend::kReal;
+    return cfg;
+  }
+
+  /// loss_fn must run a fresh forward pass and return the loss.
+  /// Checks d(loss)/d(target[i]) for a few elements.
+  void check(Tensor& target, const std::function<float()>& loss_fn,
+             double tol = 0.05) {
+    auto& e = harness_.engine();
+    // Analytic gradient.
+    loss_fn();
+    e.backward();
+    Tensor g = e.grad(target);
+    ASSERT_TRUE(g.valid());
+    std::vector<float> analytic(g.numel());
+    g.array().with_read([&](std::span<const float> s) {
+      std::copy(s.begin(), s.end(), analytic.begin());
+    });
+    e.end_iteration();
+
+    // Numeric gradient for a handful of elements.
+    const std::size_t n = target.numel();
+    const std::size_t stride = std::max<std::size_t>(1, n / 5);
+    for (std::size_t i = 0; i < n; i += stride) {
+      const float eps = 1e-2f;
+      float original = 0.0f;
+      target.array().with_write([&](std::span<float> s) {
+        original = s[i];
+        s[i] = original + eps;
+      });
+      const float up = loss_fn();
+      e.end_iteration();
+      target.array().with_write([&](std::span<float> s) {
+        s[i] = original - eps;
+      });
+      const float down = loss_fn();
+      e.end_iteration();
+      target.array().with_write([&](std::span<float> s) { s[i] = original; });
+
+      const double numeric = (up - down) / (2.0 * eps);
+      const double scale =
+          std::max({std::abs(numeric), std::abs(double{analytic[i]}), 0.05});
+      EXPECT_NEAR(analytic[i], numeric, tol * scale)
+          << "element " << i << " of " << target.array().object()->name();
+    }
+  }
+
+  Harness harness_;
+};
+
+TEST_F(GradCheck, Conv2dWeights) {
+  auto& e = harness_.engine();
+  Tensor x = e.tensor({2, 2, 4, 4}, "x");
+  Tensor w = e.parameter({3, 2, 3, 3}, "w");
+  Tensor b = e.parameter({3}, "b");
+  Tensor hw = e.parameter({4, 3}, "hw");
+  Tensor hb = e.parameter({4}, "hb");
+  Tensor labels = e.tensor({2}, "labels");
+  e.fill_normal(x, 1.0f, 1);
+  e.fill_normal(w, 0.4f, 2);
+  e.fill_normal(b, 0.1f, 3);
+  e.fill_normal(hw, 0.5f, 4);
+  e.fill_zero(hb);
+  e.fill_labels(labels, 4, 5);
+  auto loss = [&] {
+    Tensor y = e.global_avgpool(e.conv2d(x, w, b, 1, 1));
+    return e.softmax_ce_loss(e.dense(y, hw, hb), labels);
+  };
+  check(w, loss);
+  check(b, loss);
+}
+
+TEST_F(GradCheck, Conv2dInputAndStride) {
+  auto& e = harness_.engine();
+  Tensor x = e.tensor({1, 2, 6, 6}, "x");
+  Tensor w = e.parameter({2, 2, 3, 3}, "w");
+  Tensor b = e.parameter({2}, "b");
+  Tensor hw = e.parameter({3, 2}, "hw");
+  Tensor hb = e.parameter({3}, "hb");
+  Tensor labels = e.tensor({1}, "labels");
+  e.fill_normal(x, 1.0f, 11);
+  e.fill_normal(w, 0.4f, 12);
+  e.fill_zero(b);
+  e.fill_normal(hw, 0.5f, 13);
+  e.fill_zero(hb);
+  e.fill_labels(labels, 3, 14);
+  auto loss = [&] {
+    Tensor y = e.global_avgpool(e.conv2d(x, w, b, 2, 1));  // stride 2
+    return e.softmax_ce_loss(e.dense(y, hw, hb), labels);
+  };
+  check(x, loss);
+}
+
+TEST_F(GradCheck, DenseWeightsAndInput) {
+  auto& e = harness_.engine();
+  Tensor x = e.tensor({3, 5}, "x");
+  Tensor w = e.parameter({4, 5}, "w");
+  Tensor b = e.parameter({4}, "b");
+  Tensor labels = e.tensor({3}, "labels");
+  e.fill_normal(x, 1.0f, 21);
+  e.fill_normal(w, 0.4f, 22);
+  e.fill_normal(b, 0.1f, 23);
+  e.fill_labels(labels, 4, 24);
+  auto loss = [&] { return e.softmax_ce_loss(e.dense(x, w, b), labels); };
+  check(w, loss);
+  check(b, loss);
+  check(x, loss);
+}
+
+TEST_F(GradCheck, ReluChain) {
+  auto& e = harness_.engine();
+  Tensor x = e.tensor({2, 6}, "x");
+  Tensor w = e.parameter({3, 6}, "w");
+  Tensor b = e.parameter({3}, "b");
+  Tensor labels = e.tensor({2}, "labels");
+  e.fill_normal(x, 1.0f, 31);
+  e.fill_normal(w, 0.6f, 32);
+  e.fill_normal(b, 0.3f, 33);  // offsets keep most units away from the kink
+  e.fill_labels(labels, 3, 34);
+  auto loss = [&] {
+    Tensor h1 = e.dense(x, w, b);
+    // ReLU on rank-2 via a 4D reshape-free path: use rank-4 tensors.
+    return e.softmax_ce_loss(h1, labels);
+  };
+  // Plain check to exercise dense; relu is covered in the conv nets below.
+  check(w, loss);
+}
+
+TEST_F(GradCheck, ReluConvNet) {
+  auto& e = harness_.engine();
+  Tensor x = e.tensor({2, 2, 4, 4}, "x");
+  Tensor w = e.parameter({2, 2, 3, 3}, "w");
+  Tensor b = e.parameter({2}, "b");
+  Tensor hw = e.parameter({3, 2}, "hw");
+  Tensor hb = e.parameter({3}, "hb");
+  Tensor labels = e.tensor({2}, "labels");
+  e.fill_normal(x, 1.0f, 41);
+  e.fill_normal(w, 0.5f, 42);
+  e.fill_normal(b, 0.5f, 43);
+  e.fill_normal(hw, 0.5f, 44);
+  e.fill_zero(hb);
+  e.fill_labels(labels, 3, 45);
+  auto loss = [&] {
+    Tensor y = e.global_avgpool(e.relu(e.conv2d(x, w, b, 1, 1)));
+    return e.softmax_ce_loss(e.dense(y, hw, hb), labels);
+  };
+  check(w, loss);
+}
+
+TEST_F(GradCheck, MaxPoolNet) {
+  auto& e = harness_.engine();
+  Tensor x = e.tensor({1, 2, 4, 4}, "x");
+  Tensor hw = e.parameter({3, 2}, "hw");
+  Tensor hb = e.parameter({3}, "hb");
+  Tensor labels = e.tensor({1}, "labels");
+  e.fill_normal(x, 1.0f, 51);
+  e.fill_normal(hw, 0.5f, 52);
+  e.fill_zero(hb);
+  e.fill_labels(labels, 3, 53);
+  auto loss = [&] {
+    Tensor y = e.global_avgpool(e.maxpool2(x));
+    return e.softmax_ce_loss(e.dense(y, hw, hb), labels);
+  };
+  check(x, loss);
+}
+
+TEST_F(GradCheck, BatchNormNet) {
+  auto& e = harness_.engine();
+  Tensor x = e.tensor({2, 2, 3, 3}, "x");
+  Tensor gamma = e.parameter({2}, "gamma");
+  Tensor beta = e.parameter({2}, "beta");
+  Tensor hw = e.parameter({3, 2}, "hw");
+  Tensor hb = e.parameter({3}, "hb");
+  Tensor labels = e.tensor({2}, "labels");
+  e.fill_normal(x, 1.0f, 61);
+  e.fill_const(gamma, 1.2f);
+  e.fill_const(beta, 0.1f);
+  e.fill_normal(hw, 0.5f, 62);
+  e.fill_zero(hb);
+  e.fill_labels(labels, 3, 63);
+  auto loss = [&] {
+    Tensor y = e.global_avgpool(e.batchnorm(x, gamma, beta));
+    return e.softmax_ce_loss(e.dense(y, hw, hb), labels);
+  };
+  check(gamma, loss);
+  check(beta, loss);
+  check(x, loss, 0.08);  // BN input grads are numerically touchier
+}
+
+TEST_F(GradCheck, ResidualAddNet) {
+  auto& e = harness_.engine();
+  Tensor x = e.tensor({2, 2, 4, 4}, "x");
+  Tensor w = e.parameter({2, 2, 3, 3}, "w");
+  Tensor b = e.parameter({2}, "b");
+  Tensor hw = e.parameter({3, 2}, "hw");
+  Tensor hb = e.parameter({3}, "hb");
+  Tensor labels = e.tensor({2}, "labels");
+  e.fill_normal(x, 1.0f, 71);
+  e.fill_normal(w, 0.4f, 72);
+  e.fill_zero(b);
+  e.fill_normal(hw, 0.5f, 73);
+  e.fill_zero(hb);
+  e.fill_labels(labels, 3, 74);
+  auto loss = [&] {
+    Tensor branch = e.conv2d(x, w, b, 1, 1);
+    Tensor y = e.global_avgpool(e.add(branch, x));  // residual
+    return e.softmax_ce_loss(e.dense(y, hw, hb), labels);
+  };
+  check(w, loss);
+  check(x, loss);  // receives gradient from both paths
+}
+
+TEST_F(GradCheck, ConcatNet) {
+  auto& e = harness_.engine();
+  Tensor x = e.tensor({1, 2, 4, 4}, "x");
+  Tensor w = e.parameter({3, 2, 3, 3}, "w");
+  Tensor b = e.parameter({3}, "b");
+  Tensor hw = e.parameter({4, 5}, "hw");
+  Tensor hb = e.parameter({4}, "hb");
+  Tensor labels = e.tensor({1}, "labels");
+  e.fill_normal(x, 1.0f, 81);
+  e.fill_normal(w, 0.4f, 82);
+  e.fill_zero(b);
+  e.fill_normal(hw, 0.4f, 83);
+  e.fill_zero(hb);
+  e.fill_labels(labels, 4, 84);
+  auto loss = [&] {
+    Tensor t = e.conv2d(x, w, b, 1, 1);    // (1,3,4,4)
+    Tensor y = e.concat(x, t);             // (1,5,4,4) -- DenseNet pattern
+    Tensor p = e.global_avgpool(y);        // (1,5)
+    return e.softmax_ce_loss(e.dense(p, hw, hb), labels);
+  };
+  check(w, loss);
+  check(x, loss);  // gradient from both the concat slot and the conv
+}
+
+}  // namespace
+}  // namespace ca::dnn

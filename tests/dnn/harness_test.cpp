@@ -1,0 +1,97 @@
+#include "dnn/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/align.hpp"
+
+namespace ca::dnn {
+namespace {
+
+HarnessConfig cfg(Mode mode) {
+  HarnessConfig c;
+  c.mode = mode;
+  c.dram_bytes = 4 * util::MiB;
+  c.nvram_bytes = 16 * util::MiB;
+  c.backend = Backend::kSim;
+  return c;
+}
+
+TEST(Harness, ModeNames) {
+  EXPECT_STREQ(to_string(Mode::kTwoLmNone), "2LM: 0");
+  EXPECT_STREQ(to_string(Mode::kTwoLmM), "2LM: M");
+  EXPECT_STREQ(to_string(Mode::kCaNone), "CA: 0");
+  EXPECT_STREQ(to_string(Mode::kCaL), "CA: L");
+  EXPECT_STREQ(to_string(Mode::kCaLM), "CA: LM");
+  EXPECT_STREQ(to_string(Mode::kCaLMP), "CA: LMP");
+  EXPECT_STREQ(to_string(Mode::kNvramOnly), "NVRAM only");
+}
+
+TEST(Harness, TwoLmModesHaveCacheModel) {
+  Harness a(cfg(Mode::kTwoLmNone));
+  Harness b(cfg(Mode::kTwoLmM));
+  EXPECT_NE(a.cache(), nullptr);
+  EXPECT_NE(b.cache(), nullptr);
+  EXPECT_EQ(a.cache()->config().capacity, 4 * util::MiB);
+}
+
+TEST(Harness, CaModesHaveNoCacheModel) {
+  for (Mode m : {Mode::kCaNone, Mode::kCaL, Mode::kCaLM, Mode::kCaLMP,
+                 Mode::kNvramOnly}) {
+    Harness h(cfg(m));
+    EXPECT_EQ(h.cache(), nullptr) << to_string(m);
+  }
+}
+
+TEST(Harness, TwoLmObjectsLiveInNvram) {
+  Harness h(cfg(Mode::kTwoLmNone));
+  auto& rt = h.runtime();
+  dm::Object& obj = rt.new_object(1 * util::MiB);
+  EXPECT_TRUE(rt.manager().in(*rt.manager().getprimary(obj), sim::kSlow));
+  rt.release(obj);
+  rt.gc_collect();
+}
+
+TEST(Harness, CaLObjectsStartInDram) {
+  Harness h(cfg(Mode::kCaL));
+  auto& rt = h.runtime();
+  dm::Object& obj = rt.new_object(1 * util::MiB);
+  EXPECT_TRUE(rt.manager().in(*rt.manager().getprimary(obj), sim::kFast));
+  rt.release(obj);
+  rt.gc_collect();
+}
+
+TEST(Harness, CaNoneObjectsStartInNvram) {
+  Harness h(cfg(Mode::kCaNone));
+  auto& rt = h.runtime();
+  dm::Object& obj = rt.new_object(1 * util::MiB);
+  EXPECT_TRUE(rt.manager().in(*rt.manager().getprimary(obj), sim::kSlow));
+  rt.release(obj);
+  rt.gc_collect();
+}
+
+TEST(Harness, NvramOnlyIgnoresDram) {
+  HarnessConfig c = cfg(Mode::kNvramOnly);
+  c.dram_bytes = 0;  // Fig. 7 left edge
+  Harness h(c);
+  auto& rt = h.runtime();
+  dm::Object& obj = rt.new_object(1 * util::MiB);
+  EXPECT_TRUE(rt.manager().in(*rt.manager().getprimary(obj), sim::kSlow));
+  rt.will_write(obj);  // hint ignored by the pinned policy
+  EXPECT_TRUE(rt.manager().in(*rt.manager().getprimary(obj), sim::kSlow));
+  rt.release(obj);
+  rt.gc_collect();
+}
+
+TEST(Harness, EagerRetireWiredPerMode) {
+  for (Mode m : {Mode::kTwoLmM, Mode::kCaLM, Mode::kCaLMP}) {
+    Harness h(cfg(m));
+    EXPECT_TRUE(h.engine().config().issue_retire) << to_string(m);
+  }
+  for (Mode m : {Mode::kTwoLmNone, Mode::kCaNone, Mode::kCaL}) {
+    Harness h(cfg(m));
+    EXPECT_FALSE(h.engine().config().issue_retire) << to_string(m);
+  }
+}
+
+}  // namespace
+}  // namespace ca::dnn

@@ -1,0 +1,155 @@
+#include <cmath>
+#include "dnn/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/trainer.hpp"
+#include "util/align.hpp"
+
+namespace ca::dnn {
+namespace {
+
+HarnessConfig tiny_cfg(Mode mode = Mode::kCaLM) {
+  HarnessConfig cfg;
+  cfg.mode = mode;
+  cfg.dram_bytes = 16 * util::MiB;
+  cfg.nvram_bytes = 64 * util::MiB;
+  cfg.backend = Backend::kReal;
+  return cfg;
+}
+
+class TinyModels : public ::testing::TestWithParam<ModelSpec::Family> {
+ protected:
+  static ModelSpec tiny_spec(ModelSpec::Family family) {
+    switch (family) {
+      case ModelSpec::Family::kVgg:
+        return ModelSpec::vgg_tiny();
+      case ModelSpec::Family::kResNet:
+        return ModelSpec::resnet_tiny();
+      case ModelSpec::Family::kDenseNet:
+        return ModelSpec::densenet_tiny();
+    }
+    return ModelSpec::vgg_tiny();
+  }
+};
+
+TEST_P(TinyModels, ForwardProducesLogits) {
+  Harness h(tiny_cfg());
+  auto& e = h.engine();
+  const auto spec = tiny_spec(GetParam());
+  auto model = build_model(e, spec);
+  model->init(e, 7);
+  Tensor input = e.tensor(model->input_shape());
+  e.fill_normal(input, 1.0f, 1);
+  Tensor logits = model->forward(e, input);
+  EXPECT_EQ(logits.shape()[0], spec.batch);
+  EXPECT_EQ(logits.shape()[1], spec.classes);
+  logits.array().with_read([](std::span<const float> s) {
+    for (const float v : s) EXPECT_TRUE(std::isfinite(v));
+  });
+  e.end_iteration();
+}
+
+TEST_P(TinyModels, ParameterCountPositiveAndConsistent) {
+  Harness h(tiny_cfg());
+  auto& e = h.engine();
+  auto model = build_model(e, tiny_spec(GetParam()));
+  std::size_t registered = 0;
+  for (const auto& p : e.parameters()) registered += p.numel();
+  EXPECT_EQ(model->parameter_count(), registered);
+  EXPECT_GT(registered, 0u);
+}
+
+TEST_P(TinyModels, TrainingReducesLoss) {
+  Harness h(tiny_cfg());
+  auto& e = h.engine();
+  const auto spec = tiny_spec(GetParam());
+  auto model = build_model(e, spec);
+  model->init(e, 7);
+
+  // Train on a FIXED batch (same seed every iteration) so the loss must
+  // drop if the gradients are right.
+  TrainerOptions opts;
+  opts.lr = 0.05f;
+  float first = 0.0f;
+  float last = 0.0f;
+  for (int it = 0; it < 8; ++it) {
+    Tensor input = e.tensor(model->input_shape());
+    e.fill_normal(input, 1.0f, 99);
+    Tensor labels = e.tensor({spec.batch});
+    e.fill_labels(labels, spec.classes, 77);
+    Tensor logits = model->forward(e, input);
+    const float loss = e.softmax_ce_loss(logits, labels);
+    ASSERT_TRUE(std::isfinite(loss));
+    if (it == 0) first = loss;
+    last = loss;
+    e.backward();
+    e.sgd_step(opts.lr);
+    e.end_iteration();
+  }
+  EXPECT_LT(last, first * 0.8f) << "loss did not decrease";
+}
+
+TEST_P(TinyModels, NoObjectLeaksAcrossIterations) {
+  Harness h(tiny_cfg());
+  auto& e = h.engine();
+  const auto spec = tiny_spec(GetParam());
+  auto model = build_model(e, spec);
+  model->init(e, 7);
+  Trainer trainer(h, *model);
+  trainer.run_iteration();
+  const std::size_t live_after_first = h.runtime().manager().live_objects();
+  for (int i = 0; i < 3; ++i) trainer.run_iteration();
+  // Steady state: only parameters survive iterations.
+  EXPECT_EQ(h.runtime().manager().live_objects(), live_after_first);
+  EXPECT_EQ(live_after_first, e.parameters().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, TinyModels,
+    ::testing::Values(ModelSpec::Family::kVgg, ModelSpec::Family::kResNet,
+                      ModelSpec::Family::kDenseNet),
+    [](const ::testing::TestParamInfo<ModelSpec::Family>& info) {
+      switch (info.param) {
+        case ModelSpec::Family::kVgg:
+          return "Vgg";
+        case ModelSpec::Family::kResNet:
+          return "ResNet";
+        case ModelSpec::Family::kDenseNet:
+          return "DenseNet";
+      }
+      return "Unknown";
+    });
+
+TEST(ModelPresets, TableThreePresetsAreWellFormed) {
+  for (const auto& spec :
+       {ModelSpec::vgg416_large(), ModelSpec::vgg116_small(),
+        ModelSpec::resnet200_large(), ModelSpec::resnet200_small(),
+        ModelSpec::densenet264_large(), ModelSpec::densenet264_small()}) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_GT(spec.batch, 0u);
+    EXPECT_GE(spec.image, 16u);
+    EXPECT_FALSE(spec.stages.empty());
+  }
+}
+
+TEST(ModelPresets, Vgg416HasFourHundredSixteenConvs) {
+  const auto spec = ModelSpec::vgg416_large();
+  std::size_t convs = 0;
+  for (const auto s : spec.stages) convs += s;
+  EXPECT_EQ(convs, 416u);
+  const auto small = ModelSpec::vgg116_small();
+  convs = 0;
+  for (const auto s : small.stages) convs += s;
+  EXPECT_EQ(convs, 116u);
+}
+
+TEST(ModelPresets, SmallBatchesAreSmaller) {
+  EXPECT_LT(ModelSpec::resnet200_small().batch,
+            ModelSpec::resnet200_large().batch);
+  EXPECT_LT(ModelSpec::densenet264_small().batch,
+            ModelSpec::densenet264_large().batch);
+}
+
+}  // namespace
+}  // namespace ca::dnn

@@ -1,0 +1,239 @@
+#include <cmath>
+// Numeric correctness of the reference kernels against hand-computed or
+// independently derived values.
+#include "dnn/ops_real.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ca::dnn::real {
+namespace {
+
+TEST(OpsReal, Conv2dIdentityKernel) {
+  // 1x1 conv with weight 1 and bias 0 is the identity.
+  ConvDims d{.n = 1, .cin = 1, .h = 2, .w = 2, .cout = 1, .k = 1,
+             .stride = 1, .pad = 0};
+  const std::vector<float> x = {1, 2, 3, 4};
+  const std::vector<float> w = {1};
+  const std::vector<float> b = {0};
+  std::vector<float> y(4);
+  conv2d_fwd(x.data(), w.data(), b.data(), y.data(), d);
+  EXPECT_EQ(y, x);
+}
+
+TEST(OpsReal, Conv2dKnownValues) {
+  // 3x3 all-ones kernel with pad 1 computes neighborhood sums.
+  ConvDims d{.n = 1, .cin = 1, .h = 3, .w = 3, .cout = 1, .k = 3,
+             .stride = 1, .pad = 1};
+  const std::vector<float> x = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const std::vector<float> w(9, 1.0f);
+  const std::vector<float> b = {0};
+  std::vector<float> y(9);
+  conv2d_fwd(x.data(), w.data(), b.data(), y.data(), d);
+  EXPECT_FLOAT_EQ(y[4], 45.0f);            // center: sum of all
+  EXPECT_FLOAT_EQ(y[0], 1 + 2 + 4 + 5);    // corner
+  EXPECT_FLOAT_EQ(y[1], 1 + 2 + 3 + 4 + 5 + 6);
+}
+
+TEST(OpsReal, Conv2dBias) {
+  ConvDims d{.n = 1, .cin = 1, .h = 1, .w = 1, .cout = 2, .k = 1,
+             .stride = 1, .pad = 0};
+  const std::vector<float> x = {3};
+  const std::vector<float> w = {2, -1};
+  const std::vector<float> b = {10, 20};
+  std::vector<float> y(2);
+  conv2d_fwd(x.data(), w.data(), b.data(), y.data(), d);
+  EXPECT_FLOAT_EQ(y[0], 16.0f);
+  EXPECT_FLOAT_EQ(y[1], 17.0f);
+}
+
+TEST(OpsReal, Conv2dStrideShrinksOutput) {
+  ConvDims d{.n = 1, .cin = 1, .h = 4, .w = 4, .cout = 1, .k = 3,
+             .stride = 2, .pad = 1};
+  EXPECT_EQ(d.hout(), 2u);
+  EXPECT_EQ(d.wout(), 2u);
+}
+
+TEST(OpsReal, Conv2dBackwardBiasSumsGradients) {
+  ConvDims d{.n = 2, .cin = 1, .h = 2, .w = 2, .cout = 1, .k = 1,
+             .stride = 1, .pad = 0};
+  const std::vector<float> gy = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<float> gb(1);
+  conv2d_bwd_bias(gy.data(), gb.data(), d);
+  EXPECT_FLOAT_EQ(gb[0], 36.0f);
+}
+
+TEST(OpsReal, ReluForwardAndBackward) {
+  const std::vector<float> x = {-1, 0, 2, -3, 5};
+  std::vector<float> y(5);
+  relu_fwd(x.data(), y.data(), 5);
+  EXPECT_EQ(y, (std::vector<float>{0, 0, 2, 0, 5}));
+  const std::vector<float> gy = {1, 1, 1, 1, 1};
+  std::vector<float> gx(5);
+  relu_bwd(x.data(), gy.data(), gx.data(), 5);
+  EXPECT_EQ(gx, (std::vector<float>{0, 0, 1, 0, 1}));
+}
+
+TEST(OpsReal, MaxPoolPicksMaxima) {
+  // 1 channel, 4x4.
+  const std::vector<float> x = {1, 2, 5, 6,  //
+                                3, 4, 7, 8,  //
+                                9, 1, 2, 3,  //
+                                1, 2, 4, 1};
+  std::vector<float> y(4);
+  maxpool2_fwd(x.data(), y.data(), 1, 1, 4, 4);
+  EXPECT_EQ(y, (std::vector<float>{4, 8, 9, 4}));
+}
+
+TEST(OpsReal, MaxPoolBackwardRoutesToArgmax) {
+  const std::vector<float> x = {1, 2,  //
+                                3, 4};
+  const std::vector<float> gy = {10};
+  std::vector<float> gx(4);
+  maxpool2_bwd(x.data(), gy.data(), gx.data(), 1, 1, 2, 2);
+  EXPECT_EQ(gx, (std::vector<float>{0, 0, 0, 10}));
+}
+
+TEST(OpsReal, GlobalAvgPool) {
+  const std::vector<float> x = {1, 2, 3, 4,  // channel 0
+                                10, 10, 10, 10};  // channel 1
+  std::vector<float> y(2);
+  global_avgpool_fwd(x.data(), y.data(), 1, 2, 2, 2);
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 10.0f);
+  const std::vector<float> gy = {4, 8};
+  std::vector<float> gx(8);
+  global_avgpool_bwd(gy.data(), gx.data(), 1, 2, 2, 2);
+  EXPECT_FLOAT_EQ(gx[0], 1.0f);
+  EXPECT_FLOAT_EQ(gx[4], 2.0f);
+}
+
+TEST(OpsReal, BatchNormNormalizesPerChannel) {
+  // Two channels with different scales; after BN each channel has ~zero
+  // mean and ~unit variance (gamma=1, beta=0).
+  const std::size_t n = 2, c = 2, h = 2, w = 2;
+  std::vector<float> x(n * c * h * w);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(i % 7) * (i < 8 ? 1.0f : 100.0f);
+  }
+  const std::vector<float> gamma = {1, 1};
+  const std::vector<float> beta = {0, 0};
+  std::vector<float> y(x.size());
+  std::vector<float> mean(c);
+  std::vector<float> istd(c);
+  batchnorm_fwd(x.data(), gamma.data(), beta.data(), y.data(), mean.data(),
+                istd.data(), n, c, h, w, 1e-5f);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t j = 0; j < h * w; ++j) {
+        const float v = y[(b * c + ch) * h * w + j];
+        sum += v;
+        sq += static_cast<double>(v) * v;
+      }
+    }
+    EXPECT_NEAR(sum / 8.0, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 8.0, 1.0, 1e-2);
+  }
+}
+
+TEST(OpsReal, BatchNormGammaBetaAffine) {
+  const std::size_t n = 1, c = 1, h = 1, w = 2;
+  const std::vector<float> x = {0, 2};
+  const std::vector<float> gamma = {3};
+  const std::vector<float> beta = {5};
+  std::vector<float> y(2), mean(1), istd(1);
+  batchnorm_fwd(x.data(), gamma.data(), beta.data(), y.data(), mean.data(),
+                istd.data(), n, c, h, w, 1e-8f);
+  // Normalized values are -1 and +1 -> y = beta -/+ gamma.
+  EXPECT_NEAR(y[0], 2.0f, 1e-3);
+  EXPECT_NEAR(y[1], 8.0f, 1e-3);
+}
+
+TEST(OpsReal, DenseMatchesManualMatmul) {
+  // x: 2x3, w: 2x3 (out,in), b: 2.
+  const std::vector<float> x = {1, 2, 3, 4, 5, 6};
+  const std::vector<float> w = {1, 0, -1, 2, 2, 2};
+  const std::vector<float> b = {0.5f, -0.5f};
+  std::vector<float> y(4);
+  dense_fwd(x.data(), w.data(), b.data(), y.data(), 2, 3, 2);
+  EXPECT_FLOAT_EQ(y[0], 1 - 3 + 0.5f);
+  EXPECT_FLOAT_EQ(y[1], 2 + 4 + 6 - 0.5f);
+  EXPECT_FLOAT_EQ(y[2], 4 - 6 + 0.5f);
+  EXPECT_FLOAT_EQ(y[3], 8 + 10 + 12 - 0.5f);
+}
+
+TEST(OpsReal, DenseBackwardShapesAndValues) {
+  const std::vector<float> x = {1, 2};   // 1x2
+  const std::vector<float> w = {3, 4};   // 1x2
+  const std::vector<float> gy = {2};     // 1x1
+  std::vector<float> gx(2), gw(2), gb(1);
+  dense_bwd_data(w.data(), gy.data(), gx.data(), 1, 2, 1);
+  dense_bwd_weights(x.data(), gy.data(), gw.data(), 1, 2, 1);
+  dense_bwd_bias(gy.data(), gb.data(), 1, 1);
+  EXPECT_EQ(gx, (std::vector<float>{6, 8}));
+  EXPECT_EQ(gw, (std::vector<float>{2, 4}));
+  EXPECT_EQ(gb, (std::vector<float>{2}));
+}
+
+TEST(OpsReal, SoftmaxCeUniformLogits) {
+  const std::vector<float> logits = {0, 0, 0, 0};
+  const std::vector<float> labels = {2};
+  std::vector<float> probs(4);
+  const float loss = softmax_ce_fwd(logits.data(), labels.data(),
+                                    probs.data(), 1, 4);
+  EXPECT_NEAR(loss, std::log(4.0f), 1e-5);
+  for (const float p : probs) EXPECT_NEAR(p, 0.25f, 1e-6);
+}
+
+TEST(OpsReal, SoftmaxCeBackwardIsProbsMinusOnehot) {
+  const std::vector<float> probs = {0.25f, 0.25f, 0.25f, 0.25f};
+  const std::vector<float> labels = {2};
+  std::vector<float> gx(4);
+  softmax_ce_bwd(probs.data(), labels.data(), gx.data(), 1, 4);
+  EXPECT_FLOAT_EQ(gx[0], 0.25f);
+  EXPECT_FLOAT_EQ(gx[2], -0.75f);
+}
+
+TEST(OpsReal, SoftmaxCeConfidentCorrectIsLowLoss) {
+  const std::vector<float> logits = {10, 0, 0};
+  const std::vector<float> labels = {0};
+  std::vector<float> probs(3);
+  EXPECT_LT(softmax_ce_fwd(logits.data(), labels.data(), probs.data(), 1, 3),
+            0.01f);
+}
+
+TEST(OpsReal, ConcatAndSplitRoundTrip) {
+  // n=1, ca=1, cb=2, h=w=2.
+  const std::vector<float> a = {1, 2, 3, 4};
+  const std::vector<float> b = {5, 6, 7, 8, 9, 10, 11, 12};
+  std::vector<float> y(12);
+  concat_fwd(a.data(), b.data(), y.data(), 1, 1, 2, 2, 2);
+  EXPECT_FLOAT_EQ(y[0], 1);
+  EXPECT_FLOAT_EQ(y[4], 5);
+  EXPECT_FLOAT_EQ(y[11], 12);
+  std::vector<float> ga(4), gb(8);
+  concat_bwd(y.data(), ga.data(), gb.data(), 1, 1, 2, 2, 2);
+  EXPECT_EQ(ga, a);
+  EXPECT_EQ(gb, b);
+}
+
+TEST(OpsReal, AddAndAccumulateAndSgd) {
+  std::vector<float> a = {1, 2};
+  const std::vector<float> b = {10, 20};
+  std::vector<float> y(2);
+  add_fwd(a.data(), b.data(), y.data(), 2);
+  EXPECT_EQ(y, (std::vector<float>{11, 22}));
+  accumulate(a.data(), b.data(), 2);
+  EXPECT_EQ(a, (std::vector<float>{11, 22}));
+  std::vector<float> w = {1, 1};
+  const std::vector<float> g = {10, -10};
+  sgd_update(w.data(), g.data(), 0.1f, 2);
+  EXPECT_FLOAT_EQ(w[0], 0.0f);
+  EXPECT_FLOAT_EQ(w[1], 2.0f);
+}
+
+}  // namespace
+}  // namespace ca::dnn::real

@@ -1,0 +1,168 @@
+// Tests for average pooling and dropout: reference values, engine-level
+// behaviour, and numeric gradient checks.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dnn/harness.hpp"
+#include "dnn/ops_real.hpp"
+#include "util/align.hpp"
+
+namespace ca::dnn {
+namespace {
+
+TEST(AvgPool, ForwardAverages) {
+  const std::vector<float> x = {1, 2, 3, 4,  //
+                                5, 6, 7, 8,  //
+                                9, 10, 11, 12,  //
+                                13, 14, 15, 16};
+  std::vector<float> y(4);
+  real::avgpool2_fwd(x.data(), y.data(), 1, 1, 4, 4);
+  EXPECT_EQ(y, (std::vector<float>{3.5f, 5.5f, 11.5f, 13.5f}));
+}
+
+TEST(AvgPool, BackwardSpreadsEvenly) {
+  const std::vector<float> gy = {4};
+  std::vector<float> gx(4);
+  real::avgpool2_bwd(gy.data(), gx.data(), 1, 1, 2, 2);
+  EXPECT_EQ(gx, (std::vector<float>{1, 1, 1, 1}));
+}
+
+TEST(Dropout, MaskIsZeroOrScaled) {
+  std::vector<float> x(1000, 1.0f);
+  std::vector<float> y(1000), mask(1000);
+  real::dropout_fwd(x.data(), y.data(), mask.data(), 0.25f, 42, 1000);
+  int dropped = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    if (mask[i] == 0.0f) {
+      ++dropped;
+      EXPECT_FLOAT_EQ(y[i], 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(mask[i], 1.0f / 0.75f);
+      EXPECT_FLOAT_EQ(y[i], mask[i]);
+    }
+  }
+  EXPECT_NEAR(dropped, 250, 60);  // ~p fraction dropped
+}
+
+TEST(Dropout, DeterministicFromSeed) {
+  std::vector<float> x(100, 1.0f), y1(100), y2(100), m1(100), m2(100);
+  real::dropout_fwd(x.data(), y1.data(), m1.data(), 0.5f, 7, 100);
+  real::dropout_fwd(x.data(), y2.data(), m2.data(), 0.5f, 7, 100);
+  EXPECT_EQ(m1, m2);
+  real::dropout_fwd(x.data(), y2.data(), m2.data(), 0.5f, 8, 100);
+  EXPECT_NE(m1, m2);
+}
+
+TEST(Dropout, BackwardAppliesSameMask) {
+  const std::vector<float> mask = {0.0f, 2.0f, 0.0f, 2.0f};
+  const std::vector<float> gy = {10, 10, 10, 10};
+  std::vector<float> gx(4);
+  real::dropout_bwd(mask.data(), gy.data(), gx.data(), 4);
+  EXPECT_EQ(gx, (std::vector<float>{0, 20, 0, 20}));
+}
+
+class PoolDropoutEngine : public ::testing::Test {
+ protected:
+  PoolDropoutEngine() : harness_(config()) {}
+
+  static HarnessConfig config() {
+    HarnessConfig cfg;
+    cfg.mode = Mode::kCaL;
+    cfg.dram_bytes = 16 * util::MiB;
+    cfg.nvram_bytes = 64 * util::MiB;
+    cfg.backend = Backend::kReal;
+    return cfg;
+  }
+
+  /// Central-difference gradient check (see gradient_check_test.cpp).
+  void check(Tensor& target, const std::function<float()>& loss_fn,
+             double tol = 0.05) {
+    auto& e = harness_.engine();
+    loss_fn();
+    e.backward();
+    Tensor g = e.grad(target);
+    ASSERT_TRUE(g.valid());
+    std::vector<float> analytic(g.numel());
+    g.array().with_read([&](std::span<const float> s) {
+      std::copy(s.begin(), s.end(), analytic.begin());
+    });
+    e.end_iteration();
+    const std::size_t n = target.numel();
+    const std::size_t stride = std::max<std::size_t>(1, n / 5);
+    for (std::size_t i = 0; i < n; i += stride) {
+      const float eps = 1e-2f;
+      float original = 0.0f;
+      target.array().with_write([&](std::span<float> s) {
+        original = s[i];
+        s[i] = original + eps;
+      });
+      const float up = loss_fn();
+      e.end_iteration();
+      target.array().with_write([&](std::span<float> s) {
+        s[i] = original - eps;
+      });
+      const float down = loss_fn();
+      e.end_iteration();
+      target.array().with_write([&](std::span<float> s) { s[i] = original; });
+      const double numeric = (up - down) / (2.0 * eps);
+      const double scale =
+          std::max({std::abs(numeric), std::abs(double{analytic[i]}), 0.05});
+      EXPECT_NEAR(analytic[i], numeric, tol * scale) << "element " << i;
+    }
+  }
+
+  Harness harness_;
+};
+
+TEST_F(PoolDropoutEngine, AvgPoolGradCheck) {
+  auto& e = harness_.engine();
+  Tensor x = e.tensor({1, 2, 4, 4}, "x");
+  Tensor hw = e.parameter({3, 2}, "hw");
+  Tensor hb = e.parameter({3}, "hb");
+  Tensor labels = e.tensor({1}, "labels");
+  e.fill_normal(x, 1.0f, 1);
+  e.fill_normal(hw, 0.5f, 2);
+  e.fill_zero(hb);
+  e.fill_labels(labels, 3, 3);
+  auto loss = [&] {
+    Tensor y = e.global_avgpool(e.avgpool2(x));
+    return e.softmax_ce_loss(e.dense(y, hw, hb), labels);
+  };
+  check(x, loss);
+}
+
+TEST_F(PoolDropoutEngine, DropoutGradCheck) {
+  auto& e = harness_.engine();
+  Tensor x = e.tensor({2, 2, 2, 2}, "x");
+  Tensor hw = e.parameter({3, 2}, "hw");
+  Tensor hb = e.parameter({3}, "hb");
+  Tensor labels = e.tensor({2}, "labels");
+  e.fill_normal(x, 1.0f, 11);
+  e.fill_normal(hw, 0.5f, 12);
+  e.fill_zero(hb);
+  e.fill_labels(labels, 3, 13);
+  // Fixed dropout seed: the mask is identical across loss evaluations, so
+  // the function stays differentiable for the numeric check.
+  auto loss = [&] {
+    Tensor y = e.global_avgpool(e.dropout(x, 0.3f, /*seed=*/99));
+    return e.softmax_ce_loss(e.dense(y, hw, hb), labels);
+  };
+  check(x, loss);
+}
+
+TEST_F(PoolDropoutEngine, DropoutRejectsBadProbability) {
+  auto& e = harness_.engine();
+  Tensor x = e.tensor({1, 1, 2, 2});
+  EXPECT_THROW(e.dropout(x, 1.0f, 1), InternalError);
+  EXPECT_THROW(e.dropout(x, -0.1f, 1), InternalError);
+}
+
+TEST_F(PoolDropoutEngine, AvgPoolRejectsOddDims) {
+  auto& e = harness_.engine();
+  Tensor odd = e.tensor({1, 1, 3, 3});
+  EXPECT_THROW(e.avgpool2(odd), InternalError);
+}
+
+}  // namespace
+}  // namespace ca::dnn

@@ -1,0 +1,215 @@
+// Tests for the sparse embedding extension (§VI): gather/scatter kernels,
+// partial-access cost accounting, sparse-aware policy behaviour, and
+// end-to-end DLRM-style training.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dnn/models.hpp"
+#include "dnn/ops_real.hpp"
+#include "dnn/trainer.hpp"
+#include "policy/lru_policy.hpp"
+#include "util/align.hpp"
+
+namespace ca::dnn {
+namespace {
+
+TEST(SparseOps, GatherCopiesRows) {
+  // table: 4 rows x 3 dims.
+  const std::vector<float> table = {0, 1, 2,  10, 11, 12,
+                                    20, 21, 22, 30, 31, 32};
+  const std::vector<float> indices = {2, 0, 2};
+  std::vector<float> out(9);
+  real::embedding_gather(table.data(), indices.data(), out.data(), 3, 3);
+  EXPECT_EQ(out, (std::vector<float>{20, 21, 22, 0, 1, 2, 20, 21, 22}));
+}
+
+TEST(SparseOps, ScatterSgdUpdatesOnlyTouchedRows) {
+  std::vector<float> table = {1, 1, 2, 2, 3, 3};
+  const std::vector<float> indices = {2};
+  const std::vector<float> grads = {10, 20};
+  real::embedding_scatter_sgd(table.data(), indices.data(), grads.data(),
+                              0.1f, 1, 2);
+  EXPECT_FLOAT_EQ(table[0], 1.0f);  // untouched
+  EXPECT_FLOAT_EQ(table[4], 2.0f);  // row 2 updated
+  EXPECT_FLOAT_EQ(table[5], 1.0f);
+}
+
+TEST(SparseOps, RepeatedIndexAccumulates) {
+  std::vector<float> table = {0, 0};
+  const std::vector<float> indices = {0, 0};
+  const std::vector<float> grads = {1, 1, 1, 1};
+  real::embedding_scatter_sgd(table.data(), indices.data(), grads.data(),
+                              1.0f, 2, 2);
+  EXPECT_FLOAT_EQ(table[0], -2.0f);
+}
+
+class EmbeddingFixture : public ::testing::Test {
+ protected:
+  static HarnessConfig cfg(Backend backend, bool sparse_aware = true) {
+    HarnessConfig c;
+    c.mode = Mode::kCaLMP;  // prefetching on: the dangerous case
+    c.dram_bytes = 2 * util::MiB;
+    c.nvram_bytes = 64 * util::MiB;
+    c.backend = backend;
+    (void)sparse_aware;
+    return c;
+  }
+};
+
+TEST_F(EmbeddingFixture, LookupGathersThroughTheRuntime) {
+  Harness h(cfg(Backend::kReal));
+  auto& e = h.engine();
+  const std::size_t rows = 64, dim = 8;
+  Tensor table = e.parameter({rows, dim}, "table");
+  table.array().with_write([&](std::span<float> s) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      s[i] = static_cast<float>(i / dim);  // row r holds value r
+    }
+  });
+  Tensor idx = e.tensor({4}, "idx");
+  idx.array().with_write([](std::span<float> s) {
+    s[0] = 3; s[1] = 0; s[2] = 63; s[3] = 3;
+  });
+  Tensor out = e.embedding_lookup(table, idx, 0.0f);
+  out.array().with_read([&](std::span<const float> s) {
+    EXPECT_FLOAT_EQ(s[0 * dim], 3.0f);
+    EXPECT_FLOAT_EQ(s[1 * dim], 0.0f);
+    EXPECT_FLOAT_EQ(s[2 * dim], 63.0f);
+    EXPECT_FLOAT_EQ(s[3 * dim], 3.0f);
+  });
+  e.end_iteration();
+}
+
+TEST_F(EmbeddingFixture, PartialReadChargesOnlyTouchedBytes) {
+  Harness h(cfg(Backend::kSim));
+  auto& e = h.engine();
+  // A 16 MiB table in NVRAM; one 4-row lookup must charge ~rows, not MiB.
+  Tensor table = e.parameter({512 * 1024 / 16, 16}, "table");  // 2 MiB
+  auto& lru = static_cast<policy::LruPolicy&>(h.runtime().policy());
+  lru.evict(*table.object());
+  const auto before = h.runtime().counters().device(sim::kSlow).bytes_read;
+  Tensor idx = e.tensor({4}, "idx");
+  e.embedding_lookup(table, idx, 0.0f);
+  const auto delta =
+      h.runtime().counters().device(sim::kSlow).bytes_read - before;
+  EXPECT_EQ(delta, 4u * 16u * sizeof(float));
+  e.end_iteration();
+}
+
+TEST_F(EmbeddingFixture, SparseAwarePolicyLeavesTableInNvram) {
+  Harness h(cfg(Backend::kSim));
+  auto& e = h.engine();
+  Tensor table = e.parameter({64 * 1024, 16}, "table");  // 4 MiB > DRAM/2
+  auto& lru = static_cast<policy::LruPolicy&>(h.runtime().policy());
+  lru.evict(*table.object());
+  ASSERT_TRUE(h.runtime().manager().in(
+      *h.runtime().manager().getprimary(*table.object()), sim::kSlow));
+  Tensor idx = e.tensor({8}, "idx");
+  e.embedding_lookup(table, idx, 0.0f);
+  // Despite prefetch mode (P), the sparse hint kept the table in place.
+  EXPECT_TRUE(h.runtime().manager().in(
+      *h.runtime().manager().getprimary(*table.object()), sim::kSlow));
+  EXPECT_GE(lru.op_stats().sparse_reads_in_place, 1u);
+  e.end_iteration();
+}
+
+TEST_F(EmbeddingFixture, BackwardAppliesFusedSparseUpdate) {
+  Harness h(cfg(Backend::kReal));
+  auto& e = h.engine();
+  const std::size_t rows = 32, dim = 4, batch = 2, classes = 3;
+  Tensor table = e.parameter({rows, dim}, "table");
+  e.fill_const(table, 1.0f);
+  Tensor idx = e.tensor({batch}, "idx");
+  idx.array().with_write([](std::span<float> s) { s[0] = 5; s[1] = 9; });
+  Tensor hw = e.parameter({classes, dim}, "hw");
+  Tensor hb = e.parameter({classes}, "hb");
+  e.fill_normal(hw, 0.5f, 1);
+  e.fill_zero(hb);
+  Tensor labels = e.tensor({batch}, "labels");
+  e.fill_labels(labels, classes, 2);
+
+  Tensor gathered = e.embedding_lookup(table, idx, /*lr=*/0.5f);
+  e.softmax_ce_loss(e.dense(gathered, hw, hb), labels);
+  e.backward();
+  e.sgd_step(0.1f);
+  e.end_iteration();
+
+  // Rows 5 and 9 changed; every other row is untouched.
+  table.array().with_read([&](std::span<const float> s) {
+    bool row5_changed = false, row9_changed = false;
+    for (std::size_t r = 0; r < rows; ++r) {
+      bool changed = false;
+      for (std::size_t j = 0; j < dim; ++j) {
+        if (s[r * dim + j] != 1.0f) changed = true;
+      }
+      if (r == 5) row5_changed = changed;
+      else if (r == 9) row9_changed = changed;
+      else EXPECT_FALSE(changed) << "row " << r << " modified";
+    }
+    EXPECT_TRUE(row5_changed);
+    EXPECT_TRUE(row9_changed);
+  });
+}
+
+TEST_F(EmbeddingFixture, DlrmStyleTrainingReducesLoss) {
+  // Embedding + MLP over a fixed batch: the loss must fall through the
+  // fused sparse updates and the dense SGD combined.
+  Harness h(cfg(Backend::kReal));
+  auto& e = h.engine();
+  const std::size_t rows = 128, dim = 8, batch = 8, classes = 4;
+  Tensor table = e.parameter({rows, dim}, "table");
+  e.fill_normal(table, 0.5f, 3);
+  Tensor hw = e.parameter({classes, dim}, "hw");
+  Tensor hb = e.parameter({classes}, "hb");
+  e.fill_normal(hw, 0.5f, 4);
+  e.fill_zero(hb);
+
+  float first = 0.0f, last = 0.0f;
+  for (int it = 0; it < 10; ++it) {
+    Tensor idx = e.tensor({batch}, "idx");
+    idx.array().with_write([&](std::span<float> s) {
+      for (std::size_t i = 0; i < batch; ++i) {
+        s[i] = static_cast<float>((i * 13) % rows);  // fixed hot rows
+      }
+    });
+    Tensor labels = e.tensor({batch}, "labels");
+    e.fill_labels(labels, classes, 5);
+    Tensor gathered = e.embedding_lookup(table, idx, 0.1f);
+    const float loss = e.softmax_ce_loss(e.dense(gathered, hw, hb), labels);
+    ASSERT_TRUE(std::isfinite(loss));
+    if (it == 0) first = loss;
+    last = loss;
+    e.backward();
+    e.sgd_step(0.05f);
+    e.end_iteration();
+  }
+  EXPECT_LT(last, first * 0.8f);
+}
+
+TEST_F(EmbeddingFixture, NaivePolicyMigratesWholeTable) {
+  // With sparse awareness disabled, a prefetching policy hauls the whole
+  // table into DRAM for a lookup touching a fraction of it -- the failure
+  // mode the SVI extension removes.
+  sim::Platform platform =
+      sim::Platform::cascade_lake_scaled(4 * util::MiB, 64 * util::MiB);
+  core::Runtime rt(std::move(platform), [](dm::DataManager& dm) {
+    policy::LruPolicyConfig cfg;
+    cfg.prefetch = true;
+    cfg.sparse_aware = false;  // naive
+    return std::make_unique<policy::LruPolicy>(dm, cfg);
+  });
+  dm::Object& table = rt.new_object(2 * util::MiB, "table");
+  auto& lru = static_cast<policy::LruPolicy&>(rt.policy());
+  lru.evict(table);
+  const auto before = rt.counters().device(sim::kSlow).bytes_read;
+  rt.will_read_partial(table, 4 * util::KiB);
+  // The naive policy prefetched all 2 MiB.
+  EXPECT_GE(rt.counters().device(sim::kSlow).bytes_read - before,
+            2 * util::MiB);
+  rt.release(table);
+  rt.gc_collect();
+}
+
+}  // namespace
+}  // namespace ca::dnn

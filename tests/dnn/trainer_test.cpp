@@ -1,0 +1,122 @@
+#include <cmath>
+#include "dnn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/models.hpp"
+#include "util/align.hpp"
+
+namespace ca::dnn {
+namespace {
+
+HarnessConfig sim_cfg() {
+  HarnessConfig c;
+  c.mode = Mode::kCaLM;
+  c.dram_bytes = 4 * util::MiB;
+  c.nvram_bytes = 32 * util::MiB;
+  c.backend = Backend::kSim;
+  return c;
+}
+
+TEST(Trainer, IterationProducesMetrics) {
+  Harness h(sim_cfg());
+  auto model = build_model(h.engine(), ModelSpec::vgg_tiny());
+  Trainer trainer(h, *model);
+  const auto m = trainer.run_iteration();
+  EXPECT_GT(m.seconds, 0.0);
+  EXPECT_GT(m.compute_seconds, 0.0);
+  EXPECT_GT(m.peak_resident_bytes, 0u);
+  EXPECT_GT(m.dram.total(), 0u);
+  EXPECT_EQ(trainer.iterations_run(), 1u);
+}
+
+TEST(Trainer, MetricsAreDeltasNotTotals) {
+  Harness h(sim_cfg());
+  auto model = build_model(h.engine(), ModelSpec::vgg_tiny());
+  Trainer trainer(h, *model);
+  const auto a = trainer.run_iteration();
+  const auto b = trainer.run_iteration();
+  // Steady state: same work, so the deltas must be almost identical, not
+  // cumulative.
+  EXPECT_NEAR(b.seconds, a.seconds, a.seconds);  // same magnitude
+  EXPECT_LT(b.seconds, 1.9 * a.seconds);
+}
+
+TEST(Trainer, SteadyStateIsStable) {
+  // The paper checks that iteration behaviour is consistent; in our fully
+  // deterministic sim backend, steady-state iterations are *identical*.
+  Harness h(sim_cfg());
+  auto model = build_model(h.engine(), ModelSpec::vgg_tiny());
+  Trainer trainer(h, *model);
+  trainer.run_iteration();  // warm-up
+  const auto a = trainer.run_iteration();
+  const auto b = trainer.run_iteration();
+  // The clock accumulates, so the delta may differ in the last ulp.
+  EXPECT_NEAR(a.seconds, b.seconds, 1e-12 * a.seconds + 1e-15);
+  EXPECT_EQ(a.dram.bytes_read, b.dram.bytes_read);
+  EXPECT_EQ(a.nvram.bytes_written, b.nvram.bytes_written);
+}
+
+TEST(Trainer, TimeCategoriesSumBelowTotal) {
+  Harness h(sim_cfg());
+  auto model = build_model(h.engine(), ModelSpec::resnet_tiny());
+  Trainer trainer(h, *model);
+  const auto m = trainer.run_iteration();
+  EXPECT_LE(m.compute_seconds + m.movement_seconds + m.gc_seconds,
+            m.seconds + 1e-9);
+}
+
+TEST(Trainer, OccupancySamplingHooksIn) {
+  Harness h(sim_cfg());
+  auto model = build_model(h.engine(), ModelSpec::vgg_tiny());
+  telemetry::TimeSeries series("resident");
+  TrainerOptions opts;
+  opts.occupancy = &series;
+  Trainer trainer(h, *model, opts);
+  trainer.run_iteration();
+  EXPECT_GE(series.samples().size(), h.engine().stats().kernels);
+  EXPECT_GT(series.max_value(), 0.0);
+  // Samples are time-monotone.
+  for (std::size_t i = 1; i < series.samples().size(); ++i) {
+    EXPECT_GE(series.samples()[i].t, series.samples()[i - 1].t);
+  }
+}
+
+TEST(Trainer, TwoLmModeCollectsCacheDeltas) {
+  HarnessConfig c = sim_cfg();
+  c.mode = Mode::kTwoLmNone;
+  Harness h(c);
+  auto model = build_model(h.engine(), ModelSpec::vgg_tiny());
+  Trainer trainer(h, *model);
+  const auto a = trainer.run_iteration();
+  const auto b = trainer.run_iteration();
+  EXPECT_GT(a.cache.accesses, 0u);
+  EXPECT_GT(b.cache.accesses, 0u);
+  // Per-iteration deltas, not cumulative: the second iteration is not
+  // twice the first.
+  EXPECT_LT(b.cache.accesses, 2 * a.cache.accesses);
+}
+
+TEST(Trainer, BusUtilizationBounded) {
+  Harness h(sim_cfg());
+  auto model = build_model(h.engine(), ModelSpec::vgg_tiny());
+  Trainer trainer(h, *model);
+  const auto m = trainer.run_iteration();
+  EXPECT_GE(m.dram_bus_utilization, 0.0);
+  EXPECT_LE(m.dram_bus_utilization, 1.0);
+}
+
+TEST(Trainer, RealBackendReportsLoss) {
+  HarnessConfig c = sim_cfg();
+  c.backend = Backend::kReal;
+  Harness h(c);
+  auto model = build_model(h.engine(), ModelSpec::vgg_tiny());
+  model->init(h.engine(), 3);
+  Trainer trainer(h, *model);
+  const auto m = trainer.run_iteration();
+  EXPECT_GT(m.loss, 0.0f);
+  EXPECT_TRUE(std::isfinite(m.loss));
+}
+
+}  // namespace
+}  // namespace ca::dnn

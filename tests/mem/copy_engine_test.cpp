@@ -1,0 +1,147 @@
+#include "mem/copy_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "util/align.hpp"
+
+namespace ca::mem {
+namespace {
+
+class CopyEngineTest : public ::testing::Test {
+ protected:
+  CopyEngineTest()
+      : platform_(sim::Platform::cascade_lake_scaled(8 * util::MiB,
+                                                     32 * util::MiB)),
+        engine_(platform_, clock_, counters_) {}
+
+  sim::Platform platform_;
+  sim::Clock clock_;
+  telemetry::TrafficCounters counters_;
+  CopyEngine engine_;
+};
+
+TEST_F(CopyEngineTest, CopiesBytesFaithfully) {
+  std::vector<std::byte> src(5 * util::MiB);
+  std::vector<std::byte> dst(5 * util::MiB);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::byte>(i * 31 + 7);
+  }
+  engine_.copy(dst.data(), sim::kSlow, src.data(), sim::kFast, src.size());
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), src.size()), 0);
+}
+
+TEST_F(CopyEngineTest, ChargesMovementTime) {
+  std::vector<std::byte> buf(1 * util::MiB);
+  std::vector<std::byte> out(1 * util::MiB);
+  engine_.copy(out.data(), sim::kSlow, buf.data(), sim::kFast, buf.size());
+  EXPECT_GT(clock_.now(), 0.0);
+  EXPECT_DOUBLE_EQ(clock_.spent(sim::TimeCategory::kMovement), clock_.now());
+}
+
+TEST_F(CopyEngineTest, RecordsTrafficOnBothDevices) {
+  std::vector<std::byte> buf(256 * util::KiB);
+  std::vector<std::byte> out(256 * util::KiB);
+  engine_.copy(out.data(), sim::kSlow, buf.data(), sim::kFast, buf.size());
+  EXPECT_EQ(counters_.device(sim::kFast).bytes_read, buf.size());
+  EXPECT_EQ(counters_.device(sim::kSlow).bytes_written, buf.size());
+  EXPECT_EQ(counters_.device(sim::kFast).bytes_written, 0u);
+  EXPECT_EQ(counters_.device(sim::kSlow).bytes_read, 0u);
+}
+
+TEST_F(CopyEngineTest, ZeroByteCopyIsFree) {
+  std::byte a{}, b{};
+  engine_.copy(&a, sim::kFast, &b, sim::kFast, 0);
+  EXPECT_DOUBLE_EQ(clock_.now(), 0.0);
+  EXPECT_EQ(counters_.device(sim::kFast).total(), 0u);
+}
+
+TEST_F(CopyEngineTest, ThreadsScaleWithTransferSize) {
+  EXPECT_EQ(engine_.threads_for(1), 1u);
+  EXPECT_EQ(engine_.threads_for(platform_.copy_chunk), 1u);
+  EXPECT_EQ(engine_.threads_for(2 * platform_.copy_chunk), 2u);
+  EXPECT_EQ(engine_.threads_for(100 * platform_.copy_chunk),
+            platform_.copy_threads);
+}
+
+TEST_F(CopyEngineTest, WritesToNvramSlowerThanReadsFromIt) {
+  const std::size_t n = 16 * util::MiB;
+  const double to_nvram =
+      engine_.modeled_copy_time(n, sim::kFast, sim::kSlow, true);
+  const double from_nvram =
+      engine_.modeled_copy_time(n, sim::kSlow, sim::kFast, true);
+  EXPECT_GT(to_nvram, from_nvram);
+}
+
+TEST_F(CopyEngineTest, NonTemporalStoresSpeedUpNvramWrites) {
+  const std::size_t n = 16 * util::MiB;
+  const double nt = engine_.modeled_copy_time(n, sim::kFast, sim::kSlow, true);
+  const double regular =
+      engine_.modeled_copy_time(n, sim::kFast, sim::kSlow, false);
+  EXPECT_GT(regular, 1.5 * nt);
+}
+
+TEST_F(CopyEngineTest, LargeTransfersAchieveHigherBandwidth) {
+  // Traffic shaping: one large copy beats many small ones (per-op latency
+  // amortization + more parallel workers).
+  const std::size_t total = 32 * util::MiB;
+  const double one_big =
+      engine_.modeled_copy_time(total, sim::kFast, sim::kSlow, true);
+  const std::size_t small = 64 * util::KiB;
+  const double many_small =
+      static_cast<double>(total / small) *
+      engine_.modeled_copy_time(small, sim::kFast, sim::kSlow, true);
+  EXPECT_GT(many_small, one_big);
+}
+
+TEST_F(CopyEngineTest, DramToDramIsFastest) {
+  const std::size_t n = 8 * util::MiB;
+  const double dd = engine_.modeled_copy_time(n, sim::kFast, sim::kFast, true);
+  const double dn = engine_.modeled_copy_time(n, sim::kFast, sim::kSlow, true);
+  const double nd = engine_.modeled_copy_time(n, sim::kSlow, sim::kFast, true);
+  EXPECT_LT(dd, dn);
+  EXPECT_LT(dd, nd);
+}
+
+TEST_F(CopyEngineTest, FillZeroWritesAndCharges) {
+  std::vector<std::byte> buf(64 * util::KiB, std::byte{0xFF});
+  engine_.fill_zero(buf.data(), sim::kFast, buf.size());
+  for (const auto b : buf) EXPECT_EQ(std::to_integer<int>(b), 0);
+  EXPECT_EQ(counters_.device(sim::kFast).bytes_written, buf.size());
+  EXPECT_GT(clock_.now(), 0.0);
+}
+
+TEST_F(CopyEngineTest, StatsTrackTransfers) {
+  std::vector<std::byte> a(256 * util::KiB);
+  std::vector<std::byte> b(256 * util::KiB);
+  engine_.copy(b.data(), sim::kSlow, a.data(), sim::kFast, a.size());
+  engine_.copy(a.data(), sim::kFast, b.data(), sim::kSlow, a.size());
+  const auto& s = engine_.stats();
+  EXPECT_EQ(s.copies, 2u);
+  EXPECT_EQ(s.bytes, 2 * a.size());
+  EXPECT_GT(s.seconds, 0.0);
+  EXPECT_GT(s.latency_seconds, 0.0);
+  EXPECT_LT(s.latency_seconds, s.seconds);
+  EXPECT_DOUBLE_EQ(s.seconds, clock_.spent(sim::TimeCategory::kMovement));
+}
+
+TEST_F(CopyEngineTest, ZeroByteCopyDoesNotCountAsTransfer) {
+  std::byte a{}, b{};
+  engine_.copy(&a, sim::kFast, &b, sim::kFast, 0);
+  EXPECT_EQ(engine_.stats().copies, 0u);
+}
+
+TEST_F(CopyEngineTest, ModeledBandwidthIsMinOfEndpoints) {
+  const std::size_t n = 64 * util::MiB;  // saturating thread count
+  const std::size_t t = engine_.threads_for(n);
+  const double bw = engine_.modeled_bandwidth(n, sim::kFast, sim::kSlow, true);
+  const double src_bw = platform_.spec(sim::kFast).read_bw.at(t);
+  const double dst_bw = platform_.spec(sim::kSlow).write_bw_nt.at(t);
+  EXPECT_DOUBLE_EQ(bw, std::min(src_bw, dst_bw));
+}
+
+}  // namespace
+}  // namespace ca::mem

@@ -1,0 +1,121 @@
+// Tests for the self-tuning AdaptivePolicy (§VI extension): it must
+// explore both prefetch arms, converge to the profitable one, and remain a
+// faithful Policy in every other respect.
+#include "policy/adaptive_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dm/data_manager.hpp"
+#include "util/align.hpp"
+
+namespace ca::policy {
+namespace {
+
+class AdaptiveFixture : public ::testing::Test {
+ protected:
+  AdaptiveFixture()
+      : platform_(sim::Platform::cascade_lake_scaled(256 * util::KiB,
+                                                     8 * util::MiB)),
+        dm_(platform_, clock_, counters_) {}
+
+  AdaptivePolicyConfig config(std::size_t window = 8) {
+    AdaptivePolicyConfig cfg;
+    cfg.base.local_alloc = true;
+    cfg.base.eager_retire = true;
+    cfg.base.min_migratable = 0;
+    cfg.window_kernels = window;
+    cfg.explore = 0.05;
+    return cfg;
+  }
+
+  /// Simulate one "kernel" over `obj`: the staging bracket plus hints,
+  /// charging `seconds` of compute to the clock.
+  void kernel(Policy& p, dm::Object& obj, double seconds) {
+    dm::Object* args[] = {&obj};
+    p.begin_kernel(args);
+    p.will_read(obj);
+    clock_.advance(seconds, sim::TimeCategory::kCompute);
+    p.end_kernel();
+  }
+
+  sim::Platform platform_;
+  sim::Clock clock_;
+  telemetry::TrafficCounters counters_;
+  dm::DataManager dm_;
+};
+
+TEST_F(AdaptiveFixture, DelegatesPlacementAndLifecycle) {
+  AdaptivePolicy p(dm_, config());
+  dm::Object* obj = dm_.create_object(64 * util::KiB);
+  p.place_new(*obj);
+  EXPECT_TRUE(dm_.in(*dm_.getprimary(*obj), sim::kFast));
+  EXPECT_TRUE(p.retire(*obj));
+  p.on_destroy(*obj);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(AdaptiveFixture, SamplesBothArmsEarly) {
+  AdaptivePolicy p(dm_, config(/*window=*/4));
+  dm::Object* obj = dm_.create_object(64 * util::KiB);
+  p.place_new(*obj);
+  for (int i = 0; i < 12; ++i) kernel(p, *obj, 0.01);
+  EXPECT_GE(p.windows_run(), 2u);
+  EXPECT_GE(p.arm_cost(false), 0.0);
+  EXPECT_GE(p.arm_cost(true), 0.0);
+  p.on_destroy(*obj);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(AdaptiveFixture, ConvergesToCheaperArm) {
+  // Construct a workload where prefetching is artificially expensive: an
+  // NVRAM-resident object whose will_read, when prefetch is on, triggers a
+  // migration thrash (fast tier too small for both residents), charged as
+  // movement time; with prefetch off the reads are served in place.
+  AdaptivePolicy p(dm_, config(/*window=*/4));
+  // Two objects that cannot fit in fast memory together.
+  dm::Object* a = dm_.create_object(160 * util::KiB);
+  dm::Object* b = dm_.create_object(160 * util::KiB);
+  p.place_new(*a);
+  p.place_new(*b);
+  // Alternate reads of a and b: prefetch-on ping-pongs them through the
+  // fast tier (expensive copies), prefetch-off leaves them in place.
+  for (int i = 0; i < 400; ++i) {
+    kernel(p, i % 2 == 0 ? *a : *b, 1e-4);
+  }
+  // The bandit must spend most windows with prefetching off.
+  EXPECT_LT(p.prefetch_fraction(), 0.35);
+  EXPECT_GT(p.arm_cost(true), p.arm_cost(false));
+  p.on_destroy(*a);
+  p.on_destroy(*b);
+  dm_.destroy_object(a);
+  dm_.destroy_object(b);
+}
+
+TEST_F(AdaptiveFixture, KeepsExploringAtConfiguredRate) {
+  AdaptivePolicyConfig cfg = config(/*window=*/2);
+  cfg.explore = 0.5;  // heavy exploration
+  AdaptivePolicy p(dm_, cfg);
+  dm::Object* obj = dm_.create_object(64 * util::KiB);
+  p.place_new(*obj);
+  for (int i = 0; i < 300; ++i) kernel(p, *obj, 1e-4);
+  // With 50% exploration both arms keep getting sampled.
+  EXPECT_GT(p.prefetch_fraction(), 0.1);
+  EXPECT_LT(p.prefetch_fraction(), 0.9);
+  p.on_destroy(*obj);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(AdaptiveFixture, ValidatesConfiguration) {
+  AdaptivePolicyConfig cfg = config();
+  cfg.window_kernels = 0;
+  EXPECT_THROW(AdaptivePolicy(dm_, cfg), InternalError);
+  cfg = config();
+  cfg.explore = 1.5;
+  EXPECT_THROW(AdaptivePolicy(dm_, cfg), InternalError);
+  cfg = config();
+  cfg.ema = 0.0;
+  EXPECT_THROW(AdaptivePolicy(dm_, cfg), InternalError);
+}
+
+}  // namespace
+}  // namespace ca::policy

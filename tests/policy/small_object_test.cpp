@@ -1,0 +1,97 @@
+// Tests for the small-object pinning behaviour: objects below the
+// migration-granularity threshold live in fast memory and are never
+// displaced (per-transfer overhead would exceed any benefit).
+#include <gtest/gtest.h>
+
+#include "dm/data_manager.hpp"
+#include "policy/lru_policy.hpp"
+#include "util/align.hpp"
+
+namespace ca::policy {
+namespace {
+
+class SmallObjectFixture : public ::testing::Test {
+ protected:
+  SmallObjectFixture()
+      : platform_(sim::Platform::cascade_lake_scaled(256 * util::KiB,
+                                                     2 * util::MiB)),
+        dm_(platform_, clock_, counters_) {}
+
+  dm::Object* make(LruPolicy& p, std::size_t size) {
+    dm::Object* obj = dm_.create_object(size);
+    p.place_new(*obj);
+    return obj;
+  }
+
+  sim::DeviceId device_of(dm::Object& obj) {
+    return dm_.getprimary(obj)->device();
+  }
+
+  sim::Platform platform_;
+  sim::Clock clock_;
+  telemetry::TrafficCounters counters_;
+  dm::DataManager dm_;
+};
+
+TEST_F(SmallObjectFixture, SmallObjectsStartInFastEvenWithoutLocalAlloc) {
+  LruPolicy p(dm_, {.local_alloc = false, .min_migratable = 64 * util::KiB});
+  dm::Object* tiny = make(p, 1 * util::KiB);
+  dm::Object* big = make(p, 128 * util::KiB);
+  EXPECT_EQ(device_of(*tiny), sim::kFast);
+  EXPECT_EQ(device_of(*big), sim::kSlow);
+  dm_.destroy_object(tiny);
+  dm_.destroy_object(big);
+}
+
+TEST_F(SmallObjectFixture, SmallObjectsAreNeverDisplaced) {
+  LruPolicy p(dm_, {.local_alloc = true, .min_migratable = 64 * util::KiB});
+  dm::Object* tiny = make(p, 16 * util::KiB);
+  p.archive(*tiny);  // even as the preferred victim...
+  // Exhaust fast memory with big (migratable) objects: evictions must
+  // skip the tiny one.
+  std::vector<dm::Object*> big;
+  for (int i = 0; i < 6; ++i) big.push_back(make(p, 64 * util::KiB));
+  EXPECT_EQ(device_of(*tiny), sim::kFast);
+  EXPECT_GE(p.op_stats().evictions, 1u);
+  dm_.destroy_object(tiny);
+  for (auto* o : big) dm_.destroy_object(o);
+}
+
+TEST_F(SmallObjectFixture, ThresholdZeroDisablesPinning) {
+  LruPolicy p(dm_, {.local_alloc = true, .min_migratable = 0});
+  dm::Object* tiny = make(p, 16 * util::KiB);
+  p.archive(*tiny);
+  std::vector<dm::Object*> big;
+  for (int i = 0; i < 8; ++i) big.push_back(make(p, 60 * util::KiB));
+  // With no threshold the tiny object is evictable like any other.
+  EXPECT_EQ(device_of(*tiny), sim::kSlow);
+  dm_.destroy_object(tiny);
+  for (auto* o : big) dm_.destroy_object(o);
+}
+
+TEST_F(SmallObjectFixture, SmallObjectsFallBackToSlowWhenFastIsPinnedFull) {
+  LruPolicy p(dm_, {.local_alloc = true, .min_migratable = 64 * util::KiB});
+  // Fill fast memory completely with pinned small objects.
+  std::vector<dm::Object*> tiny;
+  for (int i = 0; i < 8; ++i) tiny.push_back(make(p, 32 * util::KiB));
+  // Nothing is evictable; the next small object must land in slow memory
+  // rather than deadlock.
+  dm::Object* overflow = make(p, 32 * util::KiB);
+  EXPECT_EQ(device_of(*overflow), sim::kSlow);
+  dm_.destroy_object(overflow);
+  for (auto* o : tiny) dm_.destroy_object(o);
+}
+
+TEST_F(SmallObjectFixture, ExactThresholdIsMigratable) {
+  LruPolicy p(dm_, {.local_alloc = true, .min_migratable = 64 * util::KiB});
+  dm::Object* edge = make(p, 64 * util::KiB);  // == threshold: migratable
+  p.archive(*edge);
+  std::vector<dm::Object*> big;
+  for (int i = 0; i < 8; ++i) big.push_back(make(p, 64 * util::KiB));
+  EXPECT_EQ(device_of(*edge), sim::kSlow);
+  dm_.destroy_object(edge);
+  for (auto* o : big) dm_.destroy_object(o);
+}
+
+}  // namespace
+}  // namespace ca::policy

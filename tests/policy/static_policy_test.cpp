@@ -1,0 +1,116 @@
+#include "policy/static_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dm/data_manager.hpp"
+#include "util/align.hpp"
+#include "util/error.hpp"
+
+namespace ca::policy {
+namespace {
+
+class StaticPolicyFixture : public ::testing::Test {
+ protected:
+  StaticPolicyFixture()
+      : platform_(sim::Platform::cascade_lake_scaled(256 * util::KiB,
+                                                     1 * util::MiB)),
+        dm_(platform_, clock_, counters_) {}
+
+  sim::Platform platform_;
+  sim::Clock clock_;
+  telemetry::TrafficCounters counters_;
+  dm::DataManager dm_;
+};
+
+TEST_F(StaticPolicyFixture, PlacesEverythingOnPinnedDevice) {
+  PinnedDevicePolicy p(dm_, sim::kSlow);
+  for (int i = 0; i < 3; ++i) {
+    dm::Object* obj = dm_.create_object(64 * util::KiB);
+    p.place_new(*obj);
+    EXPECT_TRUE(dm_.in(*dm_.getprimary(*obj), sim::kSlow));
+    dm_.destroy_object(obj);
+  }
+  EXPECT_EQ(counters_.device(sim::kFast).total(), 0u);
+}
+
+TEST_F(StaticPolicyFixture, HintsAreIgnored) {
+  PinnedDevicePolicy p(dm_, sim::kSlow);
+  dm::Object* obj = dm_.create_object(64 * util::KiB);
+  p.place_new(*obj);
+  p.will_read(*obj);
+  p.will_write(*obj);
+  p.will_use(*obj);
+  p.archive(*obj);
+  EXPECT_TRUE(dm_.in(*dm_.getprimary(*obj), sim::kSlow));
+  dm_.destroy_object(obj);
+}
+
+TEST_F(StaticPolicyFixture, RetireHonorsEagerFlag) {
+  PinnedDevicePolicy eager(dm_, sim::kSlow, /*eager_retire=*/true);
+  PinnedDevicePolicy lazy(dm_, sim::kSlow, /*eager_retire=*/false);
+  dm::Object* a = dm_.create_object(64);
+  dm::Object* b = dm_.create_object(64);
+  EXPECT_TRUE(eager.retire(*a));
+  EXPECT_FALSE(lazy.retire(*b));
+  dm_.destroy_object(a);
+  dm_.destroy_object(b);
+}
+
+TEST_F(StaticPolicyFixture, PressureHandlerUsedBeforeOom) {
+  PinnedDevicePolicy p(dm_, sim::kFast);  // tiny device: 256 KiB
+  std::vector<dm::Object*> dead;
+  int calls = 0;
+  p.set_pressure_handler([&] {
+    ++calls;
+    for (auto* o : dead) dm_.destroy_object(o);
+    const bool any = !dead.empty();
+    dead.clear();
+    return any;
+  });
+  for (int i = 0; i < 4; ++i) {
+    dm::Object* obj = dm_.create_object(64 * util::KiB);
+    p.place_new(*obj);
+    dead.push_back(obj);
+  }
+  dm::Object* obj = dm_.create_object(64 * util::KiB);
+  p.place_new(*obj);  // triggers pressure -> succeeds
+  EXPECT_EQ(calls, 1);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(StaticPolicyFixture, ThrowsWhenTrulyOutOfMemory) {
+  PinnedDevicePolicy p(dm_, sim::kFast);
+  std::vector<dm::Object*> objs;
+  for (int i = 0; i < 4; ++i) {
+    dm::Object* obj = dm_.create_object(64 * util::KiB);
+    p.place_new(*obj);
+    objs.push_back(obj);
+  }
+  dm::Object* extra = dm_.create_object(64 * util::KiB);
+  EXPECT_THROW(p.place_new(*extra), OutOfMemoryError);
+  dm_.destroy_object(extra);
+  for (auto* o : objs) dm_.destroy_object(o);
+}
+
+TEST_F(StaticPolicyFixture, DefragmentsBeforeGivingUp) {
+  PinnedDevicePolicy p(dm_, sim::kFast);
+  // Fragment: allocate four 64K objects, destroy numbers 0 and 2.
+  std::vector<dm::Object*> objs;
+  for (int i = 0; i < 4; ++i) {
+    dm::Object* obj = dm_.create_object(64 * util::KiB);
+    p.place_new(*obj);
+    objs.push_back(obj);
+  }
+  dm_.destroy_object(objs[0]);
+  dm_.destroy_object(objs[2]);
+  // 128 KiB free but fragmented: placement must defragment and succeed.
+  dm::Object* big = dm_.create_object(128 * util::KiB);
+  p.place_new(*big);
+  EXPECT_TRUE(dm_.in(*dm_.getprimary(*big), sim::kFast));
+  dm_.destroy_object(big);
+  dm_.destroy_object(objs[1]);
+  dm_.destroy_object(objs[3]);
+}
+
+}  // namespace
+}  // namespace ca::policy

@@ -1,0 +1,58 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ca::sim {
+namespace {
+
+TEST(Clock, StartsAtZero) {
+  Clock c;
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  EXPECT_DOUBLE_EQ(c.spent(TimeCategory::kCompute), 0.0);
+}
+
+TEST(Clock, AdvanceAccumulates) {
+  Clock c;
+  c.advance(1.5, TimeCategory::kCompute);
+  c.advance(0.5, TimeCategory::kMovement);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+  EXPECT_DOUBLE_EQ(c.spent(TimeCategory::kCompute), 1.5);
+  EXPECT_DOUBLE_EQ(c.spent(TimeCategory::kMovement), 0.5);
+}
+
+TEST(Clock, CategoriesSumToTotal) {
+  Clock c;
+  c.advance(1.0, TimeCategory::kCompute);
+  c.advance(2.0, TimeCategory::kMovement);
+  c.advance(3.0, TimeCategory::kGc);
+  c.advance(4.0, TimeCategory::kOther);
+  const double sum = c.spent(TimeCategory::kCompute) +
+                     c.spent(TimeCategory::kMovement) +
+                     c.spent(TimeCategory::kGc) +
+                     c.spent(TimeCategory::kOther);
+  EXPECT_DOUBLE_EQ(sum, c.now());
+}
+
+TEST(Clock, NegativeAdvanceThrows) {
+  Clock c;
+  EXPECT_THROW(c.advance(-0.1, TimeCategory::kCompute), InternalError);
+}
+
+TEST(Clock, ZeroAdvanceAllowed) {
+  Clock c;
+  c.advance(0.0, TimeCategory::kCompute);
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+TEST(Clock, ResetClearsEverything) {
+  Clock c;
+  c.advance(5.0, TimeCategory::kGc);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  EXPECT_DOUBLE_EQ(c.spent(TimeCategory::kGc), 0.0);
+}
+
+}  // namespace
+}  // namespace ca::sim

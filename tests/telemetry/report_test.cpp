@@ -1,0 +1,51 @@
+#include "telemetry/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ca::telemetry {
+namespace {
+
+TEST(Csv, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("1.5s"), "1.5s");
+}
+
+TEST(Csv, CommasAreQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(Csv, QuotesAreDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, NewlinesAreQuoted) {
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, TableSerialization) {
+  const auto csv = to_csv({{"model", "time"}, {"ResNet 200", "1,000s"}});
+  EXPECT_EQ(csv, "model,time\nResNet 200,\"1,000s\"\n");
+}
+
+TEST(Csv, EmptyTable) { EXPECT_EQ(to_csv({}), ""); }
+
+TEST(Csv, WriteAndReadBackFile) {
+  const std::string path = "/tmp/ca_report_test.csv";
+  ASSERT_TRUE(write_csv(path, {{"a", "b"}, {"1", "2"}}));
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, UnwritablePathReturnsFalse) {
+  EXPECT_FALSE(write_csv("/nonexistent_dir/x.csv", {{"a"}}));
+}
+
+}  // namespace
+}  // namespace ca::telemetry

@@ -1,0 +1,184 @@
+// Tests for the set-associative extension of the 2LM cache model, plus a
+// property test checking the simulator against an independent reference
+// implementation on random access streams.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "twolm/direct_mapped_cache.hpp"
+#include "util/align.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ca::twolm {
+namespace {
+
+class AssocFixture : public ::testing::Test {
+ protected:
+  AssocFixture()
+      : platform_(sim::Platform::cascade_lake_scaled(4 * util::KiB,
+                                                     64 * util::KiB)) {}
+
+  DirectMappedCache make(std::size_t ways,
+                         std::size_t capacity = 4 * util::KiB) {
+    CacheConfig cfg;
+    cfg.capacity = capacity;
+    cfg.block_size = 64;
+    cfg.ways = ways;
+    return DirectMappedCache(cfg, platform_, counters_);
+  }
+
+  sim::Platform platform_;
+  telemetry::TrafficCounters counters_;
+};
+
+TEST_F(AssocFixture, GeometryAccountsForWays) {
+  auto c = make(4);
+  EXPECT_EQ(c.num_sets(), 16u);  // 64 blocks / 4 ways
+}
+
+TEST_F(AssocFixture, TwoWayResolvesPingPongConflict) {
+  // Addresses 0 and capacity alias in a direct-mapped cache; with 2 ways
+  // they coexist.
+  auto direct = make(1);
+  auto assoc = make(2);
+  for (int i = 0; i < 10; ++i) {
+    direct.access(0, 64, false);
+    direct.access(4 * util::KiB, 64, false);
+    assoc.access(0, 64, false);
+    assoc.access(4 * util::KiB, 64, false);
+  }
+  EXPECT_EQ(direct.stats().hits, 0u);       // pure ping-pong
+  EXPECT_EQ(assoc.stats().hits, 18u);       // everything after the fills
+}
+
+TEST_F(AssocFixture, LruEvictsTheColdestWay) {
+  auto c = make(2);  // 32 sets; set 0 aliases at multiples of 32*64 = 2 KiB
+  c.access(0 * 2048, 1, false);  // A -> set 0
+  c.access(1 * 2048, 1, false);  // B -> set 0 (both ways full)
+  c.access(0 * 2048, 1, false);  // touch A: B becomes LRU
+  c.access(2 * 2048, 1, false);  // C evicts B
+  c.access(0 * 2048, 1, false);  // A still resident
+  EXPECT_EQ(c.stats().hits, 2u);
+  c.access(1 * 2048, 1, false);  // B was evicted: miss
+  EXPECT_EQ(c.stats().hits, 2u);
+}
+
+TEST_F(AssocFixture, FullyAssociativeHoldsAnyFittingWorkingSet) {
+  // With ways == blocks (one set, pure LRU) any working set that fits is
+  // all-hits after the cold fills, regardless of address alignment --
+  // while the direct-mapped cache thrashes on the aliased layout.
+  auto fully = make(64);  // 4 KiB / 64 B = 64 blocks, single set
+  auto direct = make(1);
+  // 32 blocks, all aliasing to a handful of direct-mapped sets.
+  std::vector<std::size_t> addrs;
+  for (std::size_t i = 0; i < 32; ++i) addrs.push_back(i * 4 * util::KiB);
+  for (int round = 0; round < 10; ++round) {
+    for (const auto a : addrs) {
+      fully.access(a, 64, false);
+      direct.access(a, 64, false);
+    }
+  }
+  EXPECT_EQ(fully.stats().misses(), 32u);  // cold fills only
+  EXPECT_EQ(fully.stats().hits, 32u * 9u);
+  EXPECT_EQ(direct.stats().hits, 0u);  // every access aliases set 0
+}
+
+TEST_F(AssocFixture, InvalidGeometryRejected) {
+  CacheConfig cfg;
+  cfg.capacity = 4 * util::KiB;
+  cfg.block_size = 64;
+  cfg.ways = 3;  // not a power of two
+  EXPECT_THROW(DirectMappedCache(cfg, platform_, counters_), ca::InternalError);
+}
+
+// --- property test against a reference model ------------------------------
+
+/// A deliberately simple reference: per-set vector of (tag, dirty) in LRU
+/// order, no stats trickery, no bandwidth model.
+class ReferenceCache {
+ public:
+  ReferenceCache(std::size_t sets, std::size_t ways)
+      : sets_(sets), ways_(ways), lines_(sets) {}
+
+  /// Returns {hit, clean_miss, dirty_miss} for one block access.
+  std::array<bool, 3> access(std::size_t block, bool write) {
+    auto& set = lines_[block % sets_];
+    const std::uint64_t tag = block / sets_;
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (it->first == tag) {
+        auto entry = *it;
+        set.erase(it);
+        entry.second = entry.second || write;
+        set.push_back(entry);  // MRU at the back
+        return {true, false, false};
+      }
+    }
+    bool dirty_evict = false;
+    if (set.size() == ways_) {
+      dirty_evict = set.front().second;
+      set.erase(set.begin());
+    }
+    set.push_back({tag, write});
+    return {false, !dirty_evict, dirty_evict};
+  }
+
+ private:
+  std::size_t sets_;
+  std::size_t ways_;
+  std::vector<std::vector<std::pair<std::uint64_t, bool>>> lines_;
+};
+
+class CacheProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(CacheProperty, MatchesReferenceOnRandomStreams) {
+  const auto [ways, seed] = GetParam();
+  sim::Platform platform =
+      sim::Platform::cascade_lake_scaled(4 * util::KiB, 64 * util::KiB);
+  telemetry::TrafficCounters counters;
+  CacheConfig cfg;
+  cfg.capacity = 4 * util::KiB;
+  cfg.block_size = 64;
+  cfg.ways = ways;
+  DirectMappedCache cache(cfg, platform, counters);
+  ReferenceCache ref(cache.num_sets(), ways);
+
+  util::Xoshiro256 rng(seed);
+  std::uint64_t hits = 0, clean = 0, dirty = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t block = rng.bounded(512);
+    const bool write = rng.uniform() < 0.4;
+    cache.access(block * 64, 64, write);
+    const auto [h, c, d] = ref.access(block, write);
+    hits += h;
+    clean += c;
+    dirty += d;
+    if (i % 500 == 0) {
+      ASSERT_EQ(cache.stats().hits, hits) << "step " << i;
+      ASSERT_EQ(cache.stats().clean_misses, clean) << "step " << i;
+      ASSERT_EQ(cache.stats().dirty_misses, dirty) << "step " << i;
+    }
+  }
+  EXPECT_EQ(cache.stats().hits, hits);
+  EXPECT_EQ(cache.stats().clean_misses, clean);
+  EXPECT_EQ(cache.stats().dirty_misses, dirty);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, CacheProperty,
+    ::testing::Values(std::pair<std::size_t, std::uint64_t>{1, 1},
+                      std::pair<std::size_t, std::uint64_t>{1, 2},
+                      std::pair<std::size_t, std::uint64_t>{2, 3},
+                      std::pair<std::size_t, std::uint64_t>{2, 4},
+                      std::pair<std::size_t, std::uint64_t>{4, 5},
+                      std::pair<std::size_t, std::uint64_t>{8, 6}),
+    [](const auto& info) {
+      return "ways" + std::to_string(info.param.first) + "_seed" +
+             std::to_string(info.param.second);
+    });
+
+}  // namespace
+}  // namespace ca::twolm

@@ -1,0 +1,43 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/align.hpp"
+
+namespace ca::util {
+namespace {
+
+TEST(Format, BytesPlain) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(17), "17 B");
+  EXPECT_EQ(format_bytes(1023), "1023 B");
+}
+
+TEST(Format, BytesScaled) {
+  EXPECT_EQ(format_bytes(KiB), "1.00 KiB");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(MiB), "1.00 MiB");
+  EXPECT_EQ(format_bytes(GiB), "1.00 GiB");
+  EXPECT_EQ(format_bytes(5 * GiB + 512 * MiB), "5.50 GiB");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.14159, 0), "3");
+  EXPECT_EQ(format_fixed(-1.5, 1), "-1.5");
+  EXPECT_EQ(format_fixed(0.0, 3), "0.000");
+}
+
+TEST(Format, TableAlignsColumns) {
+  const auto out = render_table({{"name", "value"}, {"x", "1"}, {"long", "22"}});
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("long"), std::string::npos);
+  // Header and separator and two data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Format, EmptyTable) { EXPECT_EQ(render_table({}), ""); }
+
+}  // namespace
+}  // namespace ca::util

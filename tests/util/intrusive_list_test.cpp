@@ -1,0 +1,133 @@
+#include "util/intrusive_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ca::util {
+namespace {
+
+struct Item {
+  int value = 0;
+  ListHook hook;
+};
+
+using List = IntrusiveList<Item, &Item::hook>;
+
+std::vector<int> values(List& list) {
+  std::vector<int> out;
+  list.for_each([&](Item& i) { out.push_back(i.value); });
+  return out;
+}
+
+TEST(IntrusiveList, StartsEmpty) {
+  List list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.front(), nullptr);
+  EXPECT_EQ(list.back(), nullptr);
+  EXPECT_EQ(list.pop_back(), nullptr);
+}
+
+TEST(IntrusiveList, PushFrontOrder) {
+  List list;
+  Item a{1, {}}, b{2, {}}, c{3, {}};
+  list.push_front(a);
+  list.push_front(b);
+  list.push_front(c);
+  EXPECT_EQ(values(list), (std::vector<int>{3, 2, 1}));
+  EXPECT_EQ(list.front()->value, 3);
+  EXPECT_EQ(list.back()->value, 1);
+}
+
+TEST(IntrusiveList, PushBackOrder) {
+  List list;
+  Item a{1, {}}, b{2, {}}, c{3, {}};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  EXPECT_EQ(values(list), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(IntrusiveList, EraseMiddle) {
+  List list;
+  Item a{1, {}}, b{2, {}}, c{3, {}};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.erase(b);
+  EXPECT_EQ(values(list), (std::vector<int>{1, 3}));
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_FALSE(b.hook.linked());
+}
+
+TEST(IntrusiveList, EraseUnlinkedIsNoop) {
+  List list;
+  Item a{1, {}};
+  list.erase(a);  // not on the list
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, PopBackReturnsColdest) {
+  List list;
+  Item a{1, {}}, b{2, {}};
+  list.push_front(a);
+  list.push_front(b);
+  EXPECT_EQ(list.pop_back()->value, 1);
+  EXPECT_EQ(list.pop_back()->value, 2);
+  EXPECT_EQ(list.pop_back(), nullptr);
+}
+
+TEST(IntrusiveList, MoveToFrontImplementsLruTouch) {
+  List list;
+  Item a{1, {}}, b{2, {}}, c{3, {}};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.move_to_front(c);
+  EXPECT_EQ(values(list), (std::vector<int>{3, 1, 2}));
+  list.move_to_front(c);  // already at front
+  EXPECT_EQ(values(list), (std::vector<int>{3, 1, 2}));
+}
+
+TEST(IntrusiveList, MoveToBackImplementsArchive) {
+  List list;
+  Item a{1, {}}, b{2, {}}, c{3, {}};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.move_to_back(a);
+  EXPECT_EQ(values(list), (std::vector<int>{2, 3, 1}));
+}
+
+TEST(IntrusiveList, DoublePushThrows) {
+  List list;
+  Item a{1, {}};
+  list.push_back(a);
+  EXPECT_THROW(list.push_back(a), InternalError);
+}
+
+TEST(IntrusiveList, ReinsertAfterErase) {
+  List list;
+  Item a{1, {}};
+  list.push_back(a);
+  list.erase(a);
+  list.push_front(a);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.front(), &a);
+}
+
+TEST(IntrusiveList, ForEachAllowsErasingCurrent) {
+  List list;
+  Item a{1, {}}, b{2, {}}, c{3, {}};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.for_each([&](Item& i) {
+    if (i.value == 2) list.erase(i);
+  });
+  EXPECT_EQ(values(list), (std::vector<int>{1, 3}));
+}
+
+}  // namespace
+}  // namespace ca::util

@@ -1,0 +1,94 @@
+#include "util/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace ca::util {
+namespace {
+
+TEST(ThreadPool, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  pool.parallel_for(1, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    sum.fetch_add(1);
+  });
+  EXPECT_EQ(sum.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForUnevenSplit) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(7, [&](std::size_t begin, std::size_t end) {
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), 7u);
+}
+
+TEST(ThreadPool, ParallelForComputesCorrectSum) {
+  ThreadPool pool(4);
+  std::vector<int> data(10000);
+  std::iota(data.begin(), data.end(), 1);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(data.size(), [&](std::size_t begin, std::size_t end) {
+    long long local = 0;
+    for (std::size_t i = begin; i < end; ++i) local += data[i];
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 10000LL * 10001 / 2);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(ThreadPool, SequentialParallelForsAreIndependent) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> n{0};
+    pool.parallel_for(100, [&](std::size_t begin, std::size_t end) {
+      n.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(n.load(), 100);
+  }
+}
+
+}  // namespace
+}  // namespace ca::util
