@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_large_runtime.dir/fig2_large_runtime.cpp.o"
+  "CMakeFiles/fig2_large_runtime.dir/fig2_large_runtime.cpp.o.d"
+  "fig2_large_runtime"
+  "fig2_large_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_large_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_heap_occupancy.dir/fig3_heap_occupancy.cpp.o"
+  "CMakeFiles/fig3_heap_occupancy.dir/fig3_heap_occupancy.cpp.o.d"
+  "fig3_heap_occupancy"
+  "fig3_heap_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_heap_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_cache_stats.cpp" "bench/CMakeFiles/fig4_cache_stats.dir/fig4_cache_stats.cpp.o" "gcc" "bench/CMakeFiles/fig4_cache_stats.dir/fig4_cache_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnn/CMakeFiles/ca_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/ca_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dm/CMakeFiles/ca_dm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ca_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/twolm/CMakeFiles/ca_twolm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ca_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

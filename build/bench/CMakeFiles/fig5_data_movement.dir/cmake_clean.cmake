@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_data_movement.dir/fig5_data_movement.cpp.o"
+  "CMakeFiles/fig5_data_movement.dir/fig5_data_movement.cpp.o.d"
+  "fig5_data_movement"
+  "fig5_data_movement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_data_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

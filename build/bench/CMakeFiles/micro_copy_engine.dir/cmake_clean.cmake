@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_copy_engine.dir/micro_copy_engine.cpp.o"
+  "CMakeFiles/micro_copy_engine.dir/micro_copy_engine.cpp.o.d"
+  "micro_copy_engine"
+  "micro_copy_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_copy_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

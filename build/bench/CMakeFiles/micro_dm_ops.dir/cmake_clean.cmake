@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dm_ops.dir/micro_dm_ops.cpp.o"
+  "CMakeFiles/micro_dm_ops.dir/micro_dm_ops.cpp.o.d"
+  "micro_dm_ops"
+  "micro_dm_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dm_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_policy.dir/micro_policy.cpp.o"
+  "CMakeFiles/micro_policy.dir/micro_policy.cpp.o.d"
+  "micro_policy"
+  "micro_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrm_sparse.dir/dlrm_sparse.cpp.o"
+  "CMakeFiles/dlrm_sparse.dir/dlrm_sparse.cpp.o.d"
+  "dlrm_sparse"
+  "dlrm_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrm_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

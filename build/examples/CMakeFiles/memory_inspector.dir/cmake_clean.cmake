@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_inspector.dir/memory_inspector.cpp.o"
+  "CMakeFiles/memory_inspector.dir/memory_inspector.cpp.o.d"
+  "memory_inspector"
+  "memory_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_dm.dir/data_manager.cpp.o"
+  "CMakeFiles/ca_dm.dir/data_manager.cpp.o.d"
+  "libca_dm.a"
+  "libca_dm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_dm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

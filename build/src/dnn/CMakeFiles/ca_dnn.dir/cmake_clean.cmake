@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_dnn.dir/engine.cpp.o"
+  "CMakeFiles/ca_dnn.dir/engine.cpp.o.d"
+  "CMakeFiles/ca_dnn.dir/harness.cpp.o"
+  "CMakeFiles/ca_dnn.dir/harness.cpp.o.d"
+  "CMakeFiles/ca_dnn.dir/models.cpp.o"
+  "CMakeFiles/ca_dnn.dir/models.cpp.o.d"
+  "CMakeFiles/ca_dnn.dir/ops_real.cpp.o"
+  "CMakeFiles/ca_dnn.dir/ops_real.cpp.o.d"
+  "CMakeFiles/ca_dnn.dir/trainer.cpp.o"
+  "CMakeFiles/ca_dnn.dir/trainer.cpp.o.d"
+  "libca_dnn.a"
+  "libca_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

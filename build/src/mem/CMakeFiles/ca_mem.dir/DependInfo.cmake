@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/arena.cpp" "src/mem/CMakeFiles/ca_mem.dir/arena.cpp.o" "gcc" "src/mem/CMakeFiles/ca_mem.dir/arena.cpp.o.d"
+  "/root/repo/src/mem/copy_engine.cpp" "src/mem/CMakeFiles/ca_mem.dir/copy_engine.cpp.o" "gcc" "src/mem/CMakeFiles/ca_mem.dir/copy_engine.cpp.o.d"
+  "/root/repo/src/mem/freelist_allocator.cpp" "src/mem/CMakeFiles/ca_mem.dir/freelist_allocator.cpp.o" "gcc" "src/mem/CMakeFiles/ca_mem.dir/freelist_allocator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ca_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ca_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

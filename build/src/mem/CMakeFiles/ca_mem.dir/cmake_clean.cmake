@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_mem.dir/arena.cpp.o"
+  "CMakeFiles/ca_mem.dir/arena.cpp.o.d"
+  "CMakeFiles/ca_mem.dir/copy_engine.cpp.o"
+  "CMakeFiles/ca_mem.dir/copy_engine.cpp.o.d"
+  "CMakeFiles/ca_mem.dir/freelist_allocator.cpp.o"
+  "CMakeFiles/ca_mem.dir/freelist_allocator.cpp.o.d"
+  "libca_mem.a"
+  "libca_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

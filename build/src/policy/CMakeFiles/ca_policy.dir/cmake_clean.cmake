@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_policy.dir/adaptive_policy.cpp.o"
+  "CMakeFiles/ca_policy.dir/adaptive_policy.cpp.o.d"
+  "CMakeFiles/ca_policy.dir/lru_policy.cpp.o"
+  "CMakeFiles/ca_policy.dir/lru_policy.cpp.o.d"
+  "CMakeFiles/ca_policy.dir/tiered_policy.cpp.o"
+  "CMakeFiles/ca_policy.dir/tiered_policy.cpp.o.d"
+  "libca_policy.a"
+  "libca_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

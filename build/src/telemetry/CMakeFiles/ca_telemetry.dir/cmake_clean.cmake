@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_telemetry.dir/report.cpp.o"
+  "CMakeFiles/ca_telemetry.dir/report.cpp.o.d"
+  "CMakeFiles/ca_telemetry.dir/trace.cpp.o"
+  "CMakeFiles/ca_telemetry.dir/trace.cpp.o.d"
+  "libca_telemetry.a"
+  "libca_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

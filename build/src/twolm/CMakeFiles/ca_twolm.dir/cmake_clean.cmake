@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_twolm.dir/direct_mapped_cache.cpp.o"
+  "CMakeFiles/ca_twolm.dir/direct_mapped_cache.cpp.o.d"
+  "libca_twolm.a"
+  "libca_twolm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_twolm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

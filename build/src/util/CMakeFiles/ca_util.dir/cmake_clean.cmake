@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_util.dir/error.cpp.o"
+  "CMakeFiles/ca_util.dir/error.cpp.o.d"
+  "CMakeFiles/ca_util.dir/format.cpp.o"
+  "CMakeFiles/ca_util.dir/format.cpp.o.d"
+  "CMakeFiles/ca_util.dir/rng.cpp.o"
+  "CMakeFiles/ca_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ca_util.dir/threadpool.cpp.o"
+  "CMakeFiles/ca_util.dir/threadpool.cpp.o.d"
+  "libca_util.a"
+  "libca_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dm.dir/dm/async_mover_test.cpp.o"
+  "CMakeFiles/test_dm.dir/dm/async_mover_test.cpp.o.d"
+  "CMakeFiles/test_dm.dir/dm/data_manager_test.cpp.o"
+  "CMakeFiles/test_dm.dir/dm/data_manager_test.cpp.o.d"
+  "CMakeFiles/test_dm.dir/dm/defragment_test.cpp.o"
+  "CMakeFiles/test_dm.dir/dm/defragment_test.cpp.o.d"
+  "CMakeFiles/test_dm.dir/dm/dm_property_test.cpp.o"
+  "CMakeFiles/test_dm.dir/dm/dm_property_test.cpp.o.d"
+  "CMakeFiles/test_dm.dir/dm/evictfrom_test.cpp.o"
+  "CMakeFiles/test_dm.dir/dm/evictfrom_test.cpp.o.d"
+  "CMakeFiles/test_dm.dir/dm/object_region_test.cpp.o"
+  "CMakeFiles/test_dm.dir/dm/object_region_test.cpp.o.d"
+  "test_dm"
+  "test_dm.pdb"
+  "test_dm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

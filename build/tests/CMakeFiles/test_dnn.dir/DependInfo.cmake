@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dnn/conv_shape_sweep_test.cpp" "tests/CMakeFiles/test_dnn.dir/dnn/conv_shape_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_dnn.dir/dnn/conv_shape_sweep_test.cpp.o.d"
+  "/root/repo/tests/dnn/engine_test.cpp" "tests/CMakeFiles/test_dnn.dir/dnn/engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_dnn.dir/dnn/engine_test.cpp.o.d"
+  "/root/repo/tests/dnn/grad_sharing_test.cpp" "tests/CMakeFiles/test_dnn.dir/dnn/grad_sharing_test.cpp.o" "gcc" "tests/CMakeFiles/test_dnn.dir/dnn/grad_sharing_test.cpp.o.d"
+  "/root/repo/tests/dnn/gradient_check_test.cpp" "tests/CMakeFiles/test_dnn.dir/dnn/gradient_check_test.cpp.o" "gcc" "tests/CMakeFiles/test_dnn.dir/dnn/gradient_check_test.cpp.o.d"
+  "/root/repo/tests/dnn/harness_test.cpp" "tests/CMakeFiles/test_dnn.dir/dnn/harness_test.cpp.o" "gcc" "tests/CMakeFiles/test_dnn.dir/dnn/harness_test.cpp.o.d"
+  "/root/repo/tests/dnn/models_test.cpp" "tests/CMakeFiles/test_dnn.dir/dnn/models_test.cpp.o" "gcc" "tests/CMakeFiles/test_dnn.dir/dnn/models_test.cpp.o.d"
+  "/root/repo/tests/dnn/ops_real_test.cpp" "tests/CMakeFiles/test_dnn.dir/dnn/ops_real_test.cpp.o" "gcc" "tests/CMakeFiles/test_dnn.dir/dnn/ops_real_test.cpp.o.d"
+  "/root/repo/tests/dnn/pool_dropout_test.cpp" "tests/CMakeFiles/test_dnn.dir/dnn/pool_dropout_test.cpp.o" "gcc" "tests/CMakeFiles/test_dnn.dir/dnn/pool_dropout_test.cpp.o.d"
+  "/root/repo/tests/dnn/sparse_test.cpp" "tests/CMakeFiles/test_dnn.dir/dnn/sparse_test.cpp.o" "gcc" "tests/CMakeFiles/test_dnn.dir/dnn/sparse_test.cpp.o.d"
+  "/root/repo/tests/dnn/tensor_test.cpp" "tests/CMakeFiles/test_dnn.dir/dnn/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/test_dnn.dir/dnn/tensor_test.cpp.o.d"
+  "/root/repo/tests/dnn/trainer_test.cpp" "tests/CMakeFiles/test_dnn.dir/dnn/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/test_dnn.dir/dnn/trainer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/ca_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dm/CMakeFiles/ca_dm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ca_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ca_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ca_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/ca_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/twolm/CMakeFiles/ca_twolm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnn.dir/dnn/conv_shape_sweep_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/conv_shape_sweep_test.cpp.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/engine_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/engine_test.cpp.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/grad_sharing_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/grad_sharing_test.cpp.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/gradient_check_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/gradient_check_test.cpp.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/harness_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/harness_test.cpp.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/models_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/models_test.cpp.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/ops_real_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/ops_real_test.cpp.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/pool_dropout_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/pool_dropout_test.cpp.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/sparse_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/sparse_test.cpp.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/tensor_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/tensor_test.cpp.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/trainer_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/trainer_test.cpp.o.d"
+  "test_dnn"
+  "test_dnn.pdb"
+  "test_dnn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/async_movement_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/async_movement_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/async_movement_test.cpp.o.d"
+  "/root/repo/tests/integration/cross_mode_consistency_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/cross_mode_consistency_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/cross_mode_consistency_test.cpp.o.d"
+  "/root/repo/tests/integration/failure_injection_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/integration/training_modes_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/training_modes_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/training_modes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/ca_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dm/CMakeFiles/ca_dm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ca_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ca_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ca_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/ca_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/twolm/CMakeFiles/ca_twolm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy.dir/policy/adaptive_policy_test.cpp.o"
+  "CMakeFiles/test_policy.dir/policy/adaptive_policy_test.cpp.o.d"
+  "CMakeFiles/test_policy.dir/policy/conformance_test.cpp.o"
+  "CMakeFiles/test_policy.dir/policy/conformance_test.cpp.o.d"
+  "CMakeFiles/test_policy.dir/policy/listing_semantics_test.cpp.o"
+  "CMakeFiles/test_policy.dir/policy/listing_semantics_test.cpp.o.d"
+  "CMakeFiles/test_policy.dir/policy/lru_policy_test.cpp.o"
+  "CMakeFiles/test_policy.dir/policy/lru_policy_test.cpp.o.d"
+  "CMakeFiles/test_policy.dir/policy/small_object_test.cpp.o"
+  "CMakeFiles/test_policy.dir/policy/small_object_test.cpp.o.d"
+  "CMakeFiles/test_policy.dir/policy/static_policy_test.cpp.o"
+  "CMakeFiles/test_policy.dir/policy/static_policy_test.cpp.o.d"
+  "CMakeFiles/test_policy.dir/policy/tiered_policy_test.cpp.o"
+  "CMakeFiles/test_policy.dir/policy/tiered_policy_test.cpp.o.d"
+  "test_policy"
+  "test_policy.pdb"
+  "test_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twolm.dir/twolm/associativity_test.cpp.o"
+  "CMakeFiles/test_twolm.dir/twolm/associativity_test.cpp.o.d"
+  "CMakeFiles/test_twolm.dir/twolm/direct_mapped_cache_test.cpp.o"
+  "CMakeFiles/test_twolm.dir/twolm/direct_mapped_cache_test.cpp.o.d"
+  "test_twolm"
+  "test_twolm.pdb"
+  "test_twolm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twolm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
