@@ -1,0 +1,23 @@
+#include "dm/audit_hook.hpp"
+
+#include <atomic>
+
+namespace ca::dm {
+
+namespace {
+std::atomic<AuditHookFn> g_audit_hook{nullptr};
+}  // namespace
+
+void set_audit_hook(AuditHookFn fn) noexcept {
+  g_audit_hook.store(fn, std::memory_order_release);
+}
+
+AuditHookFn audit_hook() noexcept {
+  return g_audit_hook.load(std::memory_order_acquire);
+}
+
+void detail::run_audit_hook(const DataManager& dm) {
+  if (AuditHookFn fn = audit_hook()) fn(dm);
+}
+
+}  // namespace ca::dm

@@ -1,5 +1,7 @@
 #include "dm/data_manager.hpp"
 
+#include "dm/audit_hook.hpp"
+
 #include <algorithm>
 #include <cstring>
 
@@ -54,6 +56,7 @@ Object* DataManager::create_object(std::size_t size, std::string name) {
   object->size_ = size;
   object->name_ = std::move(name);
   objects_.emplace(object, std::move(owned));
+  CA_AUDIT(*this);
   return object;
 }
 
@@ -77,6 +80,7 @@ void DataManager::destroy_object(Object* object) {
   }
   object->primary_ = nullptr;
   objects_.erase(it);
+  CA_AUDIT(*this);
 }
 
 void DataManager::setprimary(Object& object, Region& region) {
@@ -100,11 +104,13 @@ void DataManager::setprimary(Object& object, Region& region) {
     throw UsageError("setprimary: region belongs to a different object");
   }
   object.primary_ = &region;
+  CA_AUDIT(*this);
 }
 
 void DataManager::unpin(Object& object) {
   CA_CHECK(object.pin_count_ > 0, "unpin of an unpinned object");
   --object.pin_count_;
+  CA_AUDIT(*this);
 }
 
 // --- Region functions -------------------------------------------------------
@@ -122,6 +128,7 @@ Region* DataManager::allocate(sim::DeviceId dev, std::size_t size) {
   region->data_ = h.arena.at(*offset);
   h.alloc->set_cookie(*offset, region);
   regions_.emplace(region, std::move(owned));
+  CA_AUDIT(*this);
   return region;
 }
 
@@ -159,6 +166,7 @@ void DataManager::free(Region* region) {
     detach(*region);
   }
   release_region(region);
+  CA_AUDIT(*this);
 }
 
 void DataManager::copyto(Region& dst, Region& src) {
@@ -173,6 +181,7 @@ void DataManager::copyto(Region& dst, Region& src) {
     // Linked siblings are now synchronized.
     src.dirty_ = false;
   }
+  CA_AUDIT(*this);
 }
 
 double DataManager::copyto_async(Region& dst, Region& src) {
@@ -196,6 +205,7 @@ double DataManager::copyto_async(Region& dst, Region& src) {
   if (src.parent() != nullptr && src.parent() == dst.parent()) {
     src.dirty_ = false;
   }
+  CA_AUDIT(*this);
   return done;
 }
 
@@ -205,6 +215,7 @@ void DataManager::wait_ready(Region& region) {
                    sim::TimeCategory::kMovement);
   }
   region.ready_at_ = 0.0;
+  CA_AUDIT(*this);
 }
 
 void DataManager::link(Region& owned, Region& orphan) {
@@ -223,6 +234,7 @@ void DataManager::link(Region& owned, Region& orphan) {
   }
   orphan.parent_ = object;
   object->regions_[orphan.device().value] = &orphan;
+  CA_AUDIT(*this);
 }
 
 void DataManager::unlink(Region& region) {
@@ -234,6 +246,7 @@ void DataManager::unlink(Region& region) {
     throw UsageError("unlink: cannot unlink the primary region");
   }
   detach(region);
+  CA_AUDIT(*this);
 }
 
 Region* DataManager::getlinked(const Region& region,
@@ -259,6 +272,7 @@ bool DataManager::evictfrom(sim::DeviceId dev, std::size_t start_offset,
   bool wrapped = false;
 
   for (;;) {
+    CA_AUDIT(*this);
     // Find the first live block intersecting the window [cursor, cursor+size).
     std::optional<std::size_t> blocked;
     h.alloc->for_blocks_from(cursor, [&](const mem::FreeListAllocator::
@@ -376,6 +390,21 @@ void DataManager::defragment(sim::DeviceId dev) {
     counters_.record_read(dev, moved);
     counters_.record_write(dev, moved);
   }
+  CA_AUDIT(*this);
+}
+
+void DataManager::for_each_object(
+    const std::function<void(const Object&)>& fn) const {
+  for (const auto& [ptr, owned] : objects_) fn(*owned);
+}
+
+void DataManager::for_each_region(
+    const std::function<void(const Region&)>& fn) const {
+  for (const auto& [ptr, owned] : regions_) fn(*owned);
+}
+
+bool DataManager::owns_region(const Region* region) const noexcept {
+  return regions_.find(const_cast<Region*>(region)) != regions_.end();
 }
 
 void DataManager::check_invariants() const {

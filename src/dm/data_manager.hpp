@@ -168,8 +168,28 @@ class DataManager {
 
   /// Verify cross-structure invariants (allocator tiling, region/block
   /// agreement, object/region back-pointers, the fast-primary invariant is
-  /// policy-level and not checked here).  For tests.
+  /// policy-level and not checked here).  For tests.  `audit::verify` is the
+  /// exhaustive, non-throwing counterpart that returns a structured report.
   void check_invariants() const;
+
+  // --- Read-only introspection (the ca::audit library and tests) ----------
+
+  /// The offset-space allocator backing `dev`'s heap.
+  [[nodiscard]] const mem::FreeListAllocator& allocator(sim::DeviceId dev)
+      const {
+    return *heap(dev).alloc;
+  }
+
+  /// Visit every live object / region.  Order unspecified.
+  void for_each_object(const std::function<void(const Object&)>& fn) const;
+  void for_each_region(const std::function<void(const Region&)>& fn) const;
+
+  /// True iff `region` is currently owned by this manager (its storage is
+  /// live).  Lets an auditor validate allocator cookies without touching
+  /// possibly-dangling memory.
+  [[nodiscard]] bool owns_region(const Region* region) const noexcept;
+
+  [[nodiscard]] const sim::Clock& clock() const noexcept { return clock_; }
 
   [[nodiscard]] mem::CopyEngine& engine() noexcept { return engine_; }
   [[nodiscard]] const sim::Platform& platform() const noexcept {

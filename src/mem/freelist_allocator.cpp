@@ -47,7 +47,16 @@ FreeListAllocator::BlockMap::iterator FreeListAllocator::find_fit(
 
 std::optional<std::size_t> FreeListAllocator::allocate(std::size_t size) {
   if (size == 0) size = alignment_;
-  size = util::align_up(size, alignment_);
+  const std::size_t aligned = util::align_up(size, alignment_);
+  if (aligned < size || aligned > capacity_) {
+    // Overflow in align_up (size within alignment-1 of SIZE_MAX) or a
+    // request larger than the whole heap.  Without the wrap check a huge
+    // request aligned to 0 and "succeeded" as a zero-byte block, leaving a
+    // duplicate entry in the free index.
+    ++failed_allocs_;
+    return std::nullopt;
+  }
+  size = aligned;
   const auto it = find_fit(size);
   if (it == blocks_.end()) {
     ++failed_allocs_;
@@ -162,6 +171,11 @@ std::optional<std::size_t> FreeListAllocator::first_allocated_from(
     return true;
   });
   return found;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+FreeListAllocator::free_index_snapshot() const {
+  return {free_index_.begin(), free_index_.end()};
 }
 
 FreeListAllocator::Stats FreeListAllocator::stats() const {

@@ -19,10 +19,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "util/align.hpp"
@@ -111,10 +113,21 @@ class FreeListAllocator {
 
   /// Verify structural invariants (blocks tile [0, capacity) exactly, no
   /// two adjacent free blocks, indexes consistent).  Throws InternalError
-  /// on violation.  Used by the property-based test suite.
+  /// on violation.  Used by the property-based test suite.  `audit::verify`
+  /// is the non-throwing counterpart that returns a structured report.
   void check_invariants() const;
 
+  /// The (size, offset) entries of the free-block index, in index order.
+  /// Read-only view for the ca::audit library, which cross-checks the index
+  /// against the address-ordered block map.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+  free_index_snapshot() const;
+
  private:
+  // Test-only seam: lets the audit test suite corrupt internal state to
+  // prove that audit::verify detects each class of violation.  Defined only
+  // in tests/audit/; never in the library.
+  friend struct AllocatorTestPeer;
   struct Block {
     std::size_t size = 0;
     bool allocated = false;

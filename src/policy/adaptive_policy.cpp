@@ -28,7 +28,7 @@ void AdaptivePolicy::begin_kernel(std::span<dm::Object* const> args) {
 void AdaptivePolicy::finish_window() {
   const double now = dm_.clock().now();
   const double elapsed = now - window_start_;
-  const int arm = inner_.config().prefetch ? 1 : 0;
+  const std::size_t arm = inner_.config().prefetch ? 1 : 0;
 
   // Score the finished window.
   if (cost_[arm] < 0.0) {

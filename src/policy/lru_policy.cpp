@@ -143,6 +143,10 @@ void LruPolicy::evict(dm::Object& object) {
   if (y == nullptr) {
     y = &allocate_slow_checked(object.size());
     allocated = true;
+    // Link before copying so copyto sees the regions as siblings and
+    // synchronizes both dirty bits; copying first would leave a stale
+    // dirty bit on x.
+    dm_.link(*x, *y);
   }
   if (dm_.isdirty(*x) || allocated) {
     dm_.copyto(*y, *x);
@@ -152,7 +156,7 @@ void LruPolicy::evict(dm::Object& object) {
     ++stats_.elided_writebacks;
   }
   dm_.setprimary(object, *y);
-  if (!allocated) dm_.unlink(*x);
+  dm_.unlink(*x);
   dm_.free(x);
 
   ++stats_.evictions;
@@ -174,12 +178,16 @@ bool LruPolicy::prefetch(dm::Object& object, bool force) {
     y = allocate_fast_forced(object.size());
     if (y == nullptr) return false;  // cannot fit in fast at all
   }
+  // Link before copying: copyto only synchronizes the source's dirty bit
+  // when the two regions are already siblings.  The old order left x
+  // spuriously dirty, so a later write to the new primary produced two
+  // "dirty" copies of one object.
+  dm_.link(*x, *y);
   if (config_.async_prefetch) {
     dm_.copyto_async(*y, *x);
   } else {
     dm_.copyto(*y, *x);
   }
-  dm_.link(*x, *y);
   dm_.setprimary(object, *y);
   lru_.push_front(node(object));
   ++stats_.prefetches;

@@ -101,6 +101,9 @@ bool TieredLruPolicy::move_to_tier(dm::Object& object, std::size_t target) {
 
   dm::Region* y = allocate_on(target, object.size());
   if (y == nullptr) return false;
+  // Link before copying so copyto synchronizes both dirty bits (see the
+  // same pattern in LruPolicy::prefetch).
+  dm_.link(*x, *y);
   dm_.copyto(*y, *x);
   dm_.setprimary(object, *y);
   dm_.free(x);

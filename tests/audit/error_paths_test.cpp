@@ -1,0 +1,188 @@
+// Error-path coverage for the data-management API: every rejected operation
+// must throw UsageError, leave the manager's state unchanged, and audit
+// clean afterwards.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+
+#include "audit/audit.hpp"
+#include "dm/data_manager.hpp"
+#include "sim/platform.hpp"
+#include "util/align.hpp"
+#include "util/error.hpp"
+
+namespace ca::dm {
+namespace {
+
+class ErrorPathFixture : public ::testing::Test {
+ protected:
+  ErrorPathFixture()
+      : platform_(sim::Platform::cascade_lake_scaled(1 * util::MiB,
+                                                     4 * util::MiB)),
+        dm_(platform_, clock_, counters_) {}
+
+  void expect_clean() {
+    const auto report = audit::verify(dm_);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+
+  /// An object with a slow primary and a fast linked sibling.
+  Object* two_region_object(std::size_t size = 4096) {
+    Object* obj = dm_.create_object(size);
+    Region* slow = dm_.allocate(sim::kSlow, size);
+    dm_.setprimary(*obj, *slow);
+    Region* fast = dm_.allocate(sim::kFast, size);
+    dm_.link(*slow, *fast);
+    dm_.copyto(*fast, *slow);
+    return obj;
+  }
+
+  sim::Platform platform_;
+  sim::Clock clock_;
+  telemetry::TrafficCounters counters_;
+  DataManager dm_;
+};
+
+TEST_F(ErrorPathFixture, DestroyObjectOnPinnedObjectIsRejected) {
+  Object* obj = two_region_object();
+  dm_.pin(*obj);
+  EXPECT_THROW(dm_.destroy_object(obj), UsageError);
+  // Nothing was torn down by the failed destroy.
+  EXPECT_EQ(dm_.live_objects(), 1u);
+  EXPECT_EQ(obj->region_count(), 2u);
+  EXPECT_TRUE(obj->pinned());
+  expect_clean();
+  dm_.unpin(*obj);
+  dm_.destroy_object(obj);
+  EXPECT_EQ(dm_.live_objects(), 0u);
+  EXPECT_EQ(dm_.live_regions(), 0u);
+  expect_clean();
+}
+
+TEST_F(ErrorPathFixture, FreeOfLinkedPrimaryWithSiblingsIsRejected) {
+  Object* obj = two_region_object();
+  Region* primary = dm_.getprimary(*obj);
+  ASSERT_NE(primary, nullptr);
+  EXPECT_THROW(dm_.free(primary), UsageError);
+  EXPECT_EQ(dm_.getprimary(*obj), primary);
+  EXPECT_EQ(obj->region_count(), 2u);
+  expect_clean();
+  dm_.destroy_object(obj);
+}
+
+TEST_F(ErrorPathFixture, FreeOfSolePrimaryOfPinnedObjectIsRejected) {
+  Object* obj = dm_.create_object(4096);
+  Region* r = dm_.allocate(sim::kFast, 4096);
+  dm_.setprimary(*obj, *r);
+  dm_.pin(*obj);
+  EXPECT_THROW(dm_.free(r), UsageError);
+  EXPECT_EQ(dm_.getprimary(*obj), r);
+  expect_clean();
+  dm_.unpin(*obj);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(ErrorPathFixture, UnlinkOfThePrimaryIsRejected) {
+  Object* obj = two_region_object();
+  Region* primary = dm_.getprimary(*obj);
+  EXPECT_THROW(dm_.unlink(*primary), UsageError);
+  EXPECT_EQ(primary->parent(), obj);
+  EXPECT_EQ(obj->region_count(), 2u);
+  expect_clean();
+  dm_.destroy_object(obj);
+}
+
+TEST_F(ErrorPathFixture, UnlinkOfAnOrphanIsRejected) {
+  Region* r = dm_.allocate(sim::kFast, 4096);
+  EXPECT_THROW(dm_.unlink(*r), UsageError);
+  expect_clean();
+  dm_.free(r);
+}
+
+TEST_F(ErrorPathFixture, CopyToWithMismatchedSizesIsRejected) {
+  Region* big = dm_.allocate(sim::kSlow, 8192);
+  Region* small = dm_.allocate(sim::kFast, 1024);
+  EXPECT_THROW(dm_.copyto(*small, *big), UsageError);
+  EXPECT_THROW(dm_.copyto_async(*small, *big), UsageError);
+  // A larger destination is fine (regions only need to *hold* the bytes).
+  EXPECT_NO_THROW(dm_.copyto(*big, *small));
+  expect_clean();
+  dm_.free(big);
+  dm_.free(small);
+}
+
+TEST_F(ErrorPathFixture, SetPrimaryOnPinnedObjectIsRejected) {
+  Object* obj = two_region_object();
+  Region* secondary = nullptr;
+  for (std::uint32_t d = 0; d < dm_.device_count(); ++d) {
+    Region* r = obj->region_on({d});
+    if (r != nullptr && r != dm_.getprimary(*obj)) secondary = r;
+  }
+  ASSERT_NE(secondary, nullptr);
+  dm_.pin(*obj);
+  EXPECT_THROW(dm_.setprimary(*obj, *secondary), UsageError);
+  EXPECT_NE(dm_.getprimary(*obj), secondary);
+  expect_clean();
+  dm_.unpin(*obj);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(ErrorPathFixture, SetPrimaryOfTooSmallOrForeignRegionIsRejected) {
+  Object* obj = dm_.create_object(8192);
+  Region* small = dm_.allocate(sim::kFast, 1024);
+  EXPECT_THROW(dm_.setprimary(*obj, *small), UsageError);
+  EXPECT_EQ(small->parent(), nullptr);
+
+  Object* other = dm_.create_object(1024);
+  dm_.setprimary(*other, *small);
+  EXPECT_THROW(dm_.setprimary(*obj, *small), UsageError);
+  expect_clean();
+  dm_.destroy_object(other);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(ErrorPathFixture, LinkRejectsSecondRegionOnSameDevice) {
+  Object* obj = dm_.create_object(1024);
+  Region* a = dm_.allocate(sim::kFast, 1024);
+  dm_.setprimary(*obj, *a);
+  Region* b = dm_.allocate(sim::kFast, 1024);
+  EXPECT_THROW(dm_.link(*a, *b), UsageError);
+  EXPECT_EQ(b->parent(), nullptr);
+  expect_clean();
+  dm_.free(b);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(ErrorPathFixture, DoubleFreeAndUnknownHandlesAreRejected) {
+  Region* r = dm_.allocate(sim::kFast, 1024);
+  dm_.free(r);
+  EXPECT_THROW(dm_.free(r), UsageError);
+  Object* obj = dm_.create_object(1024);
+  dm_.destroy_object(obj);
+  EXPECT_THROW(dm_.destroy_object(obj), UsageError);
+  expect_clean();
+}
+
+TEST_F(ErrorPathFixture, ZeroSizedRequestsAreRejected) {
+  EXPECT_THROW(dm_.create_object(0), UsageError);
+  EXPECT_THROW((void)dm_.allocate(sim::kFast, 0), UsageError);
+  expect_clean();
+}
+
+TEST_F(ErrorPathFixture, OversizedAllocationFailsCleanly) {
+  // Regression: align_up used to wrap for near-SIZE_MAX requests, carving a
+  // zero-byte block and corrupting the free index (see
+  // FreeListAllocator::allocate).
+  EXPECT_EQ(dm_.allocate(sim::kFast,
+                         std::numeric_limits<std::size_t>::max()),
+            nullptr);
+  EXPECT_EQ(dm_.allocate(sim::kFast,
+                         std::numeric_limits<std::size_t>::max() - 63),
+            nullptr);
+  EXPECT_EQ(dm_.allocate(sim::kFast, dm_.capacity(sim::kFast) + 64), nullptr);
+  expect_clean();
+}
+
+}  // namespace
+}  // namespace ca::dm

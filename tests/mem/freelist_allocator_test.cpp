@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/align.hpp"
 #include "util/error.hpp"
 
@@ -228,6 +230,25 @@ TEST(FreeList, ReusePatternKeepsHeapTight) {
     a.free(*x);
   }
   EXPECT_EQ(a.blocks().size(), 1u);
+}
+
+TEST(FreeList, NearMaxRequestFailsInsteadOfWrapping) {
+  // Regression: align_up(SIZE_MAX - k, 64) wrapped to a tiny size, so the
+  // allocator carved a zero-byte block at an existing offset and corrupted
+  // both the block map and the free index.
+  FreeListAllocator a(kCap);
+  const auto max = std::numeric_limits<std::size_t>::max();
+  EXPECT_EQ(a.allocate(max), std::nullopt);
+  EXPECT_EQ(a.allocate(max - 1), std::nullopt);
+  EXPECT_EQ(a.allocate(max - 63), std::nullopt);
+  EXPECT_EQ(a.allocate(kCap + 1), std::nullopt);
+  a.check_invariants();
+  EXPECT_EQ(a.stats().failed_allocs, 4u);
+  // The heap is still fully usable afterwards.
+  const auto x = a.allocate(kCap);
+  ASSERT_TRUE(x.has_value());
+  a.free(*x);
+  a.check_invariants();
 }
 
 }  // namespace

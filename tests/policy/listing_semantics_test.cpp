@@ -189,5 +189,29 @@ TEST_F(ListingFixture, EvictionRoundTripPreservesData) {
   dm_.destroy_object(obj);
 }
 
+TEST_F(ListingFixture, PrefetchSynchronizesTheOldPrimaryDirtyBit) {
+  // Regression: prefetch used to copy into the new fast region *before*
+  // linking it, so copyto never saw the regions as siblings and the old
+  // slow primary kept a stale dirty bit.  A later write to the new primary
+  // then produced two "dirty" copies of one object.
+  dm::Object* obj = fast_object();
+  dm::Region* fast0 = dm_.getprimary(*obj);
+  dm_.markdirty(*fast0);
+  policy_.evict(*obj);
+  dm::Region* slow = dm_.getprimary(*obj);
+  dm_.markdirty(*slow);
+
+  ASSERT_TRUE(policy_.prefetch(*obj, true));
+  dm::Region* fast = dm_.getprimary(*obj);
+  ASSERT_NE(fast, slow);
+  // Both siblings hold identical bytes and both are clean.
+  EXPECT_FALSE(dm_.isdirty(*fast));
+  EXPECT_FALSE(dm_.isdirty(*slow));
+  dm_.markdirty(*fast);
+  // Exactly one dirty region per object: the primary.
+  EXPECT_FALSE(dm_.isdirty(*slow));
+  dm_.destroy_object(obj);
+}
+
 }  // namespace
 }  // namespace ca::policy

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# tools/check.sh — the correctness gate for the data-management core.
+#
+# Runs, in order:
+#   1. ASan+UBSan Debug build of the whole tree (Debug ⇒ CA_AUDIT_ENABLED,
+#      so every DataManager mutation boundary is audited during the tests),
+#      then the full ctest suite under it — including the randomized audit
+#      stress harness (ctest -R audit).
+#   2. TSan build of the concurrency-bearing components (thread pool, copy
+#      engine) and their tests.
+#   3. clang-tidy over src/ with the repo's .clang-tidy profile.
+#
+# Exits non-zero on the first finding of any stage.  Stages whose toolchain
+# is not installed (e.g. clang-tidy on a gcc-only box) are SKIPPED with a
+# loud note rather than silently passed; CI images that carry the tools get
+# the full gate.
+#
+# Usage: tools/check.sh [--jobs N] [--skip-tsan] [--skip-tidy]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+RUN_TSAN=1
+RUN_TIDY=1
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs) JOBS="${2:?--jobs requires a value}"; shift 2 ;;
+    --skip-tsan) RUN_TSAN=0; shift ;;
+    --skip-tidy) RUN_TIDY=0; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+note() { printf '\n==== %s ====\n' "$*"; }
+fail=0
+
+# --- 1. ASan + UBSan, full suite, audit hooks armed -------------------------
+note "ASan+UBSan Debug build (CA_AUDIT_ENABLED) + full ctest"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCA_SANITIZE=address,undefined \
+  -DCA_WERROR=OFF > /dev/null
+cmake --build build-asan -j "$JOBS" \
+  --target test_util test_sim test_telemetry test_mem test_dm test_policy \
+           test_core test_twolm test_dnn test_integration test_audit
+( cd build-asan && ctest -j "$JOBS" --output-on-failure )
+note "audit suite under sanitizers (ctest -R audit)"
+( cd build-asan && ctest -R audit --output-on-failure )
+
+# --- 2. TSan on the threaded substrate ---------------------------------------
+if [[ "$RUN_TSAN" -eq 1 ]]; then
+  note "TSan build: thread pool + copy engine tests"
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCA_SANITIZE=thread \
+    -DCA_WERROR=OFF > /dev/null
+  cmake --build build-tsan -j "$JOBS" --target test_util test_mem
+  ( cd build-tsan && ctest -R 'ThreadPool|CopyEngine' --output-on-failure )
+else
+  note "TSan stage skipped (--skip-tsan)"
+fi
+
+# --- 3. clang-tidy over src/ -------------------------------------------------
+if [[ "$RUN_TIDY" -eq 1 ]]; then
+  if command -v clang-tidy > /dev/null 2>&1; then
+    note "clang-tidy over src/ (profile: .clang-tidy, warnings are errors)"
+    cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+    mapfile -t sources < <(find src -name '*.cpp' | sort)
+    if ! clang-tidy -p build-tidy --quiet "${sources[@]}"; then
+      fail=1
+    fi
+  else
+    note "clang-tidy NOT INSTALLED — lint stage SKIPPED (install clang-tidy to run the full gate)"
+  fi
+else
+  note "clang-tidy stage skipped (--skip-tidy)"
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  note "check.sh: FINDINGS — see above"
+  exit 1
+fi
+note "check.sh: all stages clean"
