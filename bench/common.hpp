@@ -7,6 +7,7 @@
 // Optane hardware).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -91,11 +92,19 @@ inline void print_header(const char* figure, const char* description) {
 }
 
 /// Best-effort CSV export: every bench accepts an optional output
-/// directory as argv[1]; tables are written there as <name>.csv.
+/// directory as its first non-flag argument; tables are written there as
+/// <name>.csv.
 inline void maybe_write_csv(int argc, char** argv, const char* name,
                             const std::vector<std::vector<std::string>>& rows) {
-  if (argc < 2) return;
-  const std::string path = std::string(argv[1]) + "/" + name;
+  const char* dir = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      dir = argv[i];
+      break;
+    }
+  }
+  if (dir == nullptr) return;
+  const std::string path = std::string(dir) + "/" + name;
   if (telemetry::write_csv(path, rows)) {
     std::printf("[csv] wrote %s\n", path.c_str());
   } else {
@@ -106,6 +115,92 @@ inline void maybe_write_csv(int argc, char** argv, const char* name,
 inline std::string mib(std::uint64_t bytes) {
   return util::format_fixed(static_cast<double>(bytes) / (1024.0 * 1024.0),
                             0);
+}
+
+/// Host wall-clock stopwatch, for reporting real elapsed time next to the
+/// simulated seconds (the async mover moves real bytes in the background,
+/// so the two can diverge in interesting ways).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One machine-readable result row for BENCH_<name>.json.
+struct BenchRecord {
+  std::string label;
+  double simulated_seconds = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t bytes_moved = 0;
+};
+
+/// Escape a string for inclusion in a JSON document.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Machine-readable export: writes BENCH_<name>.json into the output
+/// directory given as the first non-flag argument (or the current
+/// directory), with one entry per record.
+inline void write_bench_json(int argc, char** argv, const char* name,
+                             const std::vector<BenchRecord>& records) {
+  std::string dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      dir = argv[i];
+      break;
+    }
+  }
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("[json] could not write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+               json_escape(name).c_str());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    std::fprintf(f,
+                 "    {\"label\": \"%s\", \"simulated_seconds\": %.9g, "
+                 "\"wall_seconds\": %.9g, \"bytes_moved\": %llu}%s\n",
+                 json_escape(r.label).c_str(), r.simulated_seconds,
+                 r.wall_seconds,
+                 static_cast<unsigned long long>(r.bytes_moved),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("[json] wrote %s\n", path.c_str());
+}
+
+/// True when `flag` (e.g. "--smoke") appears among the arguments.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) return true;
+  }
+  return false;
 }
 
 }  // namespace ca::bench

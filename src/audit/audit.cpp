@@ -243,6 +243,36 @@ AuditReport verify(const dm::DataManager& dm) {
     report.add("dm.ready-at", "mover_busy_until is negative");
   }
 
+  // dm.inflight -- every registry entry points at live (never freed or
+  // relocated) regions whose stored data pointers still match, and its
+  // modeled completion lies within [0, mover horizon].
+  for (const auto& t : dm.inflight_transfers()) {
+    if (!t.transfer.valid()) {
+      report.add("dm.inflight", "registry entry without a transfer handle");
+      continue;
+    }
+    if (!dm.owns_region(t.dst)) {
+      report.add("dm.inflight",
+                 "in-flight transfer destination is not a live region");
+    }
+    if (!dm.owns_region(t.src)) {
+      report.add("dm.inflight",
+                 "in-flight transfer source is not a live region");
+    }
+    if (t.transfer.done_time() < 0.0 ||
+        t.transfer.done_time() > dm.mover_busy_until()) {
+      report.add("dm.inflight",
+                 "in-flight transfer completes at " +
+                     std::to_string(t.transfer.done_time()) +
+                     ", outside [0, mover_busy_until=" +
+                     std::to_string(dm.mover_busy_until()) + "]");
+    }
+    if (t.transfer.channel() >= dm.engine().channel_count()) {
+      report.add("dm.inflight", "in-flight transfer on unknown channel " +
+                                    std::to_string(t.transfer.channel()));
+    }
+  }
+
   // Object-level invariants.
   dm.for_each_object([&](const dm::Object& object) {
     const std::string label = object_label(object);

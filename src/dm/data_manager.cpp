@@ -34,7 +34,11 @@ DataManager::DataManager(const sim::Platform& platform, sim::Clock& clock,
   }
 }
 
-DataManager::~DataManager() = default;
+DataManager::~DataManager() {
+  // Mover threads may still hold raw pointers into the arenas; the heaps are
+  // destroyed before the engine (reverse member order), so join them first.
+  engine_.drain();
+}
 
 DataManager::DeviceHeap& DataManager::heap(sim::DeviceId dev) {
   CA_CHECK(dev.value < heaps_.size(), "unknown device id");
@@ -140,7 +144,29 @@ void DataManager::detach(Region& region) noexcept {
   region.parent_ = nullptr;
 }
 
+void DataManager::sync_region_real(Region& region) {
+  for (const auto& t : inflight_) {
+    if (t.dst == &region || t.src == &region) t.transfer.join();
+  }
+  if (region.fill_.valid()) region.fill_.join();
+}
+
 void DataManager::release_region(Region* region) {
+  // A region's storage may not be reused while a mover thread still reads
+  // or writes it: join the real copies, then abandon the modeled completions
+  // (an evicted-before-use prefetch is legitimate and must not throw).
+  sync_region_real(*region);
+  std::size_t kept = 0;
+  for (auto& t : inflight_) {
+    if (t.dst == region || t.src == region) {
+      ++async_stats_.retired;
+      continue;
+    }
+    if (&inflight_[kept] != &t) inflight_[kept] = std::move(t);
+    ++kept;
+  }
+  inflight_.resize(kept);
+
   auto& h = heap(region->device());
   h.alloc->free(region->offset());
   const auto it = regions_.find(region);
@@ -173,9 +199,16 @@ void DataManager::copyto(Region& dst, Region& src) {
   if (dst.size() < src.size()) {
     throw UsageError("copyto: destination region is too small");
   }
+  // A synchronous copy consumes the source now: stall for any in-flight
+  // fill of it (modeled + real).  The destination only needs its real
+  // copies joined -- whatever was being written there is overwritten.
+  wait_ready(src);
+  sync_region_real(dst);
   const bool non_temporal = true;  // the engine always streams its stores
   engine_.copy(dst.data(), dst.device(), src.data(), src.device(), src.size(),
                non_temporal);
+  dst.ready_at_ = 0.0;
+  dst.fill_.reset();
   dst.dirty_ = false;
   if (src.parent() != nullptr && src.parent() == dst.parent()) {
     // Linked siblings are now synchronized.
@@ -188,34 +221,77 @@ double DataManager::copyto_async(Region& dst, Region& src) {
   if (dst.size() < src.size()) {
     throw UsageError("copyto_async: destination region is too small");
   }
-  // The host-side bytes move now (data correctness never depends on the
-  // timing model); only the *modeled* transfer is deferred.  Traffic is
-  // recorded immediately by the engine; the clock is NOT advanced here.
-  const double duration = engine_.modeled_copy_time(
-      src.size(), src.device(), dst.device(), /*non_temporal=*/true);
-  std::memcpy(dst.data(), src.data(), src.size());
-  counters_.record_read(src.device(), src.size());
-  counters_.record_write(dst.device(), src.size());
+  // Real-copy ordering: the mover must not read `src` before a pending fill
+  // of it has landed, nor write `dst` while another mover still touches it.
+  // These joins block the host briefly; they never advance the clock.
+  sync_region_real(dst);
+  if (src.fill_.valid()) src.fill_.join();
 
-  const double start = std::max(clock_.now(), mover_busy_until_);
-  const double done = start + duration;
-  mover_busy_until_ = done;
+  // Modeled ordering: the transfer cannot start before its source is ready
+  // (nor before an earlier modeled fill of the destination completes, so a
+  // region's ready_at is always its *latest* writer).
+  const double earliest = std::max(src.ready_at_, dst.ready_at_);
+  mem::Transfer t =
+      engine_.copy_async(dst.data(), dst.device(), src.data(), src.device(),
+                         src.size(), earliest, /*non_temporal=*/true);
+  const double done = t.done_time();
   dst.ready_at_ = done;
+  dst.fill_ = t;
   dst.dirty_ = false;
   if (src.parent() != nullptr && src.parent() == dst.parent()) {
     src.dirty_ = false;
   }
+  inflight_.push_back(InflightTransfer{std::move(t), &dst, &src});
+  ++async_stats_.scheduled;
+  async_stats_.bytes += src.size();
+  async_stats_.inflight_peak =
+      std::max(async_stats_.inflight_peak, inflight_.size());
   CA_AUDIT(*this);
   return done;
 }
 
 void DataManager::wait_ready(Region& region) {
+  double stall = 0.0;
   if (region.ready_at_ > clock_.now()) {
-    clock_.advance(region.ready_at_ - clock_.now(),
-                   sim::TimeCategory::kMovement);
+    stall = region.ready_at_ - clock_.now();
+    clock_.advance(stall, sim::TimeCategory::kMovement);
+    ++async_stats_.stalls;
+    async_stats_.stall_seconds += stall;
+  }
+  if (region.fill_.valid()) {
+    // Whatever part of the modeled transfer we did NOT stall for was hidden
+    // behind other work -- that is the win the async engine exists for.
+    const double duration =
+        region.fill_.done_time() - region.fill_.start_time();
+    async_stats_.overlap_seconds += std::max(0.0, duration - stall);
+    region.fill_.join();
+    region.fill_.reset();
   }
   region.ready_at_ = 0.0;
+  retire_transfers();
   CA_AUDIT(*this);
+}
+
+void DataManager::retire_transfers() {
+  const double now = clock_.now();
+  std::size_t kept = 0;
+  for (auto& t : inflight_) {
+    if (t.transfer.done_time() <= now) {
+      // Modeled completion has passed; join the real copy so the regions
+      // may be freed or relocated without consulting the registry again.
+      t.transfer.join();
+      ++async_stats_.retired;
+      continue;
+    }
+    if (&inflight_[kept] != &t) inflight_[kept] = std::move(t);
+    ++kept;
+  }
+  inflight_.resize(kept);
+}
+
+void DataManager::drain_transfers() {
+  engine_.drain();
+  retire_transfers();
 }
 
 void DataManager::link(Region& owned, Region& orphan) {
@@ -344,6 +420,9 @@ std::size_t DataManager::resident_bytes() const {
 }
 
 void DataManager::defragment(sim::DeviceId dev) {
+  // Compaction memmoves live regions: no mover thread may still be touching
+  // the arena.  Join every in-flight real copy first (host-side only).
+  engine_.drain();
   auto& h = heap(dev);
 
   // Gather live regions in address order; refuse if any is pinned (its
@@ -427,6 +506,14 @@ void DataManager::check_invariants() const {
   }
   CA_CHECK(blocks_with_regions == regions_.size(),
            "region count does not match allocated block count");
+
+  for (const auto& t : inflight_) {
+    CA_CHECK(t.transfer.valid(), "in-flight registry entry without a handle");
+    CA_CHECK(regions_.count(t.dst) == 1,
+             "in-flight transfer destination is not a live region");
+    CA_CHECK(regions_.count(t.src) == 1,
+             "in-flight transfer source is not a live region");
+  }
 
   for (const auto& [ptr, owned] : objects_) {
     const Object& object = *owned;

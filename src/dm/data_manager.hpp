@@ -31,6 +31,8 @@
 
 namespace ca::dm {
 
+struct DataManagerTestPeer;
+
 class DataManager {
  public:
   struct DeviceStats {
@@ -40,6 +42,27 @@ class DataManager {
     std::size_t largest_free_block = 0;
     std::size_t regions = 0;
     double fragmentation = 0.0;
+  };
+
+  /// Aggregate statistics for asynchronous transfers (paper §V-c).
+  struct AsyncStats {
+    std::uint64_t scheduled = 0;      ///< copyto_async calls
+    std::uint64_t bytes = 0;          ///< bytes scheduled asynchronously
+    std::uint64_t retired = 0;        ///< transfers fully completed + retired
+    std::uint64_t stalls = 0;         ///< wait_ready calls that had to stall
+    double stall_seconds = 0.0;       ///< simulated seconds spent stalling
+    double overlap_seconds = 0.0;     ///< modeled transfer time hidden behind
+                                      ///< other work (duration - stall)
+    std::size_t inflight_peak = 0;    ///< max transfers in the registry
+  };
+
+  /// One scheduled-but-not-yet-retired asynchronous transfer.  `dst` and
+  /// `src` stay live (never freed or relocated) until the entry retires;
+  /// the audit library checks exactly that.
+  struct InflightTransfer {
+    mem::Transfer transfer;
+    Region* dst = nullptr;
+    Region* src = nullptr;
   };
 
   DataManager(const sim::Platform& platform, sim::Clock& clock,
@@ -91,21 +114,46 @@ class DataManager {
 
   /// Asynchronous copy (the paper's §V-c future-work item: "asynchronous
   /// data movement could be implemented with a separate thread pool").
-  /// The bytes move immediately, but the *modeled* transfer runs on a
-  /// single background mover that serializes async transfers: it starts
-  /// when the mover is free and completes `modeled_copy_time` later.  The
-  /// destination's `ready_at()` is set to the completion time; consumers
-  /// stall only for whatever remains at use time (see `wait_ready`).
-  /// Returns the completion time.
+  /// The real bytes move in the background on one of the copy engine's
+  /// mover channels; the *modeled* transfer starts at
+  /// max(now, channel availability, source readiness) and completes
+  /// `modeled_copy_time` later.  The destination's `ready_at()` is set to
+  /// the completion time; consumers stall only for whatever remains at use
+  /// time (see `wait_ready`).  The transfer is tracked in an in-flight
+  /// registry until it retires; both regions must stay live until then
+  /// (free and defragment enforce this by joining first).  Returns the
+  /// modeled completion time.
   double copyto_async(Region& dst, Region& src);
 
   /// Stall (advance the clock, charged as movement) until any in-flight
-  /// async fill of `region` has completed.
+  /// async fill of `region` has completed, and join the real bytes so the
+  /// caller may touch the region's memory.
   void wait_ready(Region& region);
 
-  /// Completion time of the last async transfer scheduled on the mover.
+  /// Latest modeled completion across all mover channels (no in-flight
+  /// transfer completes later than this).
   [[nodiscard]] double mover_busy_until() const noexcept {
-    return mover_busy_until_;
+    return engine_.mover_horizon();
+  }
+
+  /// Remove registry entries whose modeled completion has passed (joining
+  /// their real copies).  Called automatically by wait_ready/copyto_async;
+  /// exposed for step-boundary housekeeping.
+  void retire_transfers();
+
+  /// Block the host until every scheduled real memcpy has finished, then
+  /// retire everything the clock has caught up with.  Never advances the
+  /// simulated clock.
+  void drain_transfers();
+
+  [[nodiscard]] const AsyncStats& async_stats() const noexcept {
+    return async_stats_;
+  }
+
+  /// Registry of scheduled-but-not-retired transfers (for ca::audit).
+  [[nodiscard]] const std::vector<InflightTransfer>& inflight_transfers()
+      const noexcept {
+    return inflight_;
   }
 
   /// Link an orphan region to the object of an owned region (they become
@@ -192,6 +240,9 @@ class DataManager {
   [[nodiscard]] const sim::Clock& clock() const noexcept { return clock_; }
 
   [[nodiscard]] mem::CopyEngine& engine() noexcept { return engine_; }
+  [[nodiscard]] const mem::CopyEngine& engine() const noexcept {
+    return engine_;
+  }
   [[nodiscard]] const sim::Platform& platform() const noexcept {
     return platform_;
   }
@@ -209,6 +260,8 @@ class DataManager {
   }
 
  private:
+  friend struct DataManagerTestPeer;
+
   struct DeviceHeap {
     explicit DeviceHeap(const sim::DeviceSpec& spec);
     mem::Arena arena;
@@ -220,6 +273,11 @@ class DataManager {
   void detach(Region& region) noexcept;
   void release_region(Region* region);
 
+  /// Join (host-block on) the real copy of every in-flight transfer that
+  /// reads from or writes into `region`, so its bytes may be touched, moved
+  /// or its storage reused.  Never advances the simulated clock.
+  void sync_region_real(Region& region);
+
   const sim::Platform& platform_;
   sim::Clock& clock_;
   telemetry::TrafficCounters& counters_;
@@ -228,7 +286,8 @@ class DataManager {
   std::unordered_map<Region*, std::unique_ptr<Region>> regions_;
   std::unordered_map<Object*, std::unique_ptr<Object>> objects_;
   ObjectId next_object_id_ = 1;
-  double mover_busy_until_ = 0.0;
+  std::vector<InflightTransfer> inflight_;
+  AsyncStats async_stats_;
 };
 
 }  // namespace ca::dm

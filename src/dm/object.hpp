@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "mem/transfer.hpp"
 #include "sim/device.hpp"
 
 namespace ca::dm {
@@ -44,6 +45,14 @@ class Region {
   /// completes; consumers must wait until then (0 = ready now).
   [[nodiscard]] double ready_at() const noexcept { return ready_at_; }
 
+  /// Handle to the asynchronous transfer currently filling this region
+  /// (invalid when no fill is pending).  The real bytes may still be in
+  /// flight on a mover thread even after `ready_at` has passed on the
+  /// simulated clock, and vice versa.
+  [[nodiscard]] const mem::Transfer& pending_fill() const noexcept {
+    return fill_;
+  }
+
  private:
   friend class DataManager;
 
@@ -54,6 +63,7 @@ class Region {
   Object* parent_ = nullptr;
   bool dirty_ = false;
   double ready_at_ = 0.0;
+  mem::Transfer fill_;
 };
 
 /// The logical data entity.  Holds up to one region per device; the primary

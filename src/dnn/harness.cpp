@@ -15,6 +15,7 @@ Harness::Harness(const HarnessConfig& config) : config_(config) {
       std::max<std::size_t>(config.dram_bytes, 64 * util::KiB);
   sim::Platform platform =
       sim::Platform::cascade_lake_scaled(dram_arena, config.nvram_bytes);
+  platform.mover_channels = std::max<std::size_t>(1, config.mover_channels);
 
   const bool eager = config.mode == Mode::kTwoLmM ||
                      config.mode == Mode::kCaLM ||
@@ -41,6 +42,8 @@ Harness::Harness(const HarnessConfig& config) : config_(config) {
       cfg.prefetch = config.mode == Mode::kCaLMP;
       cfg.min_migratable = config.min_migratable;
       cfg.async_prefetch = config.async_movement;
+      cfg.async_writeback = config.async_movement;
+      if (config.async_movement) cfg.prefetch_distance = config.prefetch_distance;
       factory = [cfg](dm::DataManager& dm) {
         return std::make_unique<policy::LruPolicy>(dm, cfg);
       };

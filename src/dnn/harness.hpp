@@ -73,8 +73,17 @@ struct HarnessConfig {
   std::size_t min_migratable = 64 * util::KiB;
 
   /// Asynchronous staging (SV-c future work): prefetches overlap with
-  /// execution on a background mover.  CA modes only.
+  /// execution on a background mover, and eviction writebacks run
+  /// write-behind on the mover's writeback channels.  CA modes only.
   bool async_movement = false;
+
+  /// Background-mover channels (Platform::mover_channels).  1 = a single
+  /// fully-serialized mover, the ablation baseline.
+  std::size_t mover_channels = 4;
+
+  /// With async_movement: issue look-ahead prefetches this many objects
+  /// ahead along the archive trace during the backward pass.  0 disables.
+  std::size_t prefetch_distance = 0;
 };
 
 class Harness {

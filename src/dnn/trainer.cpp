@@ -33,6 +33,7 @@ IterationMetrics Trainer::run_iteration() {
   const twolm::CacheStats cache0 =
       harness_->cache() != nullptr ? harness_->cache()->stats()
                                    : twolm::CacheStats{};
+  const dm::DataManager::AsyncStats async0 = rt.manager().async_stats();
   peak_resident_ = rt.manager().resident_bytes();
 
   IterationMetrics m;
@@ -52,6 +53,11 @@ IterationMetrics Trainer::run_iteration() {
   }  // input/labels handles drop here; end_iteration collects them
   engine.end_iteration();
 
+  // Step boundary: join every in-flight real copy and retire what the
+  // clock has caught up with, so no mover work leaks across iterations
+  // (and the TSan suite can prove the overlap race-free).
+  rt.manager().drain_transfers();
+
   m.seconds = rt.clock().now() - t0;
   m.compute_seconds =
       rt.clock().spent(sim::TimeCategory::kCompute) - compute0;
@@ -61,6 +67,12 @@ IterationMetrics Trainer::run_iteration() {
   m.dram = rt.counters().delta(sim::kFast, dram0);
   m.nvram = rt.counters().delta(sim::kSlow, nvram0);
   m.peak_resident_bytes = peak_resident_;
+
+  const auto& async1 = rt.manager().async_stats();
+  m.async_transfers = async1.scheduled - async0.scheduled;
+  m.async_stall_seconds = async1.stall_seconds - async0.stall_seconds;
+  m.async_overlap_seconds = async1.overlap_seconds - async0.overlap_seconds;
+  m.async_inflight_peak = async1.inflight_peak;
 
   if (harness_->cache() != nullptr) {
     const auto& now = harness_->cache()->stats();

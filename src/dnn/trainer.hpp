@@ -29,6 +29,13 @@ struct IterationMetrics {
   /// Average DRAM bus utilization: achieved DRAM traffic over the
   /// iteration divided by peak DRAM bandwidth times elapsed time (Fig. 6).
   double dram_bus_utilization = 0.0;
+
+  // Asynchronous-mover deltas over the iteration (zero without async
+  // movement).
+  std::uint64_t async_transfers = 0;     ///< copyto_async calls
+  double async_stall_seconds = 0.0;      ///< time stalled in wait_ready
+  double async_overlap_seconds = 0.0;    ///< modeled movement hidden
+  std::size_t async_inflight_peak = 0;   ///< registry high-water mark
 };
 
 struct TrainerOptions {

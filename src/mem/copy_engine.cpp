@@ -17,6 +17,12 @@ std::size_t host_parallelism(const sim::Platform& platform) {
                                std::max(1u, hw));
 }
 
+std::size_t mover_parallelism(const sim::Platform& platform) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t channels = std::max<std::size_t>(1, platform.mover_channels);
+  return std::min<std::size_t>(channels, std::max(1u, hw));
+}
+
 }  // namespace
 
 CopyEngine::CopyEngine(const sim::Platform& platform, sim::Clock& clock,
@@ -24,7 +30,11 @@ CopyEngine::CopyEngine(const sim::Platform& platform, sim::Clock& clock,
     : platform_(platform),
       clock_(clock),
       counters_(counters),
-      pool_(host_parallelism(platform)) {}
+      pool_(host_parallelism(platform)),
+      mover_pool_(mover_parallelism(platform)),
+      channel_busy_(std::max<std::size_t>(1, platform.mover_channels), 0.0) {}
+
+CopyEngine::~CopyEngine() { drain(); }
 
 std::size_t CopyEngine::threads_for(std::size_t bytes) const {
   const std::size_t chunks =
@@ -83,17 +93,121 @@ void CopyEngine::copy(void* dst, sim::DeviceId dst_dev, const void* src,
                             platform_.spec(dst_dev).op_latency_s;
 }
 
+std::size_t CopyEngine::channels_for(sim::DeviceId src_dev,
+                                     sim::DeviceId dst_dev) const noexcept {
+  const std::size_t n = channel_busy_.size();
+  if (n < 2) return n;
+  // A fetch moves data toward a faster (lower-numbered) device; a
+  // writeback moves it toward a slower one.  Each direction owns half the
+  // channels (the fetch half first).
+  return dst_dev.value < src_dev.value ? n / 2 : n - n / 2;
+}
+
+std::size_t CopyEngine::pick_channel(sim::DeviceId src_dev,
+                                     sim::DeviceId dst_dev) const {
+  const std::size_t n = channel_busy_.size();
+  std::size_t begin = 0;
+  std::size_t end = n;
+  if (n >= 2) {
+    const std::size_t fetch = n / 2;
+    if (dst_dev.value < src_dev.value) {
+      end = fetch;
+    } else {
+      begin = fetch;
+    }
+  }
+  std::size_t best = begin;
+  for (std::size_t c = begin + 1; c < end; ++c) {
+    if (channel_busy_[c] < channel_busy_[best]) best = c;
+  }
+  return best;
+}
+
+double CopyEngine::mover_horizon() const noexcept {
+  double horizon = 0.0;
+  for (const double busy : channel_busy_) horizon = std::max(horizon, busy);
+  return horizon;
+}
+
+Transfer CopyEngine::copy_async(void* dst, sim::DeviceId dst_dev,
+                                const void* src, sim::DeviceId src_dev,
+                                std::size_t bytes, double earliest_start,
+                                bool non_temporal) {
+  CA_CHECK(dst != nullptr && src != nullptr,
+           "null pointer passed to copy_async");
+  CA_CHECK(bytes > 0, "copy_async of zero bytes");
+
+  // Modeled schedule: earliest-available channel of the direction.
+  const std::size_t channel = pick_channel(src_dev, dst_dev);
+  const double duration =
+      modeled_copy_time(bytes, src_dev, dst_dev, non_temporal);
+  const double start = std::max({earliest_start, clock_.now(),
+                                 channel_busy_[channel]});
+  const double done = start + duration;
+  channel_busy_[channel] = done;
+
+  auto state = std::make_shared<Transfer::State>();
+  state->start = start;
+  state->done = done;
+  state->channel = channel;
+  state->bytes = bytes;
+
+  // Traffic and stats are recorded at schedule time on the caller thread
+  // (the mover thread touches only the bytes and the transfer state).
+  counters_.record_read(src_dev, bytes);
+  counters_.record_write(dst_dev, bytes);
+  ++stats_.async_copies;
+  stats_.async_bytes += bytes;
+  stats_.async_seconds += duration;
+
+  // Real movement in the background: one mover task, chunked memcpy.
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  auto* d = static_cast<std::byte*>(dst);
+  const auto* s = static_cast<const std::byte*>(src);
+  const std::size_t chunk = platform_.copy_chunk;
+  mover_pool_.submit([this, state, d, s, bytes, chunk] {
+    for (std::size_t off = 0; off < bytes; off += chunk) {
+      const std::size_t len = std::min(chunk, bytes - off);
+      std::memcpy(d + off, s + off, len);
+    }
+    {
+      std::lock_guard lock(state->mu);
+      state->real_done.store(true, std::memory_order_release);
+    }
+    state->cv.notify_all();
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  });
+  return Transfer(std::move(state));
+}
+
+void CopyEngine::drain() { mover_pool_.wait_idle(); }
+
 void CopyEngine::fill_zero(void* dst, sim::DeviceId dst_dev,
                            std::size_t bytes) {
   CA_CHECK(dst != nullptr, "null pointer passed to fill_zero");
   if (bytes == 0) return;
-  std::memset(dst, 0, bytes);
+
+  // Chunk the memset across the pool exactly like copy: fills are charged
+  // multi-threaded modeled bandwidth, so the real work is multi-threaded
+  // too.
+  auto* d = static_cast<std::byte*>(dst);
+  const std::size_t chunks = util::ceil_div(bytes, platform_.copy_chunk);
+  pool_.parallel_for(chunks, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c) {
+      const std::size_t off = c * platform_.copy_chunk;
+      const std::size_t len = std::min(platform_.copy_chunk, bytes - off);
+      std::memset(d + off, 0, len);
+    }
+  });
+
   const auto& spec = platform_.spec(dst_dev);
   const std::size_t t = threads_for(bytes);
   clock_.advance(spec.op_latency_s +
                      static_cast<double>(bytes) / spec.write_bw_nt.at(t),
                  sim::TimeCategory::kMovement);
   counters_.record_write(dst_dev, bytes);
+  ++stats_.fills;
+  stats_.fill_bytes += bytes;
 }
 
 }  // namespace ca::mem

@@ -1,4 +1,5 @@
-// The data-movement mechanism: a parallel, chunked copy engine.
+// The data-movement mechanism: a parallel, chunked copy engine plus a
+// background mover for asynchronous transfers.
 //
 // This is the paper's "memory movement engine [which] is highly
 // multi-threaded, specifically targeting large memory sizes" (§V-b).  Two
@@ -10,14 +11,26 @@
 //     engine would deploy for a transfer of that size.  NVRAM writes use
 //     non-temporal stores by default ("crucial for best performance",
 //     §V-d).
+//
+// Asynchronous transfers (§V-c) run on a dedicated mover pool with
+// `Platform::mover_channels` independent channels, split between the two
+// directions (fetch toward faster devices, writeback toward slower ones).
+// `copy_async` returns immediately with a Transfer handle: the real memcpy
+// happens on a mover thread, and the modeled completion time comes from
+// channel availability plus `modeled_copy_time`.  The caller's wall clock
+// therefore no longer scales with transfer size.
+//
 // Traffic is recorded against the source device as reads and the
 // destination device as writes, exactly as the paper's uncore counters see
 // a migration.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <vector>
 
 #include "mem/arena.hpp"
+#include "mem/transfer.hpp"
 #include "sim/clock.hpp"
 #include "sim/platform.hpp"
 #include "telemetry/counters.hpp"
@@ -29,14 +42,20 @@ class CopyEngine {
  public:
   /// Aggregate transfer statistics (explicit migrations only).
   struct Stats {
-    std::uint64_t copies = 0;
-    std::uint64_t bytes = 0;
-    double seconds = 0.0;          ///< modeled time spent copying
-    double latency_seconds = 0.0;  ///< share from per-op latency
+    std::uint64_t copies = 0;          ///< synchronous copies
+    std::uint64_t bytes = 0;           ///< bytes moved synchronously
+    double seconds = 0.0;              ///< modeled time spent copying
+    double latency_seconds = 0.0;      ///< share from per-op latency
+    std::uint64_t fills = 0;           ///< fill_zero calls
+    std::uint64_t fill_bytes = 0;      ///< bytes zero-filled
+    std::uint64_t async_copies = 0;    ///< transfers scheduled on the mover
+    std::uint64_t async_bytes = 0;     ///< bytes moved asynchronously
+    double async_seconds = 0.0;        ///< modeled channel occupancy, summed
   };
 
   CopyEngine(const sim::Platform& platform, sim::Clock& clock,
              telemetry::TrafficCounters& counters);
+  ~CopyEngine();
 
   CopyEngine(const CopyEngine&) = delete;
   CopyEngine& operator=(const CopyEngine&) = delete;
@@ -47,7 +66,20 @@ class CopyEngine {
             sim::DeviceId src_dev, std::size_t bytes,
             bool non_temporal = true);
 
-  /// Zero-fill `bytes` at `dst`; charges write-side cost only.
+  /// Schedule an asynchronous copy on the background mover.  The real
+  /// memcpy runs on a mover thread (the pointers must stay valid until the
+  /// returned handle reports `real_done`; the DataManager enforces this by
+  /// joining before a region is freed or relocated).  The modeled transfer
+  /// occupies the earliest-available channel of its direction: it starts at
+  /// max(`earliest_start`, current simulated time, channel availability)
+  /// and completes `modeled_copy_time` later.  Traffic is recorded
+  /// immediately; the simulated clock is NOT advanced.
+  Transfer copy_async(void* dst, sim::DeviceId dst_dev, const void* src,
+                      sim::DeviceId src_dev, std::size_t bytes,
+                      double earliest_start, bool non_temporal = true);
+
+  /// Zero-fill `bytes` at `dst`, chunked across the copy pool like `copy`;
+  /// charges write-side cost only.
   void fill_zero(void* dst, sim::DeviceId dst_dev, std::size_t bytes);
 
   /// The worker count the engine deploys for a transfer of `bytes`
@@ -66,6 +98,34 @@ class CopyEngine {
                                          sim::DeviceId dst_dev,
                                          bool non_temporal) const;
 
+  // --- mover channels ------------------------------------------------------
+
+  [[nodiscard]] std::size_t channel_count() const noexcept {
+    return channel_busy_.size();
+  }
+  [[nodiscard]] double channel_busy_until(std::size_t channel) const {
+    return channel_busy_.at(channel);
+  }
+
+  /// Latest modeled completion across all channels (the mover horizon; no
+  /// in-flight transfer completes later than this).
+  [[nodiscard]] double mover_horizon() const noexcept;
+
+  /// Channels serving transfers toward `dst_dev` coming from `src_dev`
+  /// (fetch channels for moves toward faster devices, writeback channels
+  /// otherwise).  Exposed for tests and benches.
+  [[nodiscard]] std::size_t channels_for(sim::DeviceId src_dev,
+                                         sim::DeviceId dst_dev) const noexcept;
+
+  /// Number of scheduled transfers whose real memcpy has not finished yet.
+  [[nodiscard]] std::size_t inflight() const noexcept {
+    return inflight_.load(std::memory_order_acquire);
+  }
+
+  /// Block the calling host thread until every scheduled real memcpy has
+  /// finished.  Does not touch the simulated clock.
+  void drain();
+
   [[nodiscard]] const sim::Platform& platform() const noexcept {
     return platform_;
   }
@@ -73,10 +133,17 @@ class CopyEngine {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
+  /// Pick the earliest-available channel of the transfer's direction.
+  [[nodiscard]] std::size_t pick_channel(sim::DeviceId src_dev,
+                                         sim::DeviceId dst_dev) const;
+
   const sim::Platform& platform_;
   sim::Clock& clock_;
   telemetry::TrafficCounters& counters_;
-  util::ThreadPool pool_;
+  util::ThreadPool pool_;        ///< chunked synchronous copies and fills
+  util::ThreadPool mover_pool_;  ///< background asynchronous transfers
+  std::vector<double> channel_busy_;  ///< modeled availability per channel
+  std::atomic<std::size_t> inflight_{0};
   Stats stats_;
 };
 

@@ -1,0 +1,92 @@
+// Transfer: the handle to one asynchronous movement scheduled on the copy
+// engine's background mover (paper §V-c: "asynchronous data movement could
+// be implemented with a separate thread pool").
+//
+// A transfer has two completions that are deliberately decoupled:
+//   * the *real* completion: the background mover thread has finished the
+//     host-side memcpy.  `join()` blocks the calling host thread until
+//     then; it never advances the simulated clock.
+//   * the *modeled* completion: the simulated second at which the transfer
+//     retires from its mover channel (`done_time()`), computed from channel
+//     availability plus the bandwidth model when the transfer is scheduled.
+//
+// Lifecycle: scheduled -> (real bytes land, modeled clock catches up, in
+// either order) -> retired.  The DataManager keeps a registry of scheduled
+// transfers and retires them once both completions have happened; the audit
+// library checks that every live entry still points at live regions.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+
+namespace ca::mem {
+
+class CopyEngine;
+
+class Transfer {
+ public:
+  Transfer() = default;
+
+  /// False for a default-constructed (or reset) handle.
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Modeled start / completion, in simulated seconds.  The gap between
+  /// them is the channel occupancy the transfer was charged.
+  [[nodiscard]] double start_time() const noexcept {
+    return state_ ? state_->start : 0.0;
+  }
+  [[nodiscard]] double done_time() const noexcept {
+    return state_ ? state_->done : 0.0;
+  }
+
+  /// Mover channel the transfer was scheduled on.
+  [[nodiscard]] std::size_t channel() const noexcept {
+    return state_ ? state_->channel : 0;
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return state_ ? state_->bytes : 0;
+  }
+
+  /// True once the background memcpy has finished (host-side fact; do not
+  /// branch simulated behaviour on it -- it is not deterministic).
+  [[nodiscard]] bool real_done() const noexcept {
+    return state_ == nullptr ||
+           state_->real_done.load(std::memory_order_acquire);
+  }
+
+  /// Block the calling host thread until the real bytes have landed.  Does
+  /// not touch the simulated clock.  No-op on an invalid handle.
+  void join() const {
+    if (state_ == nullptr) return;
+    if (state_->real_done.load(std::memory_order_acquire)) return;
+    std::unique_lock lock(state_->mu);
+    state_->cv.wait(lock, [s = state_.get()] {
+      return s->real_done.load(std::memory_order_acquire);
+    });
+  }
+
+  void reset() noexcept { state_.reset(); }
+
+ private:
+  friend class CopyEngine;
+
+  struct State {
+    double start = 0.0;
+    double done = 0.0;
+    std::size_t channel = 0;
+    std::size_t bytes = 0;
+    std::atomic<bool> real_done{false};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  explicit Transfer(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ca::mem

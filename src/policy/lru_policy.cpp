@@ -65,6 +65,7 @@ void LruPolicy::will_read(dm::Object& object) {
   // Otherwise: NVRAM read bandwidth is high enough that reads are served in
   // place (paper §III-D).  Touch the LRU either way.
   touch(node(object));
+  prefetch_ahead(object);
 }
 
 void LruPolicy::will_read_partial(dm::Object& object, std::size_t bytes) {
@@ -91,6 +92,7 @@ void LruPolicy::will_write(dm::Object& object) {
   // fast memory, evicting colder data if necessary.
   prefetch(object, /*force=*/true);
   touch(node(object));
+  prefetch_ahead(object);
 }
 
 void LruPolicy::archive(dm::Object& object) {
@@ -99,6 +101,42 @@ void LruPolicy::archive(dm::Object& object) {
   // object the preferred victim under future pressure.
   Node& n = node(object);
   if (n.lru_hook.linked()) lru_.move_to_back(n);
+  if (config_.prefetch_distance > 0) record_archive(object);
+}
+
+void LruPolicy::record_archive(dm::Object& object) {
+  if (trace_pos_.count(&object) != 0) {
+    // Re-archive of an already-recorded object: the next forward pass has
+    // begun and the old trace is stale.
+    archive_trace_.clear();
+    trace_pos_.clear();
+  }
+  trace_pos_[&object] = archive_trace_.size();
+  archive_trace_.push_back(&object);
+}
+
+void LruPolicy::prefetch_ahead(dm::Object& object) {
+  if (config_.prefetch_distance == 0) return;
+  const auto it = trace_pos_.find(&object);
+  if (it == trace_pos_.end()) return;
+  // The backward pass consumes objects roughly in reverse archive order:
+  // the ones recorded just before `object` are needed next.  Prefetch them
+  // asynchronously and gently (never evict to make room for a guess).
+  std::size_t issued = 0;
+  std::size_t pos = it->second;
+  while (pos > 0 && issued < config_.prefetch_distance) {
+    dm::Object* ahead = archive_trace_[--pos];
+    if (ahead == nullptr || ahead->pinned()) continue;
+    if (ahead->size() < config_.min_migratable) continue;
+    dm::Region* p = dm_.getprimary(*ahead);
+    if (p == nullptr || !dm_.in(*p, config_.slow)) continue;
+    if (!prefetch_impl(*ahead, /*force=*/false, /*async=*/true)) {
+      break;  // fast memory is full; stop guessing
+    }
+    ++issued;
+    ++stats_.prefetch_ahead;
+    stats_.prefetch_ahead_bytes += ahead->size();
+  }
 }
 
 bool LruPolicy::retire(dm::Object& object) {
@@ -114,6 +152,11 @@ bool LruPolicy::retire(dm::Object& object) {
 }
 
 void LruPolicy::on_destroy(dm::Object& object) {
+  const auto tp = trace_pos_.find(&object);
+  if (tp != trace_pos_.end()) {
+    archive_trace_[tp->second] = nullptr;  // tombstone; positions are stable
+    trace_pos_.erase(tp);
+  }
   const auto it = nodes_.find(&object);
   if (it == nodes_.end()) return;
   remove_from_lru(it->second);
@@ -149,7 +192,16 @@ void LruPolicy::evict(dm::Object& object) {
     dm_.link(*x, *y);
   }
   if (dm_.isdirty(*x) || allocated) {
-    dm_.copyto(*y, *x);
+    if (config_.async_writeback) {
+      // Write-behind: the writeback occupies a mover writeback channel in
+      // the background; the evictor does not stall and the fast window is
+      // reused immediately.  free(x) below joins the real copy only (no
+      // simulated time) so the storage is safe to hand out.
+      dm_.copyto_async(*y, *x);
+      ++stats_.async_writebacks;
+    } else {
+      dm_.copyto(*y, *x);
+    }
   } else {
     // The slow copy is already valid: the expensive NVRAM write is elided
     // (paper requirement 2, §III-A).
@@ -165,6 +217,10 @@ void LruPolicy::evict(dm::Object& object) {
 }
 
 bool LruPolicy::prefetch(dm::Object& object, bool force) {
+  return prefetch_impl(object, force, config_.async_prefetch);
+}
+
+bool LruPolicy::prefetch_impl(dm::Object& object, bool force, bool async) {
   dm::Region* x = dm_.getprimary(object);
   CA_CHECK(x != nullptr, "prefetch of an object without storage");
   if (!dm_.in(*x, config_.slow)) return true;  // already fast
@@ -183,7 +239,7 @@ bool LruPolicy::prefetch(dm::Object& object, bool force) {
   // spuriously dirty, so a later write to the new primary produced two
   // "dirty" copies of one object.
   dm_.link(*x, *y);
-  if (config_.async_prefetch) {
+  if (async) {
     dm_.copyto_async(*y, *x);
   } else {
     dm_.copyto(*y, *x);

@@ -29,6 +29,7 @@
 #include <functional>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "policy/policy.hpp"
 #include "sim/platform.hpp"
@@ -64,6 +65,19 @@ struct LruPolicyConfig {
   /// the copy overlaps with execution and consumers stall only for the
   /// unfinished remainder at first use.
   bool async_prefetch = false;
+
+  /// Write-behind eviction: the eviction writeback is scheduled on the
+  /// mover's writeback channels instead of stalling the evictor.  The
+  /// freed fast-memory window is reused immediately; the slow copy's
+  /// ready_at carries the dependency for any later consumer.
+  bool async_writeback = false;
+
+  /// Issue asynchronous prefetches for up to this many objects *ahead* of
+  /// the one being read, using the archive trace: the forward pass archives
+  /// objects in use order, and the backward pass consumes them roughly in
+  /// reverse, so the objects archived just before the current one are
+  /// needed next.  0 disables look-ahead.
+  std::size_t prefetch_distance = 0;
 };
 
 class LruPolicy final : public Policy {
@@ -78,6 +92,9 @@ class LruPolicy final : public Policy {
     std::uint64_t retires_honored = 0;
     std::uint64_t gc_pressure_calls = 0;
     std::uint64_t sparse_reads_in_place = 0;  ///< partial reads not migrated
+    std::uint64_t async_writebacks = 0;       ///< write-behind evictions
+    std::uint64_t prefetch_ahead = 0;         ///< look-ahead prefetches issued
+    std::uint64_t prefetch_ahead_bytes = 0;
   };
 
   LruPolicy(dm::DataManager& dm, LruPolicyConfig config);
@@ -127,6 +144,18 @@ class LruPolicy final : public Policy {
   void touch(Node& n);
   void remove_from_lru(Node& n);
 
+  /// Prefetch with an explicit choice of mover (sync vs async); the public
+  /// `prefetch` uses the configured default.
+  bool prefetch_impl(dm::Object& object, bool force, bool async);
+
+  /// Append to the archive trace; a re-archive of a recorded object marks
+  /// the start of a new forward pass and resets the trace.
+  void record_archive(dm::Object& object);
+
+  /// Issue asynchronous look-ahead prefetches for the objects archived just
+  /// before `object` (the ones the backward pass needs next).
+  void prefetch_ahead(dm::Object& object);
+
   /// Allocate on fast, forcing room by eviction if needed.  Returns nullptr
   /// if the object simply cannot fit.
   dm::Region* allocate_fast_forced(std::size_t size);
@@ -144,6 +173,8 @@ class LruPolicy final : public Policy {
   OpStats stats_;
   std::unordered_map<const dm::Object*, Node> nodes_;
   util::IntrusiveList<Node, &Node::lru_hook> lru_;
+  std::vector<dm::Object*> archive_trace_;  ///< forward-pass archive order
+  std::unordered_map<const dm::Object*, std::size_t> trace_pos_;
 };
 
 }  // namespace ca::policy

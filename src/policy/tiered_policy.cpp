@@ -104,7 +104,13 @@ bool TieredLruPolicy::move_to_tier(dm::Object& object, std::size_t target) {
   // Link before copying so copyto synchronizes both dirty bits (see the
   // same pattern in LruPolicy::prefetch).
   dm_.link(*x, *y);
-  dm_.copyto(*y, *x);
+  if (config_.async_movement) {
+    // The copy rides a mover channel; free(x) below joins the real bytes
+    // only, and y's ready_at carries the dependency to the next consumer.
+    dm_.copyto_async(*y, *x);
+  } else {
+    dm_.copyto(*y, *x);
+  }
   dm_.setprimary(object, *y);
   dm_.free(x);
   stats_.bytes_moved += object.size();

@@ -34,6 +34,12 @@ struct TieredLruPolicyConfig {
 
   /// Objects smaller than this stay wherever they were born.
   std::size_t min_migratable = 64 * util::KiB;
+
+  /// Move objects between tiers on the asynchronous mover: demotions become
+  /// write-behind (the vacated window is reused immediately) and promotions
+  /// overlap with execution, with consumers stalling only for the unfinished
+  /// remainder at first use.
+  bool async_movement = false;
 };
 
 class TieredLruPolicy final : public Policy {

@@ -31,6 +31,13 @@ struct Platform {
   /// Transfers are split into chunks of this size across copy workers.
   std::size_t copy_chunk = 2 * util::MiB;
 
+  /// Independent background-mover channels for asynchronous transfers.
+  /// Channels are split evenly between the two directions (fetch toward
+  /// faster devices vs writeback toward slower ones) so eviction traffic
+  /// never queues behind prefetch traffic.  1 = a single fully-serialized
+  /// mover (the pre-channel behaviour, kept as the ablation baseline).
+  std::size_t mover_channels = 4;
+
   /// Human-readable note describing the scaling, echoed by bench headers.
   const char* scale_note = "";
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <memory>
 
+#include "util/align.hpp"
 #include "util/error.hpp"
 
 namespace ca::util {
@@ -35,6 +37,40 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+namespace {
+
+/// Shared state of one parallel_for: a single atomic cursor all
+/// participants pull ranges from.  Exactly one heap object per call, no
+/// matter how many chunks the range splits into.
+struct ParallelForState {
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> covered{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  /// Pull ranges until the cursor runs past n.  Safe to call from any
+  /// thread, any number of times, including after completion (late-started
+  /// helpers see an exhausted cursor and return immediately).
+  void work() {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(begin + grain, n);
+      (*fn)(begin, end);
+      if (covered.fetch_add(end - begin, std::memory_order_acq_rel) +
+              (end - begin) == n) {
+        std::lock_guard lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
@@ -43,30 +79,26 @@ void ThreadPool::parallel_for(
     fn(0, n);
     return;
   }
-  const std::size_t chunks = std::min(workers, n);
-  const std::size_t per = n / chunks;
-  const std::size_t extra = n % chunks;
 
-  std::atomic<std::size_t> remaining{chunks};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  auto state = std::make_shared<ParallelForState>();
+  state->fn = &fn;
+  state->n = n;
+  // ~4 pulls per participant: coarse enough that the atomic cursor is cold,
+  // fine enough that a straggler cannot hold more than 1/4 of a share.
+  state->grain = std::max<std::size_t>(1, n / ((workers + 1) * 4));
 
-  std::size_t begin = 0;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t len = per + (c < extra ? 1 : 0);
-    const std::size_t end = begin + len;
-    submit([&, begin, end] {
-      fn(begin, end);
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock(done_mu);
-        done_cv.notify_all();
-      }
-    });
-    begin = end;
+  // The caller participates, so only workers-many helpers are needed; fewer
+  // when the range cannot keep them all busy.
+  const std::size_t helpers =
+      std::min(workers, util::ceil_div(n, state->grain));
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([state] { state->work(); });
   }
-  std::unique_lock lock(done_mu);
-  done_cv.wait(lock,
-               [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  state->work();
+  std::unique_lock lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->covered.load(std::memory_order_acquire) == n;
+  });
 }
 
 void ThreadPool::wait_idle() {

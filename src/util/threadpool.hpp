@@ -33,9 +33,12 @@ class ThreadPool {
   /// Enqueue a task. Tasks must not throw; a throwing task terminates.
   void submit(std::function<void()> task);
 
-  /// Partition [0, n) into ~thread_count chunks and run
-  /// `fn(begin, end)` on each, blocking until all complete.  Runs inline
-  /// when n is small or the pool has a single worker.
+  /// Run `fn(begin, end)` over a partition of [0, n), blocking until all of
+  /// [0, n) is covered.  Work is distributed through ONE shared task state:
+  /// workers (and the calling thread, which participates) pull index ranges
+  /// from an atomic cursor, so the queue mutex is touched O(workers) times
+  /// per call instead of once per chunk.  Runs inline when n is small or
+  /// the pool has a single worker.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 

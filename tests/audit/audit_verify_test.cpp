@@ -62,6 +62,23 @@ struct AllocatorTestPeer {
   }
 };
 
+}  // namespace ca::mem
+
+namespace ca::dm {
+
+// Same idiom at the data-manager level: a friend of DataManager that hands
+// tests direct access to the in-flight transfer registry so the dm.inflight
+// invariants can be violated deliberately.
+struct DataManagerTestPeer {
+  static std::vector<DataManager::InflightTransfer>& inflight(
+      DataManager& dm) {
+    return dm.inflight_;
+  }
+};
+
+}  // namespace ca::dm
+
+namespace ca::mem {
 namespace {
 
 constexpr std::size_t kHeap = 64 * util::KiB;
@@ -216,6 +233,53 @@ TEST_F(DmAuditFixture, PinnedObjectWithoutPrimaryIsNamed) {
   EXPECT_TRUE(report.has("dm.pin")) << report.to_string();
   dm_.unpin(*obj);
   dm_.destroy_object(obj);
+}
+
+TEST_F(DmAuditFixture, InflightTransferAuditsClean) {
+  dm::Region* src = dm_.allocate(sim::kSlow, 64 * util::KiB);
+  dm::Region* dst = dm_.allocate(sim::kFast, 64 * util::KiB);
+  dm_.copyto_async(*dst, *src);
+  ASSERT_EQ(dm_.inflight_transfers().size(), 1u);
+  const auto report = audit::verify(dm_);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  dm_.free(src);
+  dm_.free(dst);
+}
+
+TEST_F(DmAuditFixture, InflightTransferToDeadRegionIsNamed) {
+  dm::Region* src = dm_.allocate(sim::kSlow, 64 * util::KiB);
+  dm::Region* dst = dm_.allocate(sim::kFast, 64 * util::KiB);
+  dm_.copyto_async(*dst, *src);
+  auto& inflight = dm::DataManagerTestPeer::inflight(dm_);
+  ASSERT_EQ(inflight.size(), 1u);
+  // Corruption: the registry keeps pointing at a Region the manager no
+  // longer owns -- the bug class the registry scrubbing in free() prevents.
+  dm::Region dead;
+  dm::Region* saved = inflight[0].dst;
+  inflight[0].dst = &dead;
+  const auto report = audit::verify(dm_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("dm.inflight")) << report.to_string();
+  inflight[0].dst = saved;  // restore before teardown joins/frees
+  dm_.free(src);
+  dm_.free(dst);
+}
+
+TEST_F(DmAuditFixture, InflightEntryWithoutHandleIsNamed) {
+  dm::Region* src = dm_.allocate(sim::kSlow, 64 * util::KiB);
+  dm::Region* dst = dm_.allocate(sim::kFast, 64 * util::KiB);
+  dm_.copyto_async(*dst, *src);
+  auto& inflight = dm::DataManagerTestPeer::inflight(dm_);
+  ASSERT_EQ(inflight.size(), 1u);
+  dm_.engine().drain();  // the real copy must finish before we drop the handle
+  mem::Transfer saved = inflight[0].transfer;
+  inflight[0].transfer = mem::Transfer{};
+  const auto report = audit::verify(dm_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("dm.inflight")) << report.to_string();
+  inflight[0].transfer = saved;
+  dm_.free(src);
+  dm_.free(dst);
 }
 
 TEST_F(DmAuditFixture, ScopedAbortHookInstallsAndRemovesTheHook) {

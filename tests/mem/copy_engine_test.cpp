@@ -143,5 +143,89 @@ TEST_F(CopyEngineTest, ModeledBandwidthIsMinOfEndpoints) {
   EXPECT_DOUBLE_EQ(bw, std::min(src_bw, dst_bw));
 }
 
+TEST_F(CopyEngineTest, FillZeroCountsFillsNotCopies) {
+  std::vector<std::byte> buf(3 * util::MiB, std::byte{0xFF});
+  engine_.fill_zero(buf.data(), sim::kFast, buf.size());
+  const auto& s = engine_.stats();
+  EXPECT_EQ(s.fills, 1u);
+  EXPECT_EQ(s.fill_bytes, buf.size());
+  EXPECT_EQ(s.copies, 0u);
+  for (std::size_t i = 0; i < buf.size(); i += 4099) {
+    ASSERT_EQ(std::to_integer<unsigned>(buf[i]), 0u) << "at " << i;
+  }
+}
+
+TEST_F(CopyEngineTest, AsyncCopyMovesBytesAfterJoin) {
+  std::vector<std::byte> src(4 * util::MiB);
+  std::vector<std::byte> dst(4 * util::MiB);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::byte>(i * 13 + 5);
+  }
+  Transfer t = engine_.copy_async(dst.data(), sim::kFast, src.data(),
+                                  sim::kSlow, src.size(), 0.0);
+  ASSERT_TRUE(t.valid());
+  t.join();
+  EXPECT_TRUE(t.real_done());
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), src.size()), 0);
+  // Scheduling never advanced the clock; the modeled completion matches the
+  // bandwidth model.
+  EXPECT_DOUBLE_EQ(clock_.now(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      t.done_time() - t.start_time(),
+      engine_.modeled_copy_time(src.size(), sim::kSlow, sim::kFast, true));
+}
+
+TEST_F(CopyEngineTest, AsyncStatsAndTrafficRecordedAtScheduleTime) {
+  std::vector<std::byte> src(1 * util::MiB);
+  std::vector<std::byte> dst(1 * util::MiB);
+  engine_.copy_async(dst.data(), sim::kFast, src.data(), sim::kSlow,
+                     src.size(), 0.0);
+  const auto& s = engine_.stats();
+  EXPECT_EQ(s.async_copies, 1u);
+  EXPECT_EQ(s.async_bytes, src.size());
+  EXPECT_GT(s.async_seconds, 0.0);
+  EXPECT_EQ(counters_.device(sim::kSlow).bytes_read, src.size());
+  EXPECT_EQ(counters_.device(sim::kFast).bytes_written, src.size());
+  engine_.drain();
+}
+
+TEST_F(CopyEngineTest, ChannelsSplitBetweenDirections) {
+  // Default platform: 4 channels, half per direction.
+  EXPECT_EQ(engine_.channel_count(), 4u);
+  EXPECT_EQ(engine_.channels_for(sim::kSlow, sim::kFast), 2u);  // fetch
+  EXPECT_EQ(engine_.channels_for(sim::kFast, sim::kSlow), 2u);  // writeback
+}
+
+TEST_F(CopyEngineTest, MoverHorizonTracksLatestChannel) {
+  std::vector<std::byte> src(2 * util::MiB);
+  std::vector<std::byte> d1(2 * util::MiB), d2(2 * util::MiB),
+      d3(2 * util::MiB);
+  const Transfer t1 = engine_.copy_async(d1.data(), sim::kFast, src.data(),
+                                         sim::kSlow, src.size(), 0.0);
+  const Transfer t2 = engine_.copy_async(d2.data(), sim::kFast, src.data(),
+                                         sim::kSlow, src.size(), 0.0);
+  // Two fetch channels: both run concurrently in the model.
+  EXPECT_DOUBLE_EQ(t1.done_time(), t2.done_time());
+  EXPECT_NE(t1.channel(), t2.channel());
+  // A third fetch queues behind the earliest channel.
+  const Transfer t3 = engine_.copy_async(d3.data(), sim::kFast, src.data(),
+                                         sim::kSlow, src.size(), 0.0);
+  EXPECT_GT(t3.done_time(), t1.done_time());
+  EXPECT_DOUBLE_EQ(engine_.mover_horizon(), t3.done_time());
+  EXPECT_DOUBLE_EQ(engine_.channel_busy_until(t3.channel()), t3.done_time());
+  engine_.drain();
+  EXPECT_EQ(engine_.inflight(), 0u);
+}
+
+TEST_F(CopyEngineTest, EarliestStartDefersModeledTransfer) {
+  std::vector<std::byte> src(1 * util::MiB);
+  std::vector<std::byte> dst(1 * util::MiB);
+  const double defer = 123.5;
+  const Transfer t = engine_.copy_async(dst.data(), sim::kFast, src.data(),
+                                        sim::kSlow, src.size(), defer);
+  EXPECT_DOUBLE_EQ(t.start_time(), defer);
+  engine_.drain();
+}
+
 }  // namespace
 }  // namespace ca::mem

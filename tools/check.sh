@@ -7,25 +7,30 @@
 #      then the full ctest suite under it — including the randomized audit
 #      stress harness (ctest -R audit).
 #   2. TSan build of the concurrency-bearing components (thread pool, copy
-#      engine) and their tests.
-#   3. clang-tidy over src/ with the repo's .clang-tidy profile.
+#      engine, data-manager transfer registry) and their tests, including
+#      the Async* interleaving suites.
+#   3. bench-smoke: every bench entry point runs end to end on tiny shapes
+#      (ctest -L bench-smoke on the ASan build).
+#   4. clang-tidy over src/ with the repo's .clang-tidy profile.
 #
 # Exits non-zero on the first finding of any stage.  Stages whose toolchain
 # is not installed (e.g. clang-tidy on a gcc-only box) are SKIPPED with a
 # loud note rather than silently passed; CI images that carry the tools get
 # the full gate.
 #
-# Usage: tools/check.sh [--jobs N] [--skip-tsan] [--skip-tidy]
+# Usage: tools/check.sh [--jobs N] [--skip-tsan] [--skip-bench] [--skip-tidy]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 RUN_TSAN=1
+RUN_BENCH=1
 RUN_TIDY=1
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --jobs) JOBS="${2:?--jobs requires a value}"; shift 2 ;;
     --skip-tsan) RUN_TSAN=0; shift ;;
+    --skip-bench) RUN_BENCH=0; shift ;;
     --skip-tidy) RUN_TIDY=0; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
@@ -49,18 +54,27 @@ note "audit suite under sanitizers (ctest -R audit)"
 
 # --- 2. TSan on the threaded substrate ---------------------------------------
 if [[ "$RUN_TSAN" -eq 1 ]]; then
-  note "TSan build: thread pool + copy engine tests"
+  note "TSan build: thread pool + copy engine + async mover tests"
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCA_SANITIZE=thread \
     -DCA_WERROR=OFF > /dev/null
-  cmake --build build-tsan -j "$JOBS" --target test_util test_mem
-  ( cd build-tsan && ctest -R 'ThreadPool|CopyEngine' --output-on-failure )
+  cmake --build build-tsan -j "$JOBS" --target test_util test_mem test_dm
+  ( cd build-tsan && ctest -R 'ThreadPool|CopyEngine|Async' --output-on-failure )
 else
   note "TSan stage skipped (--skip-tsan)"
 fi
 
-# --- 3. clang-tidy over src/ -------------------------------------------------
+# --- 3. bench smoke ----------------------------------------------------------
+if [[ "$RUN_BENCH" -eq 1 ]]; then
+  note "bench-smoke: every bench entry point on tiny shapes"
+  cmake --build build-asan -j "$JOBS" --target ablation_async micro_async_mover
+  ( cd build-asan && ctest -L bench-smoke --output-on-failure )
+else
+  note "bench-smoke stage skipped (--skip-bench)"
+fi
+
+# --- 4. clang-tidy over src/ -------------------------------------------------
 if [[ "$RUN_TIDY" -eq 1 ]]; then
   if command -v clang-tidy > /dev/null 2>&1; then
     note "clang-tidy over src/ (profile: .clang-tidy, warnings are errors)"
