@@ -3,9 +3,10 @@
 #include "dm/audit_hook.hpp"
 
 #include <algorithm>
-#include <cstring>
 
+#include "race/access.hpp"
 #include "util/align.hpp"
+#include "util/bytes.hpp"
 #include "util/error.hpp"
 
 namespace ca::dm {
@@ -132,6 +133,7 @@ Region* DataManager::allocate(sim::DeviceId dev, std::size_t size) {
   region->data_ = h.arena.at(*offset);
   h.alloc->set_cookie(*offset, region);
   regions_.emplace(region, std::move(owned));
+  CA_RACE_ALLOC(region->data_, region->size_, "DataManager::allocate");
   CA_AUDIT(*this);
   return region;
 }
@@ -145,9 +147,17 @@ void DataManager::detach(Region& region) noexcept {
 }
 
 void DataManager::sync_region_real(Region& region) {
-  for (const auto& t : inflight_) {
-    if (t.dst == &region || t.src == &region) t.transfer.join();
+  // Copy the matching handles out of the registry before joining: joins can
+  // block, and the registry lock is a leaf that must never be held across a
+  // blocking call (another task might need it to make progress).
+  std::vector<mem::Transfer> pending;
+  {
+    sync::lock lock(inflight_mu_);
+    for (const auto& t : inflight_) {
+      if (t.dst == &region || t.src == &region) pending.push_back(t.transfer);
+    }
   }
+  for (const auto& t : pending) t.join();
   if (region.fill_.valid()) region.fill_.join();
 }
 
@@ -156,17 +166,21 @@ void DataManager::release_region(Region* region) {
   // or writes it: join the real copies, then abandon the modeled completions
   // (an evicted-before-use prefetch is legitimate and must not throw).
   sync_region_real(*region);
-  std::size_t kept = 0;
-  for (auto& t : inflight_) {
-    if (t.dst == region || t.src == region) {
-      ++async_stats_.retired;
-      continue;
+  {
+    sync::lock lock(inflight_mu_);
+    std::size_t kept = 0;
+    for (auto& t : inflight_) {
+      if (t.dst == region || t.src == region) {
+        ++async_stats_.retired;
+        continue;
+      }
+      if (&inflight_[kept] != &t) inflight_[kept] = std::move(t);
+      ++kept;
     }
-    if (&inflight_[kept] != &t) inflight_[kept] = std::move(t);
-    ++kept;
+    inflight_.resize(kept);
   }
-  inflight_.resize(kept);
 
+  CA_RACE_FREE(region->data(), region->size(), "DataManager::release_region");
   auto& h = heap(region->device());
   h.alloc->free(region->offset());
   const auto it = regions_.find(region);
@@ -241,11 +255,14 @@ double DataManager::copyto_async(Region& dst, Region& src) {
   if (src.parent() != nullptr && src.parent() == dst.parent()) {
     src.dirty_ = false;
   }
-  inflight_.push_back(InflightTransfer{std::move(t), &dst, &src});
-  ++async_stats_.scheduled;
-  async_stats_.bytes += src.size();
-  async_stats_.inflight_peak =
-      std::max(async_stats_.inflight_peak, inflight_.size());
+  {
+    sync::lock lock(inflight_mu_);
+    inflight_.push_back(InflightTransfer{std::move(t), &dst, &src});
+    ++async_stats_.scheduled;
+    async_stats_.bytes += src.size();
+    async_stats_.inflight_peak =
+        std::max(async_stats_.inflight_peak, inflight_.size());
+  }
   CA_AUDIT(*this);
   return done;
 }
@@ -255,6 +272,7 @@ void DataManager::wait_ready(Region& region) {
   if (region.ready_at_ > clock_.now()) {
     stall = region.ready_at_ - clock_.now();
     clock_.advance(stall, sim::TimeCategory::kMovement);
+    sync::lock lock(inflight_mu_);
     ++async_stats_.stalls;
     async_stats_.stall_seconds += stall;
   }
@@ -263,7 +281,10 @@ void DataManager::wait_ready(Region& region) {
     // behind other work -- that is the win the async engine exists for.
     const double duration =
         region.fill_.done_time() - region.fill_.start_time();
-    async_stats_.overlap_seconds += std::max(0.0, duration - stall);
+    {
+      sync::lock lock(inflight_mu_);
+      async_stats_.overlap_seconds += std::max(0.0, duration - stall);
+    }
     region.fill_.join();
     region.fill_.reset();
   }
@@ -274,24 +295,35 @@ void DataManager::wait_ready(Region& region) {
 
 void DataManager::retire_transfers() {
   const double now = clock_.now();
-  std::size_t kept = 0;
-  for (auto& t : inflight_) {
-    if (t.transfer.done_time() <= now) {
-      // Modeled completion has passed; join the real copy so the regions
-      // may be freed or relocated without consulting the registry again.
-      t.transfer.join();
-      ++async_stats_.retired;
-      continue;
+  // Pull retirees out of the registry under the lock, then join their real
+  // copies outside it: a registry entry must never outlive its join (the
+  // regions could be freed the moment the entry is gone), but the leaf lock
+  // must not be held across a blocking join either -- so entries leave the
+  // registry and are joined before this function returns control to code
+  // that could free them.
+  std::vector<mem::Transfer> retired;
+  {
+    sync::lock lock(inflight_mu_);
+    std::size_t kept = 0;
+    for (auto& t : inflight_) {
+      if (t.transfer.done_time() <= now) {
+        retired.push_back(std::move(t.transfer));
+        ++async_stats_.retired;
+        continue;
+      }
+      if (&inflight_[kept] != &t) inflight_[kept] = std::move(t);
+      ++kept;
     }
-    if (&inflight_[kept] != &t) inflight_[kept] = std::move(t);
-    ++kept;
+    inflight_.resize(kept);
   }
-  inflight_.resize(kept);
+  for (const auto& t : retired) t.join();
+  CA_AUDIT(*this);
 }
 
 void DataManager::drain_transfers() {
   engine_.drain();
   retire_transfers();
+  CA_AUDIT(*this);
 }
 
 void DataManager::link(Region& owned, Region& orphan) {
@@ -448,8 +480,8 @@ void DataManager::defragment(sim::DeviceId dev) {
     CA_CHECK(*new_offset <= region->offset(),
              "defragment: compaction moved a region to a higher address");
     if (*new_offset != region->offset()) {
-      std::memmove(h.arena.at(*new_offset), h.arena.at(region->offset()),
-                   region->size());
+      util::move_bytes(h.arena.at(*new_offset), h.arena.at(region->offset()),
+                       region->size(), "DataManager::defragment");
       moved += region->size();
     }
     region->offset_ = *new_offset;
@@ -507,12 +539,16 @@ void DataManager::check_invariants() const {
   CA_CHECK(blocks_with_regions == regions_.size(),
            "region count does not match allocated block count");
 
-  for (const auto& t : inflight_) {
-    CA_CHECK(t.transfer.valid(), "in-flight registry entry without a handle");
-    CA_CHECK(regions_.count(t.dst) == 1,
-             "in-flight transfer destination is not a live region");
-    CA_CHECK(regions_.count(t.src) == 1,
-             "in-flight transfer source is not a live region");
+  {
+    sync::lock lock(inflight_mu_);
+    for (const auto& t : inflight_) {
+      CA_CHECK(t.transfer.valid(),
+               "in-flight registry entry without a handle");
+      CA_CHECK(regions_.count(t.dst) == 1,
+               "in-flight transfer destination is not a live region");
+      CA_CHECK(regions_.count(t.src) == 1,
+               "in-flight transfer source is not a live region");
+    }
   }
 
   for (const auto& [ptr, owned] : objects_) {

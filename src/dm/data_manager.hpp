@@ -25,13 +25,16 @@
 #include "mem/arena.hpp"
 #include "mem/copy_engine.hpp"
 #include "mem/freelist_allocator.hpp"
+#include "race/sync.hpp"
 #include "sim/clock.hpp"
 #include "sim/platform.hpp"
 #include "telemetry/counters.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ca::dm {
 
 struct DataManagerTestPeer;
+struct RaceTestPeer;
 
 class DataManager {
  public:
@@ -132,7 +135,7 @@ class DataManager {
 
   /// Latest modeled completion across all mover channels (no in-flight
   /// transfer completes later than this).
-  [[nodiscard]] double mover_busy_until() const noexcept {
+  [[nodiscard]] double mover_busy_until() const {
     return engine_.mover_horizon();
   }
 
@@ -146,13 +149,18 @@ class DataManager {
   /// simulated clock.
   void drain_transfers();
 
-  [[nodiscard]] const AsyncStats& async_stats() const noexcept {
+  /// Snapshot of the async-transfer statistics (copied under the registry
+  /// lock; safe to call from any thread).
+  [[nodiscard]] AsyncStats async_stats() const CA_EXCLUDES(inflight_mu_) {
+    sync::lock lock(inflight_mu_);
     return async_stats_;
   }
 
-  /// Registry of scheduled-but-not-retired transfers (for ca::audit).
-  [[nodiscard]] const std::vector<InflightTransfer>& inflight_transfers()
-      const noexcept {
+  /// Snapshot of the scheduled-but-not-retired transfer registry (for
+  /// ca::audit).  Copied under the registry lock.
+  [[nodiscard]] std::vector<InflightTransfer> inflight_transfers() const
+      CA_EXCLUDES(inflight_mu_) {
+    sync::lock lock(inflight_mu_);
     return inflight_;
   }
 
@@ -261,6 +269,7 @@ class DataManager {
 
  private:
   friend struct DataManagerTestPeer;
+  friend struct RaceTestPeer;
 
   struct DeviceHeap {
     explicit DeviceHeap(const sim::DeviceSpec& spec);
@@ -286,8 +295,12 @@ class DataManager {
   std::unordered_map<Region*, std::unique_ptr<Region>> regions_;
   std::unordered_map<Object*, std::unique_ptr<Object>> objects_;
   ObjectId next_object_id_ = 1;
-  std::vector<InflightTransfer> inflight_;
-  AsyncStats async_stats_;
+  /// Guards the in-flight registry and async statistics.  Leaf lock: it is
+  /// never held across Transfer::join(), engine calls, or CA_AUDIT()
+  /// (docs/CONCURRENCY.md has the full hierarchy).
+  mutable sync::mutex inflight_mu_;
+  std::vector<InflightTransfer> inflight_ CA_GUARDED_BY(inflight_mu_);
+  AsyncStats async_stats_ CA_GUARDED_BY(inflight_mu_);
 };
 
 }  // namespace ca::dm

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "util/bytes.hpp"
 #include "util/rng.hpp"
 
 namespace ca::dnn::real {
@@ -410,10 +411,10 @@ void concat_fwd(const float* a, const float* b, float* y, std::size_t n,
                 std::size_t w) {
   const std::size_t hw = h * w;
   for (std::size_t i = 0; i < n; ++i) {
-    std::memcpy(y + i * (ca + cb) * hw, a + i * ca * hw,
-                sizeof(float) * ca * hw);
-    std::memcpy(y + (i * (ca + cb) + ca) * hw, b + i * cb * hw,
-                sizeof(float) * cb * hw);
+    util::copy_bytes(y + i * (ca + cb) * hw, a + i * ca * hw,
+                     sizeof(float) * ca * hw, "ops::concat_fwd");
+    util::copy_bytes(y + (i * (ca + cb) + ca) * hw, b + i * cb * hw,
+                     sizeof(float) * cb * hw, "ops::concat_fwd");
   }
 }
 
@@ -422,10 +423,10 @@ void concat_bwd(const float* gy, float* ga, float* gb, std::size_t n,
                 std::size_t w) {
   const std::size_t hw = h * w;
   for (std::size_t i = 0; i < n; ++i) {
-    std::memcpy(ga + i * ca * hw, gy + i * (ca + cb) * hw,
-                sizeof(float) * ca * hw);
-    std::memcpy(gb + i * cb * hw, gy + (i * (ca + cb) + ca) * hw,
-                sizeof(float) * cb * hw);
+    util::copy_bytes(ga + i * ca * hw, gy + i * (ca + cb) * hw,
+                     sizeof(float) * ca * hw, "ops::concat_bwd");
+    util::copy_bytes(gb + i * cb * hw, gy + (i * (ca + cb) + ca) * hw,
+                     sizeof(float) * cb * hw, "ops::concat_bwd");
   }
 }
 
@@ -433,7 +434,8 @@ void embedding_gather(const float* table, const float* indices, float* out,
                       std::size_t batch, std::size_t dim) {
   for (std::size_t i = 0; i < batch; ++i) {
     const auto row = static_cast<std::size_t>(indices[i]);
-    std::memcpy(out + i * dim, table + row * dim, sizeof(float) * dim);
+    util::copy_bytes(out + i * dim, table + row * dim, sizeof(float) * dim,
+                     "ops::embedding_gather");
   }
 }
 

@@ -4,7 +4,9 @@
 #include <cstring>
 #include <thread>
 
+#include "race/access.hpp"
 #include "util/align.hpp"
+#include "util/bytes.hpp"
 #include "util/error.hpp"
 
 namespace ca::mem {
@@ -76,7 +78,7 @@ void CopyEngine::copy(void* dst, sim::DeviceId dst_dev, const void* src,
     for (std::size_t c = begin; c < end; ++c) {
       const std::size_t off = c * platform_.copy_chunk;
       const std::size_t len = std::min(platform_.copy_chunk, bytes - off);
-      std::memcpy(d + off, s + off, len);
+      util::copy_bytes(d + off, s + off, len, "CopyEngine::copy");
     }
   });
 
@@ -86,16 +88,20 @@ void CopyEngine::copy(void* dst, sim::DeviceId dst_dev, const void* src,
   clock_.advance(seconds, sim::TimeCategory::kMovement);
   counters_.record_read(src_dev, bytes);
   counters_.record_write(dst_dev, bytes);
-  ++stats_.copies;
-  stats_.bytes += bytes;
-  stats_.seconds += seconds;
-  stats_.latency_seconds += platform_.spec(src_dev).op_latency_s +
-                            platform_.spec(dst_dev).op_latency_s;
+  {
+    sync::lock lock(mu_);
+    ++stats_.copies;
+    stats_.bytes += bytes;
+    stats_.seconds += seconds;
+    stats_.latency_seconds += platform_.spec(src_dev).op_latency_s +
+                              platform_.spec(dst_dev).op_latency_s;
+  }
 }
 
 std::size_t CopyEngine::channels_for(sim::DeviceId src_dev,
                                      sim::DeviceId dst_dev) const noexcept {
-  const std::size_t n = channel_busy_.size();
+  // Channel count is fixed at construction, so this needs no lock.
+  const std::size_t n = std::max<std::size_t>(1, platform_.mover_channels);
   if (n < 2) return n;
   // A fetch moves data toward a faster (lower-numbered) device; a
   // writeback moves it toward a slower one.  Each direction owns half the
@@ -123,7 +129,8 @@ std::size_t CopyEngine::pick_channel(sim::DeviceId src_dev,
   return best;
 }
 
-double CopyEngine::mover_horizon() const noexcept {
+double CopyEngine::mover_horizon() const {
+  sync::lock lock(mu_);
   double horizon = 0.0;
   for (const double busy : channel_busy_) horizon = std::max(horizon, busy);
   return horizon;
@@ -135,16 +142,33 @@ Transfer CopyEngine::copy_async(void* dst, sim::DeviceId dst_dev,
                                 bool non_temporal) {
   CA_CHECK(dst != nullptr && src != nullptr,
            "null pointer passed to copy_async");
-  CA_CHECK(bytes > 0, "copy_async of zero bytes");
 
-  // Modeled schedule: earliest-available channel of the direction.
-  const std::size_t channel = pick_channel(src_dev, dst_dev);
+  // A zero-byte transfer completes instantly: no channel occupancy, no
+  // traffic, no mover task -- just a handle that is already done.
+  if (bytes == 0) {
+    auto state = std::make_shared<Transfer::State>();
+    state->start = std::max(earliest_start, clock_.now());
+    state->done = state->start;
+    state->real_done.store(true, std::memory_order_release);
+    return Transfer(std::move(state));
+  }
+
   const double duration =
       modeled_copy_time(bytes, src_dev, dst_dev, non_temporal);
-  const double start = std::max({earliest_start, clock_.now(),
-                                 channel_busy_[channel]});
+
+  // Modeled schedule: earliest-available channel of the direction.
+  std::size_t channel = 0;
+  double start = 0.0;
+  {
+    sync::lock lock(mu_);
+    channel = pick_channel(src_dev, dst_dev);
+    start = std::max({earliest_start, clock_.now(), channel_busy_[channel]});
+    channel_busy_[channel] = start + duration;
+    ++stats_.async_copies;
+    stats_.async_bytes += bytes;
+    stats_.async_seconds += duration;
+  }
   const double done = start + duration;
-  channel_busy_[channel] = done;
 
   auto state = std::make_shared<Transfer::State>();
   state->start = start;
@@ -152,15 +176,15 @@ Transfer CopyEngine::copy_async(void* dst, sim::DeviceId dst_dev,
   state->channel = channel;
   state->bytes = bytes;
 
-  // Traffic and stats are recorded at schedule time on the caller thread
-  // (the mover thread touches only the bytes and the transfer state).
+  // Traffic is recorded at schedule time on the caller thread (the mover
+  // thread touches only the bytes and the transfer state).
   counters_.record_read(src_dev, bytes);
   counters_.record_write(dst_dev, bytes);
-  ++stats_.async_copies;
-  stats_.async_bytes += bytes;
-  stats_.async_seconds += duration;
 
-  // Real movement in the background: one mover task, chunked memcpy.
+  // Real movement in the background: one mover task, chunked memcpy.  The
+  // source/destination ranges are recorded with the race detector chunk by
+  // chunk, so an unordered free or reuse of either range while the mover
+  // still runs is a reported race.
   inflight_.fetch_add(1, std::memory_order_acq_rel);
   auto* d = static_cast<std::byte*>(dst);
   const auto* s = static_cast<const std::byte*>(src);
@@ -168,10 +192,10 @@ Transfer CopyEngine::copy_async(void* dst, sim::DeviceId dst_dev,
   mover_pool_.submit([this, state, d, s, bytes, chunk] {
     for (std::size_t off = 0; off < bytes; off += chunk) {
       const std::size_t len = std::min(chunk, bytes - off);
-      std::memcpy(d + off, s + off, len);
+      util::copy_bytes(d + off, s + off, len, "CopyEngine::copy_async(mover)");
     }
     {
-      std::lock_guard lock(state->mu);
+      sync::lock lock(state->mu);
       state->real_done.store(true, std::memory_order_release);
     }
     state->cv.notify_all();
@@ -196,6 +220,7 @@ void CopyEngine::fill_zero(void* dst, sim::DeviceId dst_dev,
     for (std::size_t c = begin; c < end; ++c) {
       const std::size_t off = c * platform_.copy_chunk;
       const std::size_t len = std::min(platform_.copy_chunk, bytes - off);
+      CA_RACE_WRITE(d + off, len, "CopyEngine::fill_zero");
       std::memset(d + off, 0, len);
     }
   });
@@ -206,8 +231,11 @@ void CopyEngine::fill_zero(void* dst, sim::DeviceId dst_dev,
                      static_cast<double>(bytes) / spec.write_bw_nt.at(t),
                  sim::TimeCategory::kMovement);
   counters_.record_write(dst_dev, bytes);
-  ++stats_.fills;
-  stats_.fill_bytes += bytes;
+  {
+    sync::lock lock(mu_);
+    ++stats_.fills;
+    stats_.fill_bytes += bytes;
+  }
 }
 
 }  // namespace ca::mem

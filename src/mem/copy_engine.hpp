@@ -25,15 +25,16 @@
 // a migration.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <vector>
 
 #include "mem/arena.hpp"
 #include "mem/transfer.hpp"
+#include "race/sync.hpp"
 #include "sim/clock.hpp"
 #include "sim/platform.hpp"
 #include "telemetry/counters.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/threadpool.hpp"
 
 namespace ca::mem {
@@ -73,7 +74,9 @@ class CopyEngine {
   /// occupies the earliest-available channel of its direction: it starts at
   /// max(`earliest_start`, current simulated time, channel availability)
   /// and completes `modeled_copy_time` later.  Traffic is recorded
-  /// immediately; the simulated clock is NOT advanced.
+  /// immediately; the simulated clock is NOT advanced.  A zero-byte
+  /// request is legal and returns an already-complete handle that occupies
+  /// no channel and records no traffic.
   Transfer copy_async(void* dst, sim::DeviceId dst_dev, const void* src,
                       sim::DeviceId src_dev, std::size_t bytes,
                       double earliest_start, bool non_temporal = true);
@@ -100,16 +103,19 @@ class CopyEngine {
 
   // --- mover channels ------------------------------------------------------
 
-  [[nodiscard]] std::size_t channel_count() const noexcept {
+  [[nodiscard]] std::size_t channel_count() const CA_EXCLUDES(mu_) {
+    sync::lock lock(mu_);
     return channel_busy_.size();
   }
-  [[nodiscard]] double channel_busy_until(std::size_t channel) const {
+  [[nodiscard]] double channel_busy_until(std::size_t channel) const
+      CA_EXCLUDES(mu_) {
+    sync::lock lock(mu_);
     return channel_busy_.at(channel);
   }
 
   /// Latest modeled completion across all channels (the mover horizon; no
   /// in-flight transfer completes later than this).
-  [[nodiscard]] double mover_horizon() const noexcept;
+  [[nodiscard]] double mover_horizon() const CA_EXCLUDES(mu_);
 
   /// Channels serving transfers toward `dst_dev` coming from `src_dev`
   /// (fetch channels for moves toward faster devices, writeback channels
@@ -118,7 +124,7 @@ class CopyEngine {
                                          sim::DeviceId dst_dev) const noexcept;
 
   /// Number of scheduled transfers whose real memcpy has not finished yet.
-  [[nodiscard]] std::size_t inflight() const noexcept {
+  [[nodiscard]] std::size_t inflight() const {
     return inflight_.load(std::memory_order_acquire);
   }
 
@@ -130,21 +136,30 @@ class CopyEngine {
     return platform_;
   }
 
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Snapshot of the aggregate statistics (copied under the engine lock).
+  [[nodiscard]] Stats stats() const CA_EXCLUDES(mu_) {
+    sync::lock lock(mu_);
+    return stats_;
+  }
 
  private:
   /// Pick the earliest-available channel of the transfer's direction.
   [[nodiscard]] std::size_t pick_channel(sim::DeviceId src_dev,
-                                         sim::DeviceId dst_dev) const;
+                                         sim::DeviceId dst_dev) const
+      CA_REQUIRES(mu_);
 
   const sim::Platform& platform_;
   sim::Clock& clock_;
   telemetry::TrafficCounters& counters_;
   util::ThreadPool pool_;        ///< chunked synchronous copies and fills
   util::ThreadPool mover_pool_;  ///< background asynchronous transfers
-  std::vector<double> channel_busy_;  ///< modeled availability per channel
-  std::atomic<std::size_t> inflight_{0};
-  Stats stats_;
+  /// Guards the modeled channel schedule and the statistics; the lock
+  /// hierarchy is documented in docs/CONCURRENCY.md (mu_ is a leaf: never
+  /// hold it while calling into the pools, the clock, or the counters).
+  mutable sync::mutex mu_;
+  std::vector<double> channel_busy_ CA_GUARDED_BY(mu_);  ///< per-channel availability
+  sync::atomic<std::size_t> inflight_{0};
+  Stats stats_ CA_GUARDED_BY(mu_);
 };
 
 }  // namespace ca::mem

@@ -14,13 +14,18 @@
 // either order) -> retired.  The DataManager keeps a registry of scheduled
 // transfers and retires them once both completions have happened; the audit
 // library checks that every live entry still points at live regions.
+//
+// The handle's synchronization runs on the ca::sync shims: in CA_RACE
+// builds `join()` is a happens-before edge the race detector sees (the
+// mover's writes are ordered before everything after a join) and a
+// deterministic block under the schedule explorer.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
+
+#include "race/sync.hpp"
 
 namespace ca::mem {
 
@@ -52,17 +57,18 @@ class Transfer {
 
   /// True once the background memcpy has finished (host-side fact; do not
   /// branch simulated behaviour on it -- it is not deterministic).
-  [[nodiscard]] bool real_done() const noexcept {
+  [[nodiscard]] bool real_done() const {
     return state_ == nullptr ||
            state_->real_done.load(std::memory_order_acquire);
   }
 
   /// Block the calling host thread until the real bytes have landed.  Does
-  /// not touch the simulated clock.  No-op on an invalid handle.
+  /// not touch the simulated clock.  No-op on an invalid handle; idempotent
+  /// (joining twice, or joining an already-retired transfer, is safe).
   void join() const {
     if (state_ == nullptr) return;
     if (state_->real_done.load(std::memory_order_acquire)) return;
-    std::unique_lock lock(state_->mu);
+    sync::lock lock(state_->mu);
     state_->cv.wait(lock, [s = state_.get()] {
       return s->real_done.load(std::memory_order_acquire);
     });
@@ -78,9 +84,9 @@ class Transfer {
     double done = 0.0;
     std::size_t channel = 0;
     std::size_t bytes = 0;
-    std::atomic<bool> real_done{false};
-    std::mutex mu;
-    std::condition_variable cv;
+    sync::atomic<bool> real_done{false};
+    sync::mutex mu;
+    sync::condition_variable cv;
   };
 
   explicit Transfer(std::shared_ptr<State> state)

@@ -1,0 +1,34 @@
+// Data-access hooks for the ca::race detector.
+//
+// Sprinkle CA_RACE_READ / CA_RACE_WRITE over the byte ranges a thread is
+// about to touch (e.g. the source and destination of a copy chunk) and
+// CA_RACE_ALLOC / CA_RACE_FREE at region lifetime boundaries.  The label
+// must be a string literal (static storage): it names the site in race
+// reports.  Without CA_RACE every macro compiles to nothing.
+#pragma once
+
+#if defined(CA_RACE)
+
+#include "race/runtime.hpp"
+
+#define CA_RACE_READ(addr, size, label)                              \
+  ::ca::race::Runtime::instance().record_access(                     \
+      (addr), (size), ::ca::race::AccessKind::kRead, (label))
+#define CA_RACE_WRITE(addr, size, label)                             \
+  ::ca::race::Runtime::instance().record_access(                     \
+      (addr), (size), ::ca::race::AccessKind::kWrite, (label))
+#define CA_RACE_ALLOC(addr, size, label)                             \
+  ::ca::race::Runtime::instance().record_access(                     \
+      (addr), (size), ::ca::race::AccessKind::kAlloc, (label))
+#define CA_RACE_FREE(addr, size, label)                              \
+  ::ca::race::Runtime::instance().record_access(                     \
+      (addr), (size), ::ca::race::AccessKind::kFree, (label))
+
+#else  // !CA_RACE
+
+#define CA_RACE_READ(addr, size, label) ((void)0)
+#define CA_RACE_WRITE(addr, size, label) ((void)0)
+#define CA_RACE_ALLOC(addr, size, label) ((void)0)
+#define CA_RACE_FREE(addr, size, label) ((void)0)
+
+#endif  // CA_RACE

@@ -1,0 +1,101 @@
+#include "race/explorer.hpp"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "race/runtime.hpp"
+
+namespace ca::race {
+
+namespace {
+constexpr std::size_t kMaxKeptFailures = 16;
+
+void log_failure_line(const FailingSchedule& f) {
+  std::fprintf(stderr,
+               "ca::race: FAILURE seed=0x%llx strategy=%s schedule=0x%llx "
+               "reports=%zu errors=%zu\n",
+               static_cast<unsigned long long>(f.seed), to_string(f.strategy),
+               static_cast<unsigned long long>(f.schedule_hash),
+               f.reports.size(), f.task_errors.size());
+  for (const RaceReport& r : f.reports) {
+    std::fprintf(stderr, "ca::race:   %s\n", r.to_string().c_str());
+  }
+  for (const std::string& e : f.task_errors) {
+    std::fprintf(stderr, "ca::race:   task error: %s\n", e.c_str());
+  }
+}
+}  // namespace
+
+const char* to_string(Scheduler::Strategy strategy) noexcept {
+  switch (strategy) {
+    case Scheduler::Strategy::kRandomWalk:
+      return "random-walk";
+    case Scheduler::Strategy::kPct:
+      return "pct";
+  }
+  return "?";
+}
+
+ExplorerResult explore(const ExplorerOptions& options,
+                       const std::function<void()>& scenario) {
+  ExplorerResult result;
+  std::unordered_set<std::uint64_t> hashes;
+  for (std::size_t i = 0; i < options.schedules; ++i) {
+    Scheduler::Options sopts;
+    sopts.seed = options.base_seed + i;
+    sopts.strategy = options.mix_strategies && (i % 2 == 1)
+                         ? Scheduler::Strategy::kPct
+                         : Scheduler::Strategy::kRandomWalk;
+    sopts.pct_depth = options.pct_depth;
+    sopts.max_steps = options.max_steps;
+
+    const Scheduler::Result run = Scheduler::run(sopts, scenario);
+    std::vector<RaceReport> reports = Runtime::instance().take_reports();
+    ++result.schedules_run;
+    hashes.insert(run.schedule_hash);
+
+    if (!reports.empty() || !run.task_errors.empty()) {
+      ++result.failing_schedules;
+      FailingSchedule f;
+      f.seed = sopts.seed;
+      f.strategy = sopts.strategy;
+      f.schedule_hash = run.schedule_hash;
+      f.reports = std::move(reports);
+      f.task_errors = run.task_errors;
+      if (options.log_failures) log_failure_line(f);
+      if (result.failures.size() < kMaxKeptFailures) {
+        result.failures.push_back(std::move(f));
+      }
+      if (options.stop_on_failure) break;
+    }
+  }
+  result.distinct_schedules = hashes.size();
+  return result;
+}
+
+FailingSchedule replay(std::uint64_t seed, Scheduler::Strategy strategy,
+                       const std::function<void()>& scenario, int pct_depth,
+                       std::size_t max_steps) {
+  Scheduler::Options sopts;
+  sopts.seed = seed;
+  sopts.strategy = strategy;
+  sopts.pct_depth = pct_depth;
+  sopts.max_steps = max_steps;
+  const Scheduler::Result run = Scheduler::run(sopts, scenario);
+
+  FailingSchedule f;
+  f.seed = seed;
+  f.strategy = strategy;
+  f.schedule_hash = run.schedule_hash;
+  f.reports = Runtime::instance().take_reports();
+  f.task_errors = run.task_errors;
+  std::fprintf(stderr,
+               "ca::race: REPLAY seed=0x%llx strategy=%s schedule=0x%llx "
+               "reports=%zu errors=%zu\n",
+               static_cast<unsigned long long>(seed), to_string(strategy),
+               static_cast<unsigned long long>(f.schedule_hash),
+               f.reports.size(), f.task_errors.size());
+  return f;
+}
+
+}  // namespace ca::race

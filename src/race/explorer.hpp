@@ -1,0 +1,73 @@
+// Schedule explorer: drive a scenario through many seed-determined
+// interleavings and collect race reports per schedule.
+//
+// Typical use (see tests/race/):
+//
+//   ExplorerOptions opts;
+//   opts.schedules = 1200;
+//   auto result = explore(opts, [] { /* build DM, run transfers, ... */ });
+//   CA_CHECK(result.failing_schedules == 0, "races found");
+//
+// Every failing schedule prints a single machine-greppable line
+//
+//   ca::race: FAILURE seed=0x... strategy=pct schedule=0x... reports=N
+//
+// and `replay(seed, strategy, scenario)` re-runs exactly that
+// interleaving, byte for byte, for debugging.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "race/report.hpp"
+#include "race/scheduler.hpp"
+
+namespace ca::race {
+
+struct ExplorerOptions {
+  std::uint64_t base_seed = 0x5EED0001u;
+  /// Number of schedules to run (seeds base_seed, base_seed+1, ...).
+  std::size_t schedules = 1100;
+  /// Alternate random-walk and PCT schedules; PCT-only when false.
+  bool mix_strategies = true;
+  int pct_depth = 3;
+  std::size_t max_steps = 200000;
+  bool stop_on_failure = false;
+  /// Print the "ca::race: FAILURE ..." line for each failing schedule.
+  bool log_failures = true;
+};
+
+struct FailingSchedule {
+  std::uint64_t seed = 0;
+  Scheduler::Strategy strategy = Scheduler::Strategy::kRandomWalk;
+  std::uint64_t schedule_hash = 0;
+  std::vector<RaceReport> reports;
+  std::vector<std::string> task_errors;
+};
+
+struct ExplorerResult {
+  std::size_t schedules_run = 0;
+  /// Number of distinct interleavings (unique schedule hashes) explored.
+  std::size_t distinct_schedules = 0;
+  std::size_t failing_schedules = 0;
+  std::vector<FailingSchedule> failures;  ///< capped at 16, first kept
+
+  [[nodiscard]] bool clean() const { return failing_schedules == 0; }
+};
+
+/// Run `scenario` under `options.schedules` seed-determined interleavings.
+/// A schedule fails when the detector produced race reports or a task threw.
+ExplorerResult explore(const ExplorerOptions& options,
+                       const std::function<void()>& scenario);
+
+/// Re-run one exact interleaving (from a FAILURE line) and return its
+/// reports.  The schedule hash is printed so mismatched replays are obvious.
+FailingSchedule replay(std::uint64_t seed, Scheduler::Strategy strategy,
+                       const std::function<void()>& scenario,
+                       int pct_depth = 3, std::size_t max_steps = 200000);
+
+const char* to_string(Scheduler::Strategy strategy) noexcept;
+
+}  // namespace ca::race

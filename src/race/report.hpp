@@ -1,0 +1,37 @@
+// Structured race findings produced by the ca::race runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "race/vector_clock.hpp"
+
+namespace ca::race {
+
+enum class AccessKind : std::uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kAlloc = 2,  ///< storage (re)claimed for a new region: treated as a write
+  kFree = 3,   ///< storage released: treated as a write, range marked freed
+};
+
+[[nodiscard]] const char* to_string(AccessKind kind) noexcept;
+
+/// One detected race: two accesses to overlapping bytes, at least one a
+/// write-kind access, with no happens-before edge between them.
+struct RaceReport {
+  AccessKind prior_kind = AccessKind::kRead;
+  AccessKind current_kind = AccessKind::kRead;
+  Tid prior_tid = 0;
+  Tid current_tid = 0;
+  const char* prior_label = "";    ///< static string from the access hook
+  const char* current_label = "";  ///< static string from the access hook
+  std::uintptr_t addr = 0;         ///< start of the overlap
+  std::size_t size = 0;            ///< bytes in the conflicting range
+  bool use_after_free = false;     ///< the prior access freed the range
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace ca::race

@@ -1,0 +1,68 @@
+// Vector clocks for happens-before race detection (ca::race).
+//
+// Each task/thread carries a vector clock; synchronization objects
+// (mutexes, condition variables, atomics) carry the clock released into
+// them.  An access A happens-before an access B iff A's epoch (tid, clock)
+// is covered by B's thread clock at the time of B.  This is the classic
+// DJIT+/FastTrack formulation, kept deliberately simple: clocks are dense
+// vectors indexed by task id, and all atomic operations are treated as
+// acquire-release (conservative: it can only *miss* relaxed-ordering
+// races, never invent one).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ca::race {
+
+/// Dense per-execution task id (0 = first registered task).
+using Tid = std::uint32_t;
+
+class VectorClock {
+ public:
+  /// Clock component for `tid` (0 if never ticked).
+  [[nodiscard]] std::uint64_t at(Tid tid) const noexcept {
+    return tid < c_.size() ? c_[tid] : 0;
+  }
+
+  /// Advance this clock's own component.
+  void tick(Tid tid) {
+    grow(tid);
+    ++c_[tid];
+  }
+
+  void set(Tid tid, std::uint64_t value) {
+    grow(tid);
+    c_[tid] = value;
+  }
+
+  /// Pointwise maximum (the join of two clocks).
+  void join(const VectorClock& other) {
+    if (other.c_.size() > c_.size()) c_.resize(other.c_.size(), 0);
+    for (std::size_t i = 0; i < other.c_.size(); ++i) {
+      if (other.c_[i] > c_[i]) c_[i] = other.c_[i];
+    }
+  }
+
+  /// True iff every component of this clock is <= the other's: everything
+  /// recorded here happens-before (or equals) the other clock's frontier.
+  [[nodiscard]] bool leq(const VectorClock& other) const noexcept {
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] > other.at(static_cast<Tid>(i))) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return c_.size(); }
+  void clear() noexcept { c_.clear(); }
+
+ private:
+  void grow(Tid tid) {
+    if (tid >= c_.size()) c_.resize(static_cast<std::size_t>(tid) + 1, 0);
+  }
+
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace ca::race

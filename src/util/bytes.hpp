@@ -1,0 +1,36 @@
+// Byte-copy helpers: the only sanctioned way to move raw bytes outside
+// src/mem and src/util.
+//
+// tools/ca_lint.py forbids raw std::memcpy / std::memmove elsewhere in
+// src/ so every bulk byte move funnels through a site the race detector
+// and future instrumentation can see.  These helpers also record the
+// source/destination ranges with the CA_RACE access hooks, so copies made
+// far from the CopyEngine still participate in race checking.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+#include "race/access.hpp"
+
+namespace ca::util {
+
+/// memcpy for non-overlapping ranges.
+inline void copy_bytes(void* dst, const void* src, std::size_t bytes,
+                       [[maybe_unused]] const char* label = "util::copy_bytes") {
+  if (bytes == 0) return;
+  CA_RACE_READ(src, bytes, label);
+  CA_RACE_WRITE(dst, bytes, label);
+  std::memcpy(dst, src, bytes);
+}
+
+/// memmove for possibly-overlapping ranges.
+inline void move_bytes(void* dst, const void* src, std::size_t bytes,
+                       [[maybe_unused]] const char* label = "util::move_bytes") {
+  if (bytes == 0) return;
+  CA_RACE_READ(src, bytes, label);
+  CA_RACE_WRITE(dst, bytes, label);
+  std::memmove(dst, src, bytes);
+}
+
+}  // namespace ca::util

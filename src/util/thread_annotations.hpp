@@ -1,0 +1,36 @@
+// Clang thread-safety annotations (no-ops on other compilers).
+//
+// Annotate mutex-guarded members with CA_GUARDED_BY(mu_) and
+// methods that must (not) hold a lock with CA_REQUIRES / CA_EXCLUDES;
+// Clang then statically verifies the locking discipline under
+// -Wthread-safety (wired as -Werror=thread-safety in the top-level
+// CMakeLists.txt).  The annotated types must be capabilities:
+// CA_CAPABILITY goes on lockable classes (our race::mutex shim carries it;
+// std::mutex is recognized natively by libc++/libstdc++ headers on Clang).
+//
+// docs/CONCURRENCY.md keeps the human-readable map of which lock guards
+// what; the annotations keep it honest.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define CA_TSA_HAS(x) __has_attribute(x)
+#else
+#define CA_TSA_HAS(x) 0
+#endif
+
+#if CA_TSA_HAS(guarded_by)
+#define CA_TSA(x) __attribute__((x))
+#else
+#define CA_TSA(x)
+#endif
+
+#define CA_CAPABILITY(name) CA_TSA(capability(name))
+#define CA_SCOPED_CAPABILITY CA_TSA(scoped_lockable)
+#define CA_GUARDED_BY(mu) CA_TSA(guarded_by(mu))
+#define CA_PT_GUARDED_BY(mu) CA_TSA(pt_guarded_by(mu))
+#define CA_REQUIRES(...) CA_TSA(requires_capability(__VA_ARGS__))
+#define CA_EXCLUDES(...) CA_TSA(locks_excluded(__VA_ARGS__))
+#define CA_ACQUIRE(...) CA_TSA(acquire_capability(__VA_ARGS__))
+#define CA_RELEASE(...) CA_TSA(release_capability(__VA_ARGS__))
+#define CA_TRY_ACQUIRE(...) CA_TSA(try_acquire_capability(__VA_ARGS__))
+#define CA_NO_THREAD_SAFETY_ANALYSIS CA_TSA(no_thread_safety_analysis)

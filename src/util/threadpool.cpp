@@ -1,8 +1,6 @@
 #include "util/threadpool.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
 #include <memory>
 
 #include "util/align.hpp"
@@ -13,24 +11,38 @@ namespace ca::util {
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = std::max<std::size_t>(1, threads);
   workers_.reserve(n);
+  worker_tokens_.reserve(n);
+  // Fence the whole batch with an adoption barrier: under a schedule
+  // exploration, construction completes only once every worker has
+  // registered, so the explored task set never depends on OS startup
+  // timing.
+  const std::size_t mark = sync::adoption_mark();
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    const sync::spawn_token token = sync::before_spawn();
+    worker_tokens_.push_back(token);
+    workers_.emplace_back([this, token] {
+      sync::task_scope scope(token);
+      worker_loop();
+    });
   }
+  sync::await_adoptions(mark + n);
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    sync::lock lock(mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    sync::join_thread(workers_[i], worker_tokens_[i]);
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   CA_CHECK(task != nullptr, "null task submitted to thread pool");
   {
-    std::lock_guard lock(mu_);
+    sync::lock lock(mu_);
     CA_CHECK(!stop_, "submit after shutdown");
     tasks_.push(std::move(task));
   }
@@ -46,10 +58,10 @@ struct ParallelForState {
   const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
   std::size_t n = 0;
   std::size_t grain = 1;
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> covered{0};
-  std::mutex mu;
-  std::condition_variable cv;
+  sync::atomic<std::size_t> next{0};
+  sync::atomic<std::size_t> covered{0};
+  sync::mutex mu;
+  sync::condition_variable cv;
 
   /// Pull ranges until the cursor runs past n.  Safe to call from any
   /// thread, any number of times, including after completion (late-started
@@ -62,7 +74,7 @@ struct ParallelForState {
       (*fn)(begin, end);
       if (covered.fetch_add(end - begin, std::memory_order_acq_rel) +
               (end - begin) == n) {
-        std::lock_guard lock(mu);
+        sync::lock lock(mu);
         cv.notify_all();
       }
     }
@@ -95,23 +107,27 @@ void ThreadPool::parallel_for(
     submit([state] { state->work(); });
   }
   state->work();
-  std::unique_lock lock(state->mu);
+  sync::lock lock(state->mu);
   state->cv.wait(lock, [&] {
     return state->covered.load(std::memory_order_acquire) == n;
   });
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mu_);
-  cv_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  sync::lock lock(mu_);
+  cv_idle_.wait(lock, [this]() CA_REQUIRES(mu_) {
+    return tasks_.empty() && active_ == 0;
+  });
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      sync::lock lock(mu_);
+      cv_task_.wait(lock, [this]() CA_REQUIRES(mu_) {
+        return stop_ || !tasks_.empty();
+      });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -119,7 +135,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lock(mu_);
+      sync::lock lock(mu_);
       --active_;
       if (tasks_.empty() && active_ == 0) cv_idle_.notify_all();
     }

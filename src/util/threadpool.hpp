@@ -5,15 +5,21 @@
 // pool; the *simulated* bandwidth effect of parallelism is modeled
 // separately in sim::BandwidthModel so results do not depend on host core
 // count.
+//
+// All synchronization goes through the ca::sync shims (race/sync.hpp): in
+// CA_RACE builds every queue operation is a vector-clock event and a
+// deterministic schedule point, and the workers are adopted into the
+// active schedule exploration at spawn.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "race/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ca::util {
 
@@ -31,7 +37,7 @@ class ThreadPool {
   }
 
   /// Enqueue a task. Tasks must not throw; a throwing task terminates.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) CA_EXCLUDES(mu_);
 
   /// Run `fn(begin, end)` over a partition of [0, n), blocking until all of
   /// [0, n) is covered.  Work is distributed through ONE shared task state:
@@ -43,18 +49,19 @@ class ThreadPool {
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
   /// Block until the task queue is empty and all workers are idle.
-  void wait_idle();
+  void wait_idle() CA_EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() CA_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  std::vector<sync::spawn_token> worker_tokens_;  ///< parallel to workers_
+  sync::mutex mu_;
+  std::queue<std::function<void()>> tasks_ CA_GUARDED_BY(mu_);
+  sync::condition_variable cv_task_;
+  sync::condition_variable cv_idle_;
+  std::size_t active_ CA_GUARDED_BY(mu_) = 0;
+  bool stop_ CA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ca::util

@@ -1,0 +1,171 @@
+// Seeded-hazard regression tests: reintroduce, behind RaceTestPeer, the two
+// async-mover lifecycle bugs the DataManager's join discipline prevents --
+// free-while-in-flight and retire-before-join -- and assert the schedule
+// explorer + vector-clock detector flag both, across >= 1000 distinct
+// interleavings each.  The same scenarios on the real (fixed) code paths
+// must come back clean, and any failing seed must replay deterministically.
+#include <gtest/gtest.h>
+
+#if !defined(CA_RACE)
+
+TEST(RaceHazards, InstrumentationRequired) {
+  GTEST_SKIP() << "CA_RACE instrumentation not compiled in; configure with "
+                  "-DCA_RACE=ON to run the seeded-hazard scenarios";
+}
+
+#else  // CA_RACE
+
+#include <cstdio>
+#include <string_view>
+
+#include "dm/data_manager.hpp"
+#include "race/explorer.hpp"
+#include "race_test_peer.hpp"
+#include "sim/platform.hpp"
+#include "util/align.hpp"
+
+namespace ca {
+namespace {
+
+/// One worker per pool regardless of the host's core count, so the explored
+/// task set (root + copy worker + mover worker) is the same everywhere.
+sim::Platform tiny_platform() {
+  sim::Platform platform =
+      sim::Platform::cascade_lake_scaled(1 * util::MiB, 4 * util::MiB);
+  platform.copy_threads = 1;
+  platform.mover_channels = 1;
+  return platform;
+}
+
+/// A few registry-lock round-trips while the mover is in flight: contested
+/// schedule points that widen the interleaving space the explorer can reach.
+void poke_registry(const dm::DataManager& dm) {
+  for (int i = 0; i < 8; ++i) (void)dm.async_stats();
+}
+
+/// Hazard 1 -- free while in flight.  The buggy path frees the transfer's
+/// destination without joining the real copy: the mover's writes and the
+/// free are unordered in every interleaving.
+void free_while_inflight(bool buggy) {
+  const sim::Platform platform = tiny_platform();
+  sim::Clock clock;
+  telemetry::TrafficCounters counters;
+  dm::DataManager dm(platform, clock, counters);
+  dm::Region* src = dm.allocate(sim::kSlow, 64 * util::KiB);
+  dm::Region* dst = dm.allocate(sim::kFast, 64 * util::KiB);
+  dm.copyto_async(*dst, *src);
+  poke_registry(dm);
+  if (buggy) {
+    dm::RaceTestPeer::free_without_join(dm, dst);
+  } else {
+    dm.free(dst);  // joins the real copy before the storage is released
+    dm.free(src);
+  }
+}
+
+/// Hazard 2 -- retire before join.  The buggy path drops the registry entry
+/// once the *modeled* clock has passed its completion, without joining the
+/// *real* copy; the source is then freed while the mover may still read it.
+void retire_before_join(bool buggy) {
+  const sim::Platform platform = tiny_platform();
+  sim::Clock clock;
+  telemetry::TrafficCounters counters;
+  dm::DataManager dm(platform, clock, counters);
+  dm::Region* src = dm.allocate(sim::kSlow, 64 * util::KiB);
+  dm::Region* dst = dm.allocate(sim::kFast, 64 * util::KiB);
+  const double done = dm.copyto_async(*dst, *src);
+  poke_registry(dm);
+  clock.advance(done - clock.now() + 1e-9, sim::TimeCategory::kOther);
+  if (buggy) {
+    dm::RaceTestPeer::retire_without_join(dm);
+  } else {
+    dm.retire_transfers();  // joins every retiree before dropping it
+  }
+  dm.free(src);
+}
+
+TEST(RaceHazards, FreeWhileInflightIsFlaggedInEverySchedule) {
+  race::ExplorerOptions opts;
+  opts.schedules = 1100;
+  opts.mix_strategies = false;
+  opts.log_failures = false;  // 1100 expected failures; the seed-echo test
+                              // below prints the greppable FAILURE lines
+  const auto result = race::explore(opts, [] { free_while_inflight(true); });
+  EXPECT_EQ(result.schedules_run, 1100u);
+  EXPECT_EQ(result.failing_schedules, result.schedules_run);
+  EXPECT_GE(result.distinct_schedules, 1000u);
+  ASSERT_FALSE(result.failures.empty());
+  bool saw_peer_free = false;
+  for (const auto& report : result.failures.front().reports) {
+    saw_peer_free = saw_peer_free ||
+                    std::string_view(report.prior_label)
+                            .find("free_without_join") != std::string_view::npos ||
+                    std::string_view(report.current_label)
+                            .find("free_without_join") != std::string_view::npos;
+  }
+  EXPECT_TRUE(saw_peer_free);
+  std::fprintf(stderr,
+               "ca::race: free-while-inflight flagged in %zu/%zu schedules "
+               "(%zu distinct)\n",
+               result.failing_schedules, result.schedules_run,
+               result.distinct_schedules);
+}
+
+TEST(RaceHazards, RetireBeforeJoinIsFlaggedInEverySchedule) {
+  race::ExplorerOptions opts;
+  opts.schedules = 1100;
+  opts.mix_strategies = false;
+  opts.log_failures = false;
+  const auto result = race::explore(opts, [] { retire_before_join(true); });
+  EXPECT_EQ(result.schedules_run, 1100u);
+  EXPECT_EQ(result.failing_schedules, result.schedules_run);
+  EXPECT_GE(result.distinct_schedules, 1000u);
+  std::fprintf(stderr,
+               "ca::race: retire-before-join flagged in %zu/%zu schedules "
+               "(%zu distinct)\n",
+               result.failing_schedules, result.schedules_run,
+               result.distinct_schedules);
+}
+
+TEST(RaceHazards, FixedFreePathIsCleanAcrossSchedules) {
+  race::ExplorerOptions opts;
+  opts.schedules = 300;
+  const auto result = race::explore(opts, [] { free_while_inflight(false); });
+  EXPECT_EQ(result.schedules_run, 300u);
+  EXPECT_EQ(result.failing_schedules, 0u);
+}
+
+TEST(RaceHazards, FixedRetirePathIsCleanAcrossSchedules) {
+  race::ExplorerOptions opts;
+  opts.schedules = 300;
+  const auto result = race::explore(opts, [] { retire_before_join(false); });
+  EXPECT_EQ(result.schedules_run, 300u);
+  EXPECT_EQ(result.failing_schedules, 0u);
+}
+
+TEST(RaceHazards, FailingSeedIsEchoedAndReplaysDeterministically) {
+  race::ExplorerOptions opts;
+  opts.schedules = 4;
+  opts.stop_on_failure = true;
+  opts.log_failures = true;  // the "ca::race: FAILURE seed=0x..." ctest echo
+  const auto result = race::explore(opts, [] { free_while_inflight(true); });
+  ASSERT_FALSE(result.failures.empty());
+  const auto& failure = result.failures.front();
+
+  // The printed seed reproduces the exact interleaving and the finding.
+  const auto replayed =
+      race::replay(failure.seed, failure.strategy,
+                   [] { free_while_inflight(true); }, opts.pct_depth);
+  EXPECT_EQ(replayed.schedule_hash, failure.schedule_hash);
+  ASSERT_FALSE(replayed.reports.empty());
+  EXPECT_EQ(replayed.reports.size(), failure.reports.size());
+  EXPECT_STREQ(replayed.reports.front().prior_label,
+               failure.reports.front().prior_label);
+  EXPECT_STREQ(replayed.reports.front().current_label,
+               failure.reports.front().current_label);
+}
+
+}  // namespace
+}  // namespace ca
+
+#endif  // CA_RACE

@@ -1,0 +1,182 @@
+// Unit tests for the ca::race vector-clock runtime: clock algebra,
+// happens-before edges (sync objects, fork/join), and the shadow-memory
+// conflict detector.  These run in every build -- the runtime library is
+// always compiled; only the instrumentation hooks are CA_RACE-gated.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <thread>
+
+#include "race/runtime.hpp"
+#include "race/vector_clock.hpp"
+
+namespace ca::race {
+namespace {
+
+TEST(VectorClock, TickSetJoinLeq) {
+  VectorClock a;
+  EXPECT_EQ(a.at(0), 0u);
+  a.tick(0);
+  a.tick(0);
+  a.tick(2);
+  EXPECT_EQ(a.at(0), 2u);
+  EXPECT_EQ(a.at(1), 0u);
+  EXPECT_EQ(a.at(2), 1u);
+
+  VectorClock b;
+  b.set(1, 7);
+  EXPECT_FALSE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+
+  VectorClock joined = a;
+  joined.join(b);
+  EXPECT_EQ(joined.at(0), 2u);
+  EXPECT_EQ(joined.at(1), 7u);
+  EXPECT_EQ(joined.at(2), 1u);
+  EXPECT_TRUE(a.leq(joined));
+  EXPECT_TRUE(b.leq(joined));
+}
+
+/// Run `fn` on a fresh OS thread (fresh tid in the runtime) and wait for it.
+/// Deliberately does NOT record a fork or join edge: the work is unordered
+/// with the caller unless the test sets up edges itself.
+void on_unordered_thread(const std::function<void()>& fn) {
+  std::thread t(fn);
+  t.join();
+}
+
+TEST(RaceRuntime, UnorderedWritesConflict) {
+  auto& rt = Runtime::instance();
+  rt.reset();
+  int x = 0;
+  on_unordered_thread([&] { rt.record_access(&x, sizeof(x), AccessKind::kWrite,
+                                             "writer-a"); });
+  on_unordered_thread([&] { rt.record_access(&x, sizeof(x), AccessKind::kWrite,
+                                             "writer-b"); });
+  EXPECT_EQ(rt.report_count(), 1u);
+  const auto reports = rt.take_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_STREQ(reports[0].prior_label, "writer-a");
+  EXPECT_STREQ(reports[0].current_label, "writer-b");
+  EXPECT_FALSE(reports[0].use_after_free);
+}
+
+TEST(RaceRuntime, ForkEdgeOrdersChildAfterParent) {
+  auto& rt = Runtime::instance();
+  rt.reset();
+  int x = 0;
+  rt.record_access(&x, sizeof(x), AccessKind::kWrite, "parent");
+  const std::uint64_t fork = rt.prepare_fork();
+  on_unordered_thread([&] {
+    rt.bind_fork(fork);
+    rt.record_access(&x, sizeof(x), AccessKind::kWrite, "child");
+  });
+  EXPECT_EQ(rt.report_count(), 0u);
+}
+
+TEST(RaceRuntime, ReleaseAcquireOrdersAccesses) {
+  auto& rt = Runtime::instance();
+  rt.reset();
+  int x = 0;
+  int sync_obj = 0;
+  on_unordered_thread([&] {
+    rt.record_access(&x, sizeof(x), AccessKind::kWrite, "producer");
+    rt.release(&sync_obj);
+  });
+  on_unordered_thread([&] {
+    rt.acquire(&sync_obj);
+    rt.record_access(&x, sizeof(x), AccessKind::kWrite, "consumer");
+  });
+  EXPECT_EQ(rt.report_count(), 0u);
+}
+
+TEST(RaceRuntime, ConcurrentReadsDoNotConflict) {
+  auto& rt = Runtime::instance();
+  rt.reset();
+  int x = 0;
+  on_unordered_thread([&] { rt.record_access(&x, sizeof(x), AccessKind::kRead,
+                                             "reader-a"); });
+  on_unordered_thread([&] { rt.record_access(&x, sizeof(x), AccessKind::kRead,
+                                             "reader-b"); });
+  EXPECT_EQ(rt.report_count(), 0u);
+}
+
+TEST(RaceRuntime, UnorderedReadVsWriteConflict) {
+  auto& rt = Runtime::instance();
+  rt.reset();
+  int x = 0;
+  on_unordered_thread([&] { rt.record_access(&x, sizeof(x), AccessKind::kRead,
+                                             "reader"); });
+  on_unordered_thread([&] { rt.record_access(&x, sizeof(x), AccessKind::kWrite,
+                                             "writer"); });
+  EXPECT_EQ(rt.report_count(), 1u);
+}
+
+TEST(RaceRuntime, UseAfterFreeIsFlagged) {
+  auto& rt = Runtime::instance();
+  rt.reset();
+  char buf[64];
+  on_unordered_thread([&] { rt.record_access(buf, sizeof(buf),
+                                             AccessKind::kFree, "freer"); });
+  on_unordered_thread([&] { rt.record_access(buf + 8, 4, AccessKind::kRead,
+                                             "late-reader"); });
+  const auto reports = rt.take_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].use_after_free);
+  EXPECT_EQ(reports[0].prior_kind, AccessKind::kFree);
+}
+
+TEST(RaceRuntime, OrderedFreeThenReuseIsClean) {
+  auto& rt = Runtime::instance();
+  rt.reset();
+  char buf[64];
+  int sync_obj = 0;
+  on_unordered_thread([&] {
+    rt.record_access(buf, sizeof(buf), AccessKind::kFree, "freer");
+    rt.release(&sync_obj);
+  });
+  on_unordered_thread([&] {
+    rt.acquire(&sync_obj);
+    rt.record_access(buf, sizeof(buf), AccessKind::kAlloc, "realloc");
+    rt.record_access(buf, 8, AccessKind::kWrite, "reuse");
+  });
+  EXPECT_EQ(rt.report_count(), 0u);
+}
+
+TEST(RaceRuntime, PartialOverlapIsDetected) {
+  auto& rt = Runtime::instance();
+  rt.reset();
+  char buf[64];
+  on_unordered_thread([&] { rt.record_access(buf, 32, AccessKind::kWrite,
+                                             "low-half"); });
+  on_unordered_thread([&] { rt.record_access(buf + 16, 32, AccessKind::kWrite,
+                                             "straddler"); });
+  EXPECT_EQ(rt.report_count(), 1u);
+}
+
+TEST(RaceRuntime, DisjointRangesDoNotConflict) {
+  auto& rt = Runtime::instance();
+  rt.reset();
+  char buf[64];
+  on_unordered_thread([&] { rt.record_access(buf, 32, AccessKind::kWrite,
+                                             "low-half"); });
+  on_unordered_thread([&] { rt.record_access(buf + 32, 32, AccessKind::kWrite,
+                                             "high-half"); });
+  EXPECT_EQ(rt.report_count(), 0u);
+}
+
+TEST(RaceRuntime, ResetClearsEverything) {
+  auto& rt = Runtime::instance();
+  rt.reset();
+  int x = 0;
+  on_unordered_thread([&] { rt.record_access(&x, sizeof(x), AccessKind::kWrite,
+                                             "a"); });
+  rt.reset();
+  on_unordered_thread([&] { rt.record_access(&x, sizeof(x), AccessKind::kWrite,
+                                             "b"); });
+  // The first write's shadow is gone: no conflict across the reset.
+  EXPECT_EQ(rt.report_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ca::race

@@ -1,0 +1,64 @@
+// RaceTestPeer: reintroduces, behind a test-only friend, the two async-mover
+// lifecycle bugs the DataManager's join discipline exists to prevent.  The
+// hazard regression tests drive these through the schedule explorer and
+// assert ca::race flags them; the same scenarios on the real (fixed) paths
+// must come back clean.
+#pragma once
+
+#include <cstddef>
+
+#include "dm/data_manager.hpp"
+#include "race/access.hpp"
+
+namespace ca::dm {
+
+struct RaceTestPeer {
+  /// Hazard 1 -- "free while in flight": free a region WITHOUT joining the
+  /// real copies that still read or write it (the bug `release_region`
+  /// fixes by calling `sync_region_real` first).  The registry entries are
+  /// scrubbed so the modeled state stays consistent; only the join is
+  /// skipped.
+  static void free_without_join(DataManager& dm, Region* region) {
+    if (region->parent() != nullptr) dm.detach(*region);
+    {
+      sync::lock lock(dm.inflight_mu_);
+      std::size_t kept = 0;
+      for (auto& t : dm.inflight_) {
+        if (t.dst == region || t.src == region) {
+          ++dm.async_stats_.retired;
+          continue;
+        }
+        if (&dm.inflight_[kept] != &t) dm.inflight_[kept] = std::move(t);
+        ++kept;
+      }
+      dm.inflight_.resize(kept);
+    }
+    CA_RACE_FREE(region->data(), region->size(),
+                 "RaceTestPeer::free_without_join");
+    auto& h = dm.heap(region->device());
+    h.alloc->free(region->offset());
+    dm.regions_.erase(region);
+  }
+
+  /// Hazard 2 -- "retire before join": drop registry entries whose modeled
+  /// completion has passed WITHOUT joining their real copies (the bug
+  /// `retire_transfers` fixes by joining every retiree before returning).
+  /// A region freed afterwards no longer finds the transfer in the
+  /// registry, so its storage is reused while the mover may still touch it.
+  static void retire_without_join(DataManager& dm) {
+    const double now = dm.clock_.now();
+    sync::lock lock(dm.inflight_mu_);
+    std::size_t kept = 0;
+    for (auto& t : dm.inflight_) {
+      if (t.transfer.done_time() <= now) {
+        ++dm.async_stats_.retired;
+        continue;
+      }
+      if (&dm.inflight_[kept] != &t) dm.inflight_[kept] = std::move(t);
+      ++kept;
+    }
+    dm.inflight_.resize(kept);
+  }
+};
+
+}  // namespace ca::dm

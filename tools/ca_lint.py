@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""ca_lint: repository-rule linter for the data-management core.
+
+Three rules that clang-tidy cannot express, enforced over src/:
+
+  byte-copy-route
+      Raw ``memcpy``/``memmove`` and raw ``std::thread`` are confined to
+      src/mem, src/util and src/race.  Everything else moves bytes through
+      ``util::copy_bytes``/``util::move_bytes`` (src/util/bytes.hpp), which
+      are instrumented for the race detector, and spawns threads through
+      the ``ca::sync`` lifecycle shims (src/race/sync.hpp), which keep the
+      schedule explorer's task set deterministic.
+
+  wall-clock
+      No wall-clock source (std::chrono clocks, time(), gettimeofday,
+      clock_gettime) anywhere in src/: all time is simulated seconds from
+      ``sim::Clock`` so every result is host-independent and every bench is
+      bit-for-bit deterministic.  Benches and tests may measure wall time;
+      the model must not.
+
+  dm-audit
+      Every public mutating DataManager method (src/dm/data_manager.cpp)
+      ends its success path with ``CA_AUDIT(*this)`` so Debug/CA_AUDIT
+      builds verify the cross-structure invariants at every mutation
+      boundary.
+
+A finding can be waived on its own line with a trailing
+``// ca_lint: allow(<rule>)`` comment; use sparingly and say why nearby.
+
+Usage: tools/ca_lint.py [--root DIR]
+Exit status: 0 clean, 1 findings, 2 usage/setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories (relative to the repo root) where rule `byte-copy-route`
+# permits the raw primitives: the sanctioned implementations themselves.
+BYTE_COPY_ALLOWED_DIRS = ("src/mem", "src/util", "src/race")
+
+BYTE_COPY_TOKENS = re.compile(r"\b(?:std::)?(memcpy|memmove)\s*\(|\bstd::thread\b")
+
+WALL_CLOCK_TOKENS = re.compile(
+    r"std::chrono|steady_clock|system_clock|high_resolution_clock"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\bstd::time\s*\(|\btime\s*\(\s*(?:NULL|nullptr)\s*\)"
+)
+
+# Public DataManager methods that mutate manager state.  Query/introspection
+# methods (device_stats, owns_region, ...) are exempt by omission; keep this
+# list in sync with the "mutating" half of dm/data_manager.hpp.
+DM_MUTATORS = (
+    "create_object",
+    "destroy_object",
+    "setprimary",
+    "unpin",
+    "allocate",
+    "free",
+    "copyto",
+    "copyto_async",
+    "wait_ready",
+    "retire_transfers",
+    "drain_transfers",
+    "link",
+    "unlink",
+    "evictfrom",
+    "defragment",
+)
+
+WAIVER = re.compile(r"//\s*ca_lint:\s*allow\(([a-z-]+)\)")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line count
+    (and line lengths where possible) so finding positions stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def waived_lines(text: str, rule: str) -> set[int]:
+    lines = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = WAIVER.search(line)
+        if m and m.group(1) == rule:
+            lines.add(lineno)
+    return lines
+
+
+def scan_tokens(path: Path, rel: str, text: str, code: str,
+                rule: str, pattern: re.Pattern, message: str) -> list[Finding]:
+    waived = waived_lines(text, rule)
+    findings = []
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        m = pattern.search(line)
+        if m and lineno not in waived:
+            token = m.group(0).rstrip("(").strip()
+            findings.append(Finding(Path(rel), lineno, rule, f"{message} (found `{token}`)"))
+    return findings
+
+
+def check_byte_copy_route(root: Path) -> list[Finding]:
+    findings = []
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in (".cpp", ".hpp"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        if any(rel.startswith(d + "/") for d in BYTE_COPY_ALLOWED_DIRS):
+            continue
+        text = path.read_text()
+        code = strip_comments_and_strings(text)
+        findings += scan_tokens(
+            path, rel, text, code, "byte-copy-route", BYTE_COPY_TOKENS,
+            "raw byte copies / threads live in src/mem, src/util, src/race only; "
+            "use util::copy_bytes/move_bytes or the ca::sync lifecycle shims")
+    return findings
+
+
+def check_wall_clock(root: Path) -> list[Finding]:
+    findings = []
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in (".cpp", ".hpp"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        text = path.read_text()
+        code = strip_comments_and_strings(text)
+        findings += scan_tokens(
+            path, rel, text, code, "wall-clock", WALL_CLOCK_TOKENS,
+            "wall-clock reads are forbidden in src/; all time is simulated "
+            "seconds from sim::Clock")
+    return findings
+
+
+def method_body(code: str, name: str) -> tuple[int, str] | None:
+    """Locate `DataManager::name(...) ... { body }` in comment-stripped
+    code; returns (line of the definition, body text) or None."""
+    pattern = re.compile(r"DataManager::" + re.escape(name) + r"\s*\(")
+    for m in pattern.finditer(code):
+        open_brace = code.find("{", m.end())
+        semi = code.find(";", m.end())
+        if open_brace == -1 or (semi != -1 and semi < open_brace):
+            continue  # a declaration or a mention, not a definition
+        depth = 0
+        for i in range(open_brace, len(code)):
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    line = code.count("\n", 0, m.start()) + 1
+                    return line, code[open_brace:i + 1]
+    return None
+
+
+def check_dm_audit(root: Path) -> list[Finding]:
+    path = root / "src" / "dm" / "data_manager.cpp"
+    if not path.exists():
+        return [Finding(Path("src/dm/data_manager.cpp"), 1, "dm-audit",
+                        "file not found")]
+    rel = path.relative_to(root).as_posix()
+    text = path.read_text()
+    code = strip_comments_and_strings(text)
+    waived = waived_lines(text, "dm-audit")
+    findings = []
+    for name in DM_MUTATORS:
+        located = method_body(code, name)
+        if located is None:
+            findings.append(Finding(Path(rel), 1, "dm-audit",
+                                    f"mutating method `{name}` not found "
+                                    "(update DM_MUTATORS in tools/ca_lint.py)"))
+            continue
+        line, body = located
+        if "CA_AUDIT(" not in body and line not in waived:
+            findings.append(Finding(
+                Path(rel), line, "dm-audit",
+                f"public mutating method `{name}` must end with CA_AUDIT(*this)"))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the checkout "
+                             "containing this script)")
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"ca_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings = (check_byte_copy_route(root) + check_wall_clock(root) +
+                check_dm_audit(root))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"ca_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("ca_lint: clean (byte-copy-route, wall-clock, dm-audit)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

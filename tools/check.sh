@@ -1,97 +1,151 @@
 #!/usr/bin/env bash
 # tools/check.sh — the correctness gate for the data-management core.
 #
-# Runs, in order:
-#   1. ASan+UBSan Debug build of the whole tree (Debug ⇒ CA_AUDIT_ENABLED,
-#      so every DataManager mutation boundary is audited during the tests),
-#      then the full ctest suite under it — including the randomized audit
-#      stress harness (ctest -R audit).
-#   2. TSan build of the concurrency-bearing components (thread pool, copy
-#      engine, data-manager transfer registry) and their tests, including
-#      the Async* interleaving suites.
-#   3. bench-smoke: every bench entry point runs end to end on tiny shapes
-#      (ctest -L bench-smoke on the ASan build).
-#   4. clang-tidy over src/ with the repo's .clang-tidy profile.
+# Stages, in order:
+#   asan     ASan+UBSan Debug build of the whole tree (Debug ⇒
+#            CA_AUDIT_ENABLED, so every DataManager mutation boundary is
+#            audited during the tests), then the full ctest suite under it —
+#            including the randomized audit stress harness (ctest -R audit)
+#            and the Transfer edge-case tests.
+#   tsan     TSan build of the concurrency-bearing components (thread pool,
+#            copy engine, data-manager transfer registry) and their tests,
+#            including the Async* interleaving suites.
+#   race     CA_RACE=ON build (instrumented sync shims + vector-clock
+#            detector) and the deterministic schedule-explorer suite
+#            (ctest -R race, plus the Transfer edge cases under the shims).
+#   bench    bench-smoke: every bench entry point runs end to end on tiny
+#            shapes (ctest -L bench-smoke on the ASan build).
+#   tidy     clang-tidy over src/ with the repo's .clang-tidy profile.
+#   ca_lint  tools/ca_lint.py repository rules (byte-copy routing,
+#            wall-clock ban, DataManager audit boundaries).
 #
-# Exits non-zero on the first finding of any stage.  Stages whose toolchain
-# is not installed (e.g. clang-tidy on a gcc-only box) are SKIPPED with a
-# loud note rather than silently passed; CI images that carry the tools get
-# the full gate.
+# Exits non-zero on the first finding of a stage that ran.  Stages whose
+# toolchain is not installed (e.g. clang-tidy on a gcc-only box) emit a
+# machine-readable "SKIPPED:<stage> <reason>" line rather than silently
+# passing; --require-all turns any skip into a non-zero exit so CI images
+# that are supposed to carry the full toolchain cannot degrade quietly.
 #
-# Usage: tools/check.sh [--jobs N] [--skip-tsan] [--skip-bench] [--skip-tidy]
+# Usage: tools/check.sh [--jobs N] [--require-all]
+#                       [--skip-tsan] [--skip-race] [--skip-bench]
+#                       [--skip-tidy] [--skip-lint]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 RUN_TSAN=1
+RUN_RACE=1
 RUN_BENCH=1
 RUN_TIDY=1
+RUN_LINT=1
+REQUIRE_ALL=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --jobs) JOBS="${2:?--jobs requires a value}"; shift 2 ;;
+    --require-all) REQUIRE_ALL=1; shift ;;
     --skip-tsan) RUN_TSAN=0; shift ;;
+    --skip-race) RUN_RACE=0; shift ;;
     --skip-bench) RUN_BENCH=0; shift ;;
     --skip-tidy) RUN_TIDY=0; shift ;;
+    --skip-lint) RUN_LINT=0; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
 
 note() { printf '\n==== %s ====\n' "$*"; }
 fail=0
+skipped=()
+skip() {  # skip <stage> <reason...>
+  local stage="$1"; shift
+  skipped+=("$stage")
+  printf 'SKIPPED:%s %s\n' "$stage" "$*"
+}
 
-# --- 1. ASan + UBSan, full suite, audit hooks armed -------------------------
-note "ASan+UBSan Debug build (CA_AUDIT_ENABLED) + full ctest"
+# --- asan: ASan + UBSan, full suite, audit hooks armed ------------------------
+note "asan: ASan+UBSan Debug build (CA_AUDIT_ENABLED) + full ctest"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCA_SANITIZE=address,undefined \
   -DCA_WERROR=OFF > /dev/null
 cmake --build build-asan -j "$JOBS" \
   --target test_util test_sim test_telemetry test_mem test_dm test_policy \
-           test_core test_twolm test_dnn test_integration test_audit
+           test_core test_twolm test_dnn test_integration test_audit test_race
 ( cd build-asan && ctest -j "$JOBS" --output-on-failure )
-note "audit suite under sanitizers (ctest -R audit)"
+note "asan: audit suite under sanitizers (ctest -R audit)"
 ( cd build-asan && ctest -R audit --output-on-failure )
 
-# --- 2. TSan on the threaded substrate ---------------------------------------
+# --- tsan: the threaded substrate ---------------------------------------------
 if [[ "$RUN_TSAN" -eq 1 ]]; then
-  note "TSan build: thread pool + copy engine + async mover tests"
+  note "tsan: thread pool + copy engine + async mover tests"
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCA_SANITIZE=thread \
     -DCA_WERROR=OFF > /dev/null
   cmake --build build-tsan -j "$JOBS" --target test_util test_mem test_dm
-  ( cd build-tsan && ctest -R 'ThreadPool|CopyEngine|Async' --output-on-failure )
+  ( cd build-tsan && ctest -R 'ThreadPool|CopyEngine|Async|TransferEdge' \
+      --output-on-failure )
 else
-  note "TSan stage skipped (--skip-tsan)"
+  skip tsan "--skip-tsan"
 fi
 
-# --- 3. bench smoke ----------------------------------------------------------
+# --- race: deterministic schedule exploration under the instrumented shims ----
+if [[ "$RUN_RACE" -eq 1 ]]; then
+  note "race: CA_RACE=ON build + schedule-explorer suite (ctest -R race)"
+  cmake -B build-race -S . -DCA_RACE=ON -DCA_WERROR=OFF > /dev/null
+  cmake --build build-race -j "$JOBS" --target test_race test_mem
+  ( cd build-race && ctest -R 'race\.|TransferEdge' --output-on-failure )
+else
+  skip race "--skip-race"
+fi
+
+# --- bench smoke ---------------------------------------------------------------
 if [[ "$RUN_BENCH" -eq 1 ]]; then
-  note "bench-smoke: every bench entry point on tiny shapes"
+  note "bench: every bench entry point on tiny shapes"
   cmake --build build-asan -j "$JOBS" --target ablation_async micro_async_mover
   ( cd build-asan && ctest -L bench-smoke --output-on-failure )
 else
-  note "bench-smoke stage skipped (--skip-bench)"
+  skip bench "--skip-bench"
 fi
 
-# --- 4. clang-tidy over src/ -------------------------------------------------
+# --- tidy: clang-tidy over src/ -------------------------------------------------
 if [[ "$RUN_TIDY" -eq 1 ]]; then
   if command -v clang-tidy > /dev/null 2>&1; then
-    note "clang-tidy over src/ (profile: .clang-tidy, warnings are errors)"
+    note "tidy: clang-tidy over src/ (profile: .clang-tidy, warnings are errors)"
     cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
     mapfile -t sources < <(find src -name '*.cpp' | sort)
     if ! clang-tidy -p build-tidy --quiet "${sources[@]}"; then
       fail=1
     fi
   else
-    note "clang-tidy NOT INSTALLED — lint stage SKIPPED (install clang-tidy to run the full gate)"
+    skip tidy "clang-tidy not installed"
   fi
 else
-  note "clang-tidy stage skipped (--skip-tidy)"
+  skip tidy "--skip-tidy"
+fi
+
+# --- ca_lint: repository rules ----------------------------------------------------
+if [[ "$RUN_LINT" -eq 1 ]]; then
+  if command -v python3 > /dev/null 2>&1; then
+    note "ca_lint: repository rules (tools/ca_lint.py)"
+    if ! python3 tools/ca_lint.py; then
+      fail=1
+    fi
+  else
+    skip ca_lint "python3 not installed"
+  fi
+else
+  skip ca_lint "--skip-lint"
 fi
 
 if [[ "$fail" -ne 0 ]]; then
   note "check.sh: FINDINGS — see above"
   exit 1
+fi
+if [[ "${#skipped[@]}" -gt 0 ]]; then
+  note "check.sh: clean, but ${#skipped[@]} stage(s) skipped: ${skipped[*]}"
+  if [[ "$REQUIRE_ALL" -eq 1 ]]; then
+    echo "check.sh: --require-all set and stages were skipped" >&2
+    exit 3
+  fi
+  exit 0
 fi
 note "check.sh: all stages clean"
