@@ -12,6 +12,7 @@
 #include "dnn/models.hpp"
 #include "dnn/trainer.hpp"
 #include "policy/lru_policy.hpp"
+#include "telemetry/report.hpp"
 #include "util/format.hpp"
 
 using namespace ca;
@@ -66,5 +67,9 @@ int main() {
   std::printf("engine issued %llu retire and %llu archive annotations.\n",
               (unsigned long long)harness.engine().stats().retires_issued,
               (unsigned long long)harness.engine().stats().archives_issued);
+  std::printf("kernels: %s\n",
+              telemetry::format_kernel_report(
+                  harness.engine().stats().kernel_counters)
+                  .c_str());
   return 0;
 }

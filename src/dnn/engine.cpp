@@ -36,7 +36,7 @@ Tensor Engine::parameter(Shape shape, std::string name) {
 }
 
 void Engine::fill_normal(Tensor& t, float stddev, std::uint64_t seed) {
-  if (config_.backend != Backend::kReal) return;
+  if (config_.backend == Backend::kSim) return;
   util::Xoshiro256 rng(seed);
   t.array().with_write([&](std::span<float> s) {
     for (auto& v : s) v = static_cast<float>(rng.normal()) * stddev;
@@ -44,19 +44,19 @@ void Engine::fill_normal(Tensor& t, float stddev, std::uint64_t seed) {
 }
 
 void Engine::fill_zero(Tensor& t) {
-  if (config_.backend != Backend::kReal) return;
+  if (config_.backend == Backend::kSim) return;
   t.array().with_write(
       [](std::span<float> s) { std::fill(s.begin(), s.end(), 0.0f); });
 }
 
 void Engine::fill_const(Tensor& t, float value) {
-  if (config_.backend != Backend::kReal) return;
+  if (config_.backend == Backend::kSim) return;
   t.array().with_write(
       [value](std::span<float> s) { std::fill(s.begin(), s.end(), value); });
 }
 
 void Engine::fill_labels(Tensor& t, std::size_t classes, std::uint64_t seed) {
-  if (config_.backend != Backend::kReal) return;
+  if (config_.backend == Backend::kSim) return;
   util::Xoshiro256 rng(seed);
   t.array().with_write([&](std::span<float> s) {
     for (auto& v : s) v = static_cast<float>(rng.bounded(classes));
@@ -131,7 +131,12 @@ void Engine::execute_args(const std::string& name,
           rt_->resolve(*a.tensor.object(), false)));
     }
   }
-  if (config_.backend == Backend::kReal && real_fn) real_fn(rptr, wptr);
+  if (config_.backend != Backend::kSim && real_fn) {
+    const real::KernelCtx kctx{ctx_->kernel_pool(), &ctx_->kernel_scratch(),
+                               &stats_.kernel_counters,
+                               config_.backend == Backend::kReference};
+    real_fn(kctx, rptr, wptr);
+  }
   if (kernel_hook_) kernel_hook_();
 }
 
@@ -185,9 +190,10 @@ Tensor Engine::conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
 
   Tensor y = tensor({d.n, d.cout, d.hout(), d.wout()}, "conv.y");
   execute("conv2d", {x, w, b}, {y}, d.flops(), config_.compute_efficiency,
-          [d](const std::vector<const float*>& r,
+          [d](const real::KernelCtx& kctx,
+              const std::vector<const float*>& r,
               const std::vector<float*>& wr) {
-            real::conv2d_fwd(r[0], r[1], r[2], wr[0], d);
+            real::conv2d_fwd(kctx, r[0], r[1], r[2], wr[0], d);
           },
           config_.conv_read_passes);
 
@@ -201,25 +207,28 @@ Tensor Engine::conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
     Tensor gx = eng.tensor(x.shape(), "conv.gx");
     eng.execute("conv2d_bwd_data", {w, gy}, {gx}, d.flops(),
                 eng.config_.compute_efficiency,
-                [d](const std::vector<const float*>& r,
+                [d](const real::KernelCtx& kctx,
+                    const std::vector<const float*>& r,
                     const std::vector<float*>& wr) {
-                  real::conv2d_bwd_data(r[0], r[1], wr[0], d);
+                  real::conv2d_bwd_data(kctx, r[0], r[1], wr[0], d);
                 },
                 eng.config().conv_read_passes);
     Tensor gw = eng.tensor(w.shape(), "conv.gw");
     eng.execute("conv2d_bwd_weights", {x, gy}, {gw}, d.flops(),
                 eng.config_.compute_efficiency,
-                [d](const std::vector<const float*>& r,
+                [d](const real::KernelCtx& kctx,
+                    const std::vector<const float*>& r,
                     const std::vector<float*>& wr) {
-                  real::conv2d_bwd_weights(r[0], r[1], wr[0], d);
+                  real::conv2d_bwd_weights(kctx, r[0], r[1], wr[0], d);
                 },
                 eng.config().conv_read_passes);
     Tensor gb = eng.tensor(b.shape(), "conv.gb");
     eng.execute("conv2d_bwd_bias", {gy}, {gb},
                 static_cast<double>(gy.numel()), kEltwiseEfficiency,
-                [d](const std::vector<const float*>& r,
+                [d](const real::KernelCtx& kctx,
+                    const std::vector<const float*>& r,
                     const std::vector<float*>& wr) {
-                  real::conv2d_bwd_bias(r[0], wr[0], d);
+                  real::conv2d_bwd_bias(kctx, r[0], wr[0], d);
                 });
     return {gx, gw, gb};
   };
@@ -231,9 +240,10 @@ Tensor Engine::relu(const Tensor& x) {
   Tensor y = tensor(x.shape(), "relu.y");
   const auto n = x.numel();
   execute("relu", {x}, {y}, static_cast<double>(n), kEltwiseEfficiency,
-          [n](const std::vector<const float*>& r,
+          [n](const real::KernelCtx& kctx,
+              const std::vector<const float*>& r,
               const std::vector<float*>& w) {
-            real::relu_fwd(r[0], w[0], n);
+            real::relu_fwd(kctx, r[0], w[0], n);
           });
   TapeEntry e;
   e.name = "relu";
@@ -244,9 +254,10 @@ Tensor Engine::relu(const Tensor& x) {
     Tensor gx = eng.tensor(x.shape(), "relu.gx");
     eng.execute("relu_bwd", {x, gout[0]}, {gx}, static_cast<double>(n),
                 kEltwiseEfficiency,
-                [n](const std::vector<const float*>& r,
+                [n](const real::KernelCtx& kctx,
+                    const std::vector<const float*>& r,
                     const std::vector<float*>& w) {
-                  real::relu_bwd(r[0], r[1], w[0], n);
+                  real::relu_bwd(kctx, r[0], r[1], w[0], n);
                 });
     return {gx};
   };
@@ -262,9 +273,10 @@ Tensor Engine::maxpool2(const Tensor& x) {
   const std::size_t n = s.n(), c = s.c(), h = s.h(), w = s.w();
   execute("maxpool2", {x}, {y}, static_cast<double>(x.numel()),
           kEltwiseEfficiency,
-          [=](const std::vector<const float*>& r,
+          [=](const real::KernelCtx& kctx,
+              const std::vector<const float*>& r,
               const std::vector<float*>& wr) {
-            real::maxpool2_fwd(r[0], wr[0], n, c, h, w);
+            real::maxpool2_fwd(kctx, r[0], wr[0], n, c, h, w);
           });
   TapeEntry e;
   e.name = "maxpool2";
@@ -275,9 +287,10 @@ Tensor Engine::maxpool2(const Tensor& x) {
     Tensor gx = eng.tensor(x.shape(), "pool.gx");
     eng.execute("maxpool2_bwd", {x, gout[0]}, {gx},
                 static_cast<double>(x.numel()), kEltwiseEfficiency,
-                [=](const std::vector<const float*>& r,
+                [=](const real::KernelCtx& kctx,
+                    const std::vector<const float*>& r,
                     const std::vector<float*>& wr) {
-                  real::maxpool2_bwd(r[0], r[1], wr[0], n, c, h, w);
+                  real::maxpool2_bwd(kctx, r[0], r[1], wr[0], n, c, h, w);
                 });
     return {gx};
   };
@@ -293,9 +306,10 @@ Tensor Engine::avgpool2(const Tensor& x) {
   const std::size_t n = s.n(), c = s.c(), h = s.h(), w = s.w();
   execute("avgpool2", {x}, {y}, static_cast<double>(x.numel()),
           kEltwiseEfficiency,
-          [=](const std::vector<const float*>& r,
+          [=](const real::KernelCtx& kctx,
+              const std::vector<const float*>& r,
               const std::vector<float*>& wr) {
-            real::avgpool2_fwd(r[0], wr[0], n, c, h, w);
+            real::avgpool2_fwd(kctx, r[0], wr[0], n, c, h, w);
           });
   TapeEntry e;
   e.name = "avgpool2";
@@ -306,9 +320,10 @@ Tensor Engine::avgpool2(const Tensor& x) {
     Tensor gx = eng.tensor(x.shape(), "apool.gx");
     eng.execute("avgpool2_bwd", {gout[0]}, {gx},
                 static_cast<double>(x.numel()), kEltwiseEfficiency,
-                [=](const std::vector<const float*>& r,
+                [=](const real::KernelCtx& kctx,
+                    const std::vector<const float*>& r,
                     const std::vector<float*>& wr) {
-                  real::avgpool2_bwd(r[0], wr[0], n, c, h, w);
+                  real::avgpool2_bwd(kctx, r[0], wr[0], n, c, h, w);
                 });
     return {gx};
   };
@@ -323,9 +338,10 @@ Tensor Engine::dropout(const Tensor& x, float p, std::uint64_t seed) {
   const auto n = x.numel();
   execute("dropout", {x}, {y, mask}, static_cast<double>(n),
           kEltwiseEfficiency,
-          [n, p, seed](const std::vector<const float*>& r,
+          [n, p, seed](const real::KernelCtx& kctx,
+                       const std::vector<const float*>& r,
                        const std::vector<float*>& w) {
-            real::dropout_fwd(r[0], w[0], w[1], p, seed, n);
+            real::dropout_fwd(kctx, r[0], w[0], w[1], p, seed, n);
           });
   TapeEntry e;
   e.name = "dropout";
@@ -336,9 +352,10 @@ Tensor Engine::dropout(const Tensor& x, float p, std::uint64_t seed) {
     Tensor gx = eng.tensor(x.shape(), "drop.gx");
     eng.execute("dropout_bwd", {mask, gout[0]}, {gx},
                 static_cast<double>(n), kEltwiseEfficiency,
-                [n](const std::vector<const float*>& r,
+                [n](const real::KernelCtx& kctx,
+                    const std::vector<const float*>& r,
                     const std::vector<float*>& w) {
-                  real::dropout_bwd(r[0], r[1], w[0], n);
+                  real::dropout_bwd(kctx, r[0], r[1], w[0], n);
                 });
     return {gx};
   };
@@ -353,9 +370,10 @@ Tensor Engine::global_avgpool(const Tensor& x) {
   const std::size_t n = s.n(), c = s.c(), h = s.h(), w = s.w();
   execute("global_avgpool", {x}, {y}, static_cast<double>(x.numel()),
           kEltwiseEfficiency,
-          [=](const std::vector<const float*>& r,
+          [=](const real::KernelCtx& kctx,
+              const std::vector<const float*>& r,
               const std::vector<float*>& wr) {
-            real::global_avgpool_fwd(r[0], wr[0], n, c, h, w);
+            real::global_avgpool_fwd(kctx, r[0], wr[0], n, c, h, w);
           });
   TapeEntry e;
   e.name = "global_avgpool";
@@ -366,9 +384,10 @@ Tensor Engine::global_avgpool(const Tensor& x) {
     Tensor gx = eng.tensor(x.shape(), "gap.gx");
     eng.execute("global_avgpool_bwd", {gout[0]}, {gx},
                 static_cast<double>(x.numel()), kEltwiseEfficiency,
-                [=](const std::vector<const float*>& r,
+                [=](const real::KernelCtx& kctx,
+                    const std::vector<const float*>& r,
                     const std::vector<float*>& wr) {
-                  real::global_avgpool_bwd(r[0], wr[0], n, c, h, w);
+                  real::global_avgpool_bwd(kctx, r[0], wr[0], n, c, h, w);
                 });
     return {gx};
   };
@@ -388,10 +407,11 @@ Tensor Engine::batchnorm(const Tensor& x, const Tensor& gamma,
   const std::size_t n = s.n(), c = s.c(), h = s.h(), w = s.w();
   execute("batchnorm", {x, gamma, beta}, {y, mean, istd},
           8.0 * static_cast<double>(x.numel()), kEltwiseEfficiency,
-          [=](const std::vector<const float*>& r,
+          [=](const real::KernelCtx& kctx,
+              const std::vector<const float*>& r,
               const std::vector<float*>& wr) {
-            real::batchnorm_fwd(r[0], r[1], r[2], wr[0], wr[1], wr[2], n, c,
-                                h, w, 1e-5f);
+            real::batchnorm_fwd(kctx, r[0], r[1], r[2], wr[0], wr[1], wr[2],
+                                n, c, h, w, 1e-5f);
           });
   TapeEntry e;
   e.name = "batchnorm";
@@ -406,10 +426,11 @@ Tensor Engine::batchnorm(const Tensor& x, const Tensor& gamma,
     eng.execute("batchnorm_bwd", {x, gamma, mean, istd, gout[0]},
                 {gx, ggamma, gbeta}, 12.0 * static_cast<double>(x.numel()),
                 kEltwiseEfficiency,
-                [=](const std::vector<const float*>& r,
+                [=](const real::KernelCtx& kctx,
+                    const std::vector<const float*>& r,
                     const std::vector<float*>& wr) {
-                  real::batchnorm_bwd(r[0], r[1], r[2], r[3], r[4], wr[0],
-                                      wr[1], wr[2], n, c, h, w);
+                  real::batchnorm_bwd(kctx, r[0], r[1], r[2], r[3], r[4],
+                                      wr[0], wr[1], wr[2], n, c, h, w);
                 });
     return {gx, ggamma, gbeta};
   };
@@ -428,9 +449,10 @@ Tensor Engine::dense(const Tensor& x, const Tensor& w, const Tensor& b) {
   Tensor y = tensor({n, out}, "dense.y");
   const double flops = 2.0 * static_cast<double>(n) * in * out;
   execute("dense", {x, w, b}, {y}, flops, config_.compute_efficiency,
-          [=](const std::vector<const float*>& r,
+          [=](const real::KernelCtx& kctx,
+              const std::vector<const float*>& r,
               const std::vector<float*>& wr) {
-            real::dense_fwd(r[0], r[1], r[2], wr[0], n, in, out);
+            real::dense_fwd(kctx, r[0], r[1], r[2], wr[0], n, in, out);
           },
           config_.conv_read_passes);
   TapeEntry e;
@@ -444,25 +466,28 @@ Tensor Engine::dense(const Tensor& x, const Tensor& w, const Tensor& b) {
     Tensor gx = eng.tensor(x.shape(), "dense.gx");
     eng.execute("dense_bwd_data", {w, gy}, {gx}, flops,
                 eng.config_.compute_efficiency,
-                [=](const std::vector<const float*>& r,
+                [=](const real::KernelCtx& kctx,
+                    const std::vector<const float*>& r,
                     const std::vector<float*>& wr) {
-                  real::dense_bwd_data(r[0], r[1], wr[0], n, in, out);
+                  real::dense_bwd_data(kctx, r[0], r[1], wr[0], n, in, out);
                 },
                 eng.config().conv_read_passes);
     Tensor gw = eng.tensor(w.shape(), "dense.gw");
     eng.execute("dense_bwd_weights", {x, gy}, {gw}, flops,
                 eng.config_.compute_efficiency,
-                [=](const std::vector<const float*>& r,
+                [=](const real::KernelCtx& kctx,
+                    const std::vector<const float*>& r,
                     const std::vector<float*>& wr) {
-                  real::dense_bwd_weights(r[0], r[1], wr[0], n, in, out);
+                  real::dense_bwd_weights(kctx, r[0], r[1], wr[0], n, in, out);
                 },
                 eng.config().conv_read_passes);
     Tensor gb = eng.tensor(b.shape(), "dense.gb");
     eng.execute("dense_bwd_bias", {gy}, {gb}, static_cast<double>(gy.numel()),
                 kEltwiseEfficiency,
-                [=](const std::vector<const float*>& r,
+                [=](const real::KernelCtx& kctx,
+                    const std::vector<const float*>& r,
                     const std::vector<float*>& wr) {
-                  real::dense_bwd_bias(r[0], wr[0], n, out);
+                  real::dense_bwd_bias(kctx, r[0], wr[0], n, out);
                 });
     return {gx, gw, gb};
   };
@@ -476,9 +501,10 @@ Tensor Engine::add(const Tensor& a, const Tensor& b) {
   Tensor y = tensor(a.shape(), "add.y");
   const auto n = a.numel();
   execute("add", {a, b}, {y}, static_cast<double>(n), kEltwiseEfficiency,
-          [n](const std::vector<const float*>& r,
+          [n](const real::KernelCtx& kctx,
+              const std::vector<const float*>& r,
               const std::vector<float*>& w) {
-            real::add_fwd(r[0], r[1], w[0], n);
+            real::add_fwd(kctx, r[0], r[1], w[0], n);
           });
   TapeEntry e;
   e.name = "add";
@@ -506,9 +532,10 @@ Tensor Engine::concat(const Tensor& a, const Tensor& b) {
                     w = sa.w();
   execute("concat", {a, b}, {y}, static_cast<double>(y.numel()),
           kEltwiseEfficiency,
-          [=](const std::vector<const float*>& r,
+          [=](const real::KernelCtx& kctx,
+              const std::vector<const float*>& r,
               const std::vector<float*>& wr) {
-            real::concat_fwd(r[0], r[1], wr[0], n, ca, cb, h, w);
+            real::concat_fwd(kctx, r[0], r[1], wr[0], n, ca, cb, h, w);
           });
   TapeEntry e;
   e.name = "concat";
@@ -521,9 +548,10 @@ Tensor Engine::concat(const Tensor& a, const Tensor& b) {
     Tensor gb = eng.tensor(b.shape(), "concat.gb");
     eng.execute("concat_bwd", {gout[0]}, {ga, gb},
                 static_cast<double>(gout[0].numel()), kEltwiseEfficiency,
-                [=](const std::vector<const float*>& r,
+                [=](const real::KernelCtx& kctx,
+                    const std::vector<const float*>& r,
                     const std::vector<float*>& wr) {
-                  real::concat_bwd(r[0], wr[0], wr[1], n, ca, cb, h, w);
+                  real::concat_bwd(kctx, r[0], wr[0], wr[1], n, ca, cb, h, w);
                 });
     return {ga, gb};
   };
@@ -546,9 +574,10 @@ Tensor Engine::embedding_lookup(const Tensor& table, const Tensor& indices,
        {indices, false, 0, 1, false},
        {out, /*write=*/true, 0, 1, false}},
       static_cast<double>(batch * dim), kEltwiseEfficiency,
-      [batch, dim](const std::vector<const float*>& r,
+      [batch, dim](const real::KernelCtx& kctx,
+                   const std::vector<const float*>& r,
                    const std::vector<float*>& w) {
-        real::embedding_gather(r[0], r[1], w[0], batch, dim);
+        real::embedding_gather(kctx, r[0], r[1], w[0], batch, dim);
       });
 
   TapeEntry e;
@@ -568,9 +597,10 @@ Tensor Engine::embedding_lookup(const Tensor& table, const Tensor& indices,
          {indices, false, 0, 1, false},
          {mutable_table, /*write=*/true, touched, 1, /*partial=*/true}},
         2.0 * static_cast<double>(batch * dim), kEltwiseEfficiency,
-        [batch, dim, lr](const std::vector<const float*>& r,
+        [batch, dim, lr](const real::KernelCtx& kctx,
+                         const std::vector<const float*>& r,
                          const std::vector<float*>& w) {
-          real::embedding_scatter_sgd(w[0], r[1], r[0], lr, batch, dim);
+          real::embedding_scatter_sgd(kctx, w[0], r[1], r[0], lr, batch, dim);
         });
     return {Tensor{}, Tensor{}};  // gradient is consumed by the update
   };
@@ -587,9 +617,10 @@ float Engine::softmax_ce_loss(const Tensor& logits, const Tensor& labels) {
   float loss = 0.0f;
   execute("softmax_ce", {logits, labels}, {probs},
           8.0 * static_cast<double>(logits.numel()), kEltwiseEfficiency,
-          [&, n, classes](const std::vector<const float*>& r,
+          [&, n, classes](const real::KernelCtx& kctx,
+                          const std::vector<const float*>& r,
                           const std::vector<float*>& w) {
-            loss = real::softmax_ce_fwd(r[0], r[1], w[0], n, classes);
+            loss = real::softmax_ce_fwd(kctx, r[0], r[1], w[0], n, classes);
           });
   TapeEntry e;
   e.name = "softmax_ce";
@@ -602,9 +633,10 @@ float Engine::softmax_ce_loss(const Tensor& logits, const Tensor& labels) {
     Tensor gx = eng.tensor(logits.shape(), "loss.gx");
     eng.execute("softmax_ce_bwd", {probs, labels}, {gx},
                 static_cast<double>(logits.numel()), kEltwiseEfficiency,
-                [=](const std::vector<const float*>& r,
+                [=](const real::KernelCtx& kctx,
+                    const std::vector<const float*>& r,
                     const std::vector<float*>& w) {
-                  real::softmax_ce_bwd(r[0], r[1], w[0], n, classes);
+                  real::softmax_ce_bwd(kctx, r[0], r[1], w[0], n, classes);
                 });
     return {gx, Tensor{}};  // no gradient for the labels
   };
@@ -637,7 +669,7 @@ void Engine::accumulate_grad(const Tensor& target, Tensor g) {
     const auto n = acc.numel();
     execute("grad_copy", {acc}, {copy}, static_cast<double>(n),
             kEltwiseEfficiency,
-            [n](const std::vector<const float*>& r,
+            [n](const real::KernelCtx&, const std::vector<const float*>& r,
                 const std::vector<float*>& w) {
               std::copy(r[0], r[0] + n, w[0]);
             });
@@ -649,9 +681,10 @@ void Engine::accumulate_grad(const Tensor& target, Tensor g) {
   const auto n = acc.numel();
   execute("grad_accumulate", {g, acc}, {acc}, static_cast<double>(n),
           kEltwiseEfficiency,
-          [n](const std::vector<const float*>& r,
+          [n](const real::KernelCtx& kctx,
+              const std::vector<const float*>& r,
               const std::vector<float*>& w) {
-            real::accumulate(w[0], r[0], n);
+            real::accumulate(kctx, w[0], r[0], n);
           });
   // `g` has been folded in; release it unless another target holds it.
   const void* gid = g.array().identity();
@@ -747,9 +780,10 @@ void Engine::sgd_step(float lr) {
     const auto n = p.numel();
     execute("sgd_update", {g, p}, {p}, 2.0 * static_cast<double>(n),
             kEltwiseEfficiency,
-            [n, lr](const std::vector<const float*>& r,
+            [n, lr](const real::KernelCtx& kctx,
+                    const std::vector<const float*>& r,
                     const std::vector<float*>& w) {
-              real::sgd_update(w[0], r[0], lr, n);
+              real::sgd_update(kctx, w[0], r[0], lr, n);
             });
     drop_grad(p.array().identity());
   }

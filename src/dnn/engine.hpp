@@ -13,9 +13,12 @@
 //     issue_retire off the engine relies on the runtime's GC emulation
 //     instead, exactly like the paper's unannotated modes.
 //
-// Two execution backends share all of this machinery:
-//   * kReal: kernels run the reference math from ops_real.hpp (tests,
-//     examples, gradient checks);
+// Three execution backends share all of this machinery:
+//   * kReal: kernels run the fast tier from ops_real.hpp -- blocked GEMM,
+//     im2col conv, ThreadPool-parallel elementwise (tests, examples,
+//     gradient checks, kernel benchmarks);
+//   * kReference: kernels run the scalar seed loops -- the parity oracle
+//     the kernel tests compare kReal against;
 //   * kSim: kernels skip the arithmetic but still stage, pin, touch and
 //     dirty their arguments, and charge modeled time
 //     max(compute, memory) -- the roofline -- where the memory term comes
@@ -28,13 +31,16 @@
 #include <vector>
 
 #include "dnn/exec_context.hpp"
+#include "dnn/kernel_ctx.hpp"
 #include "dnn/tensor.hpp"
+#include "telemetry/counters.hpp"
 
 namespace ca::dnn {
 
 enum class Backend {
-  kReal,  ///< run reference math (small shapes)
-  kSim,   ///< cost model only (paper-scale shapes)
+  kReal,       ///< run real math, fast kernel tier (small shapes)
+  kSim,        ///< cost model only (paper-scale shapes)
+  kReference,  ///< run real math, scalar reference tier (parity oracle)
 };
 
 struct EngineConfig {
@@ -72,6 +78,10 @@ struct EngineStats {
   double kernel_seconds = 0.0;   ///< max(compute, memory), summed
   std::uint64_t archives_issued = 0;
   std::uint64_t retires_issued = 0;
+
+  /// Host-side kernel timing (real backends only; wall seconds, never fed
+  /// into sim::Clock).  See telemetry::KernelCounters.
+  telemetry::KernelCounters kernel_counters;
 };
 
 class Engine {
@@ -170,7 +180,12 @@ class Engine {
         backward;
   };
 
-  using RealFn = std::function<void(const std::vector<const float*>&,
+  /// Real-math kernel body.  The KernelCtx carries the ExecContext's
+  /// worker pool + scratch, the engine's kernel counters, and the
+  /// fast-vs-reference tier switch; launch lambdas pass it straight to the
+  /// ops_real dispatch overloads.
+  using RealFn = std::function<void(const real::KernelCtx&,
+                                    const std::vector<const float*>&,
                                     const std::vector<float*>&)>;
 
   /// One kernel argument for the generalized launch path.

@@ -12,10 +12,13 @@
 // seconds for the kernel's roofline.
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "core/runtime.hpp"
+#include "dnn/scratch.hpp"
 #include "twolm/direct_mapped_cache.hpp"
+#include "util/threadpool.hpp"
 
 namespace ca::dnn {
 
@@ -35,11 +38,37 @@ struct ArgAccess {
 
 class ExecContext {
  public:
+  /// `kernel_threads` sizes the worker pool handed to the real-backend
+  /// fast kernels (1 = run everything serially, no pool ever spawned).
+  explicit ExecContext(std::size_t kernel_threads = 1)
+      : kernel_threads_(std::max<std::size_t>(1, kernel_threads)) {}
   virtual ~ExecContext() = default;
 
   /// Account the memory side of one kernel launch: record traffic for each
   /// argument and return the total modeled memory seconds.
   virtual double charge_memory(std::span<const ArgAccess> args) = 0;
+
+  /// Worker pool for the fast kernel tier, created on first use so
+  /// sim-backend runs never pay for the threads.  Null when configured
+  /// with a single thread (kernels then run serially on the caller).
+  [[nodiscard]] util::ThreadPool* kernel_pool() {
+    if (kernel_threads_ <= 1) return nullptr;
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<util::ThreadPool>(kernel_threads_);
+    }
+    return pool_.get();
+  }
+
+  /// Reusable scratch buffers (im2col patch matrices, GEMM packing panels)
+  /// shared by every kernel launched through this context.
+  [[nodiscard]] real::ScratchPool& kernel_scratch() noexcept {
+    return scratch_;
+  }
+
+ private:
+  std::size_t kernel_threads_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  real::ScratchPool scratch_;
 };
 
 /// App-direct mode: arguments are accessed wherever their primary lives.
@@ -52,7 +81,7 @@ class CaExecContext final : public ExecContext {
   static constexpr double kNvramKernelReadEfficiency = 0.35;
 
   CaExecContext(core::Runtime& rt, std::size_t kernel_threads)
-      : rt_(&rt), threads_(kernel_threads) {}
+      : ExecContext(kernel_threads), rt_(&rt), threads_(kernel_threads) {}
 
   double charge_memory(std::span<const ArgAccess> args) override {
     double seconds = 0.0;
@@ -87,8 +116,9 @@ class CaExecContext final : public ExecContext {
 /// the hardware cache model (which records its own traffic).
 class TwoLmExecContext final : public ExecContext {
  public:
-  TwoLmExecContext(core::Runtime& rt, twolm::DirectMappedCache& cache)
-      : rt_(&rt), cache_(&cache) {}
+  TwoLmExecContext(core::Runtime& rt, twolm::DirectMappedCache& cache,
+                   std::size_t kernel_threads = 1)
+      : ExecContext(kernel_threads), rt_(&rt), cache_(&cache) {}
 
   double charge_memory(std::span<const ArgAccess> args) override {
     double seconds = 0.0;

@@ -1,0 +1,59 @@
+// Cache-blocked single-precision GEMM -- the compute core every conv and
+// dense kernel reduces to (Neural Cache's observation; oneDNN's design).
+//
+// Layout and blocking follow the classic Goto scheme:
+//
+//   C (m x n) += alpha * op(A) (m x k) * op(B) (k x n)        row-major
+//
+//   jc loop: columns of C in kNC strips        (parallelized: each strip is
+//            an independent task writing a disjoint C column band)
+//   pc loop: k in kKC panels                   (packed B panel: kKC x strip)
+//   ic loop: rows of C in kMC blocks           (packed A panel: kMC x kKC,
+//            laid out in kMR-row micro-panels)
+//   micro-kernel: a kMR x kNR register tile accumulated over the packed
+//            panels -- written as plain C so the compiler's auto-vectorizer
+//            emits SIMD FMAs; build with -DCA_NATIVE=ON for -march=native.
+//
+// Packing uses leased ScratchPool buffers, so repeated launches reuse the
+// same panels and every participant (pool worker or caller) packs into
+// private memory: the only shared write target is the caller's C, and the
+// jc strips partition it.  Transposed operands are handled while packing --
+// no materialized transpose, which is what makes the conv backward passes
+// (W^T, col^T) free of extra copies.
+#pragma once
+
+#include <cstddef>
+
+#include "dnn/kernel_ctx.hpp"
+
+namespace ca::dnn::real {
+
+// Register tile of the micro-kernel, sized for the *baseline* x86-64
+// register budget (16 SIMD registers): a 4 x 8 accumulator block is 8 SSE
+// vectors, leaving room for the A broadcast and two B loads.  Wider tiles
+// (6 x 16, the AVX2-native shape) spill accumulators to the stack at the
+// default -march and run ~10x slower; with -DCA_NATIVE=ON the compiler
+// re-vectorizes this same code at whatever width the host offers.
+inline constexpr std::size_t kGemmMR = 4;
+inline constexpr std::size_t kGemmNR = 8;
+// Cache blocking: A panel (kMC x kKC floats = 96 KiB) in L2, B strip panel
+// (kKC x kNC floats <= 1 MiB) streamed through L3.
+inline constexpr std::size_t kGemmMC = 96;
+inline constexpr std::size_t kGemmKC = 256;
+inline constexpr std::size_t kGemmNC = 1024;
+
+/// C = alpha * op(A) * op(B) + beta * C, row-major.
+///
+/// op(A) is (m x k): `a` is stored (m x k, lda) when !trans_a, else
+/// (k x m, lda).  op(B) is (k x n): `b` is stored (k x n, ldb) when
+/// !trans_b, else (n x k, ldb).  `c` is (m x n, ldc) and is the only
+/// memory written.  Parallelized over the ctx's ThreadPool when the
+/// problem is large enough to amortize the wakeup; always runs serially
+/// (same arithmetic) when ctx.pool is null.  Timing lands in
+/// ctx.counters->gemm_* when set.
+void gemm(const KernelCtx& ctx, bool trans_a, bool trans_b, std::size_t m,
+          std::size_t n, std::size_t k, float alpha, const float* a,
+          std::size_t lda, const float* b, std::size_t ldb, float beta,
+          float* c, std::size_t ldc);
+
+}  // namespace ca::dnn::real

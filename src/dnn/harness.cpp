@@ -59,7 +59,8 @@ Harness::Harness(const HarnessConfig& config) : config_(config) {
     cc.kernel_threads = config.kernel_threads;
     cache_ = std::make_unique<twolm::DirectMappedCache>(
         cc, rt_->platform(), rt_->counters());
-    ctx_ = std::make_unique<TwoLmExecContext>(*rt_, *cache_);
+    ctx_ = std::make_unique<TwoLmExecContext>(*rt_, *cache_,
+                                              config.kernel_threads);
   } else {
     ctx_ = std::make_unique<CaExecContext>(*rt_, config.kernel_threads);
   }

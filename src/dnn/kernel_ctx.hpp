@@ -1,0 +1,39 @@
+// KernelCtx: execution resources threaded through every real-backend
+// kernel launch.
+//
+// The fast kernels (blocked GEMM, im2col conv, ThreadPool-parallel
+// elementwise) need a worker pool, per-thread scratch buffers and a place
+// to record wall-time counters; the scalar reference kernels need none of
+// it.  A KernelCtx bundles the three and carries the backend switch, so
+// the Engine's launch lambdas are written once and dispatch at the
+// ops_real entry points:
+//
+//   * reference == false  -> the blocked/parallel fast path (Backend::kReal)
+//   * reference == true   -> the seed scalar loops (Backend::kReference),
+//     kept as the parity oracle for tests
+//
+// A default-constructed ctx (null pool/scratch) is valid: kernels fall
+// back to the serial fast path with locally allocated scratch-free
+// algorithms where possible, which is what unit tests calling ops
+// directly get.
+#pragma once
+
+namespace ca::util {
+class ThreadPool;
+}
+namespace ca::telemetry {
+struct KernelCounters;
+}
+
+namespace ca::dnn::real {
+
+class ScratchPool;
+
+struct KernelCtx {
+  util::ThreadPool* pool = nullptr;        ///< null = run serial
+  ScratchPool* scratch = nullptr;          ///< null = lease-free fallback
+  telemetry::KernelCounters* counters = nullptr;  ///< null = untimed
+  bool reference = false;  ///< true = scalar seed kernels (parity oracle)
+};
+
+}  // namespace ca::dnn::real

@@ -1,17 +1,35 @@
-// Reference numeric kernels (NCHW, float32), forward and backward.
+// Numeric kernels (NCHW, float32), forward and backward, in two tiers:
 //
-// These are the "real" backend of the DNN engine: straightforward direct
-// loops used by the unit tests, gradient checks, and the runnable examples.
+//   * The plain-signature functions below are the seed *scalar reference
+//     kernels*: straightforward direct loops, kept bit-stable as the
+//     parity oracle (Backend::kReference) for the fast tier and still used
+//     directly by unit tests and gradient checks.
+//
+//   * The KernelCtx overloads are the *fast tier* (Backend::kReal): conv
+//     and dense reduce to a cache-blocked, register-tiled GEMM core
+//     (dnn/gemm.hpp) via im2col packing; elementwise / pooling / norm ops
+//     run wide on the ExecContext's ThreadPool with a grain heuristic so
+//     tiny tensors stay serial.  Passing ctx.reference = true routes every
+//     overload back to the scalar tier, which is how the parity tests
+//     compare the two within tolerance.
+//
 // The benchmark harness uses the "sim" backend instead (same data movement
 // and cost accounting, no arithmetic) because real convolutions at the
 // paper's scaled footprints would measure the host CPU, not the memory
-// system under study.
+// system under study -- but with this fast tier the real backend runs near
+// roofline, so real-backend wall-clock is dominated by data movement, not
+// compute noise (the Sentinel argument).
 //
-// All functions are pure: raw pointers + dimensions in, results out.
+// All functions are pure: raw pointers + dimensions in, results out.  The
+// ctx overloads additionally use ctx.pool / ctx.scratch and record wall
+// time into ctx.counters; all scratch row copies route through
+// util::copy_bytes (tools/ca_lint.py rule `kernel-scratch-route`).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+
+#include "dnn/kernel_ctx.hpp"
 
 namespace ca::dnn::real {
 
@@ -126,5 +144,107 @@ void embedding_scatter_sgd(float* table, const float* indices,
 // Optimizer and accumulation helpers.
 void sgd_update(float* w, const float* g, float lr, std::size_t n);
 void accumulate(float* acc, const float* g, std::size_t n);  // acc += g
+
+// --- fast tier: KernelCtx dispatch overloads --------------------------------
+//
+// Same contracts as the scalar functions above.  With ctx.reference the
+// scalar kernel runs; otherwise the blocked/parallel implementation does.
+// Results agree with the reference within ~1e-4 relative tolerance (FP
+// summation order differs); tests/dnn/kernel_parity_test.cpp holds the
+// line.
+
+void conv2d_fwd(const KernelCtx& ctx, const float* x, const float* w,
+                const float* b, float* y, const ConvDims& d);
+void conv2d_bwd_data(const KernelCtx& ctx, const float* w, const float* gy,
+                     float* gx, const ConvDims& d);
+void conv2d_bwd_weights(const KernelCtx& ctx, const float* x,
+                        const float* gy, float* gw, const ConvDims& d);
+void conv2d_bwd_bias(const KernelCtx& ctx, const float* gy, float* gb,
+                     const ConvDims& d);
+
+void relu_fwd(const KernelCtx& ctx, const float* x, float* y, std::size_t n);
+void relu_bwd(const KernelCtx& ctx, const float* x, const float* gy,
+              float* gx, std::size_t n);
+
+void maxpool2_fwd(const KernelCtx& ctx, const float* x, float* y,
+                  std::size_t n, std::size_t c, std::size_t h,
+                  std::size_t w);
+void maxpool2_bwd(const KernelCtx& ctx, const float* x, const float* gy,
+                  float* gx, std::size_t n, std::size_t c, std::size_t h,
+                  std::size_t w);
+void avgpool2_fwd(const KernelCtx& ctx, const float* x, float* y,
+                  std::size_t n, std::size_t c, std::size_t h,
+                  std::size_t w);
+void avgpool2_bwd(const KernelCtx& ctx, const float* gy, float* gx,
+                  std::size_t n, std::size_t c, std::size_t h,
+                  std::size_t w);
+
+// dropout_fwd stays scalar in both tiers: the mask stream is defined as a
+// *sequential* draw from one seeded generator, and parity (plus replay
+// determinism) would break if chunks drew from split streams.
+void dropout_fwd(const KernelCtx& ctx, const float* x, float* y, float* mask,
+                 float p, std::uint64_t seed, std::size_t n);
+void dropout_bwd(const KernelCtx& ctx, const float* mask, const float* gy,
+                 float* gx, std::size_t n);
+
+void global_avgpool_fwd(const KernelCtx& ctx, const float* x, float* y,
+                        std::size_t n, std::size_t c, std::size_t h,
+                        std::size_t w);
+void global_avgpool_bwd(const KernelCtx& ctx, const float* gy, float* gx,
+                        std::size_t n, std::size_t c, std::size_t h,
+                        std::size_t w);
+
+void batchnorm_fwd(const KernelCtx& ctx, const float* x, const float* gamma,
+                   const float* beta, float* y, float* save_mean,
+                   float* save_istd, std::size_t n, std::size_t c,
+                   std::size_t h, std::size_t w, float eps);
+void batchnorm_bwd(const KernelCtx& ctx, const float* x, const float* gamma,
+                   const float* save_mean, const float* save_istd,
+                   const float* gy, float* gx, float* ggamma, float* gbeta,
+                   std::size_t n, std::size_t c, std::size_t h,
+                   std::size_t w);
+
+void dense_fwd(const KernelCtx& ctx, const float* x, const float* w,
+               const float* b, float* y, std::size_t n, std::size_t in,
+               std::size_t out);
+void dense_bwd_data(const KernelCtx& ctx, const float* w, const float* gy,
+                    float* gx, std::size_t n, std::size_t in,
+                    std::size_t out);
+void dense_bwd_weights(const KernelCtx& ctx, const float* x, const float* gy,
+                       float* gw, std::size_t n, std::size_t in,
+                       std::size_t out);
+void dense_bwd_bias(const KernelCtx& ctx, const float* gy, float* gb,
+                    std::size_t n, std::size_t out);
+
+float softmax_ce_fwd(const KernelCtx& ctx, const float* logits,
+                     const float* labels, float* probs, std::size_t n,
+                     std::size_t classes);
+void softmax_ce_bwd(const KernelCtx& ctx, const float* probs,
+                    const float* labels, float* gx, std::size_t n,
+                    std::size_t classes);
+
+void add_fwd(const KernelCtx& ctx, const float* a, const float* b, float* y,
+             std::size_t n);
+
+void concat_fwd(const KernelCtx& ctx, const float* a, const float* b,
+                float* y, std::size_t n, std::size_t ca, std::size_t cb,
+                std::size_t h, std::size_t w);
+void concat_bwd(const KernelCtx& ctx, const float* gy, float* ga, float* gb,
+                std::size_t n, std::size_t ca, std::size_t cb, std::size_t h,
+                std::size_t w);
+
+void embedding_gather(const KernelCtx& ctx, const float* table,
+                      const float* indices, float* out, std::size_t batch,
+                      std::size_t dim);
+// Scatter stays serial in both tiers: duplicate indices in one batch alias
+// the same table row, so a parallel scatter would race with itself.
+void embedding_scatter_sgd(const KernelCtx& ctx, float* table,
+                           const float* indices, const float* grads,
+                           float lr, std::size_t batch, std::size_t dim);
+
+void sgd_update(const KernelCtx& ctx, float* w, const float* g, float lr,
+                std::size_t n);
+void accumulate(const KernelCtx& ctx, float* acc, const float* g,
+                std::size_t n);
 
 }  // namespace ca::dnn::real

@@ -1,0 +1,113 @@
+// Per-thread kernel scratch buffers (im2col patch matrices, GEMM packing
+// panels, partial weight-gradient accumulators).
+//
+// The fast kernels run on the ExecContext's ThreadPool; any participant --
+// a pool worker or the calling thread -- may need a private scratch buffer
+// at any moment, and buffers must be reused across kernel launches so a
+// training step does not churn the host allocator.  A ScratchPool is a
+// mutex-guarded freelist of float buffers handed out as RAII leases: the
+// acquire/release critical sections go through ca::sync, so CA_RACE builds
+// see the handoff edges and TSan sees clean synchronization.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "race/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace ca::dnn::real {
+
+class ScratchPool {
+ public:
+  struct Stats {
+    std::uint64_t leases = 0;       ///< acquire() calls
+    std::size_t buffers = 0;        ///< buffers ever created
+    std::size_t peak_bytes = 0;     ///< largest single buffer, in bytes
+  };
+
+  /// RAII lease of one buffer; returns it to the pool's freelist on
+  /// destruction.  Move-only.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ScratchPool* pool, std::vector<float> buf)
+        : pool_(pool), buf_(std::move(buf)) {}
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), buf_(std::move(other.buf_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        buf_ = std::move(other.buf_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] float* data() noexcept { return buf_.data(); }
+    [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+   private:
+    void release() {
+      if (pool_ != nullptr) {
+        pool_->put_back(std::move(buf_));
+        pool_ = nullptr;
+      }
+    }
+
+    ScratchPool* pool_ = nullptr;
+    std::vector<float> buf_;
+  };
+
+  /// Lease a buffer of at least `floats` elements.  Contents are
+  /// unspecified (kernels fully overwrite or explicitly zero their
+  /// scratch).  Safe to call from any thread.
+  [[nodiscard]] Lease acquire(std::size_t floats) {
+    std::vector<float> buf;
+    {
+      sync::lock lock(mu_);
+      ++stats_.leases;
+      if (!free_.empty()) {
+        buf = std::move(free_.back());
+        free_.pop_back();
+      } else {
+        ++stats_.buffers;
+      }
+    }
+    if (buf.size() < floats) {
+      buf.resize(floats);
+      sync::lock lock(mu_);
+      stats_.peak_bytes =
+          std::max(stats_.peak_bytes, buf.size() * sizeof(float));
+    }
+    return Lease(this, std::move(buf));
+  }
+
+  [[nodiscard]] Stats stats() const {
+    sync::lock lock(mu_);
+    return stats_;
+  }
+
+ private:
+  friend class Lease;
+
+  void put_back(std::vector<float> buf) {
+    sync::lock lock(mu_);
+    free_.push_back(std::move(buf));
+  }
+
+  mutable sync::mutex mu_;
+  std::vector<std::vector<float>> free_ CA_GUARDED_BY(mu_);
+  Stats stats_ CA_GUARDED_BY(mu_);
+};
+
+}  // namespace ca::dnn::real

@@ -34,6 +34,8 @@ IterationMetrics Trainer::run_iteration() {
       harness_->cache() != nullptr ? harness_->cache()->stats()
                                    : twolm::CacheStats{};
   const dm::DataManager::AsyncStats async0 = rt.manager().async_stats();
+  const telemetry::KernelCounters kernels0 =
+      engine.stats().kernel_counters;
   peak_resident_ = rt.manager().resident_bytes();
 
   IterationMetrics m;
@@ -73,6 +75,7 @@ IterationMetrics Trainer::run_iteration() {
   m.async_stall_seconds = async1.stall_seconds - async0.stall_seconds;
   m.async_overlap_seconds = async1.overlap_seconds - async0.overlap_seconds;
   m.async_inflight_peak = async1.inflight_peak;
+  m.kernels = engine.stats().kernel_counters.delta(kernels0);
 
   if (harness_->cache() != nullptr) {
     const auto& now = harness_->cache()->stats();

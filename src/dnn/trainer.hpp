@@ -36,6 +36,11 @@ struct IterationMetrics {
   double async_stall_seconds = 0.0;      ///< time stalled in wait_ready
   double async_overlap_seconds = 0.0;    ///< modeled movement hidden
   std::size_t async_inflight_peak = 0;   ///< registry high-water mark
+
+  /// Host kernel-timing deltas (wall seconds; real backends only, zero
+  /// under kSim).  kernels.gemm_gflops() is the iteration's achieved GEMM
+  /// rate.
+  telemetry::KernelCounters kernels;
 };
 
 struct TrainerOptions {

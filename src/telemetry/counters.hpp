@@ -24,6 +24,40 @@ struct DeviceTraffic {
   }
 };
 
+/// Host-side compute-kernel accounting (the "real" DNN backend).  Unlike
+/// every other number in telemetry these are *wall* seconds: they describe
+/// how fast the host actually ran the GEMM/im2col/elementwise kernels, the
+/// roofline denominator the paper's oneDNN stack provides.  They are
+/// observability only -- nothing here ever feeds sim::Clock, so simulated
+/// results stay host-independent.
+struct KernelCounters {
+  std::uint64_t gemm_calls = 0;
+  double gemm_seconds = 0.0;    ///< wall time inside the blocked GEMM core
+  double gemm_flops = 0.0;      ///< 2*m*n*k summed over gemm calls
+  std::uint64_t im2col_calls = 0;
+  double im2col_seconds = 0.0;  ///< wall time packing conv patches
+  std::uint64_t eltwise_calls = 0;
+  double eltwise_seconds = 0.0;  ///< wall time in parallel elementwise ops
+
+  /// Achieved arithmetic rate of the GEMM core, in GFLOP/s (0 before the
+  /// first timed call).
+  [[nodiscard]] double gemm_gflops() const noexcept {
+    return gemm_seconds > 0.0 ? gemm_flops / gemm_seconds / 1e9 : 0.0;
+  }
+
+  [[nodiscard]] KernelCounters delta(const KernelCounters& snap) const {
+    KernelCounters d;
+    d.gemm_calls = gemm_calls - snap.gemm_calls;
+    d.gemm_seconds = gemm_seconds - snap.gemm_seconds;
+    d.gemm_flops = gemm_flops - snap.gemm_flops;
+    d.im2col_calls = im2col_calls - snap.im2col_calls;
+    d.im2col_seconds = im2col_seconds - snap.im2col_seconds;
+    d.eltwise_calls = eltwise_calls - snap.eltwise_calls;
+    d.eltwise_seconds = eltwise_seconds - snap.eltwise_seconds;
+    return d;
+  }
+};
+
 /// Per-device traffic accounting.  Devices are addressed by sim::DeviceId.
 class TrafficCounters {
  public:

@@ -1,8 +1,17 @@
 #include "telemetry/report.hpp"
 
+#include <cstdio>
 #include <fstream>
 
 namespace ca::telemetry {
+
+namespace {
+std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+}  // namespace
 
 std::string csv_escape(const std::string& field) {
   const bool needs_quoting =
@@ -35,6 +44,29 @@ bool write_csv(const std::string& path,
   if (!f) return false;
   f << to_csv(rows);
   return static_cast<bool>(f);
+}
+
+std::string format_kernel_report(const KernelCounters& k) {
+  std::string out = "gemm " + std::to_string(k.gemm_calls) + " calls " +
+                    fixed(k.gemm_seconds * 1e3, 2) + "ms " +
+                    fixed(k.gemm_gflops(), 2) + " GFLOP/s";
+  out += " | im2col " + std::to_string(k.im2col_calls) + " calls " +
+         fixed(k.im2col_seconds * 1e3, 2) + "ms";
+  out += " | eltwise " + std::to_string(k.eltwise_calls) + " calls " +
+         fixed(k.eltwise_seconds * 1e3, 2) + "ms";
+  return out;
+}
+
+std::vector<std::vector<std::string>> kernel_report_rows(
+    const KernelCounters& k) {
+  return {
+      {"gemm_calls", "gemm_seconds", "gemm_gflops", "im2col_calls",
+       "im2col_seconds", "eltwise_calls", "eltwise_seconds"},
+      {std::to_string(k.gemm_calls), fixed(k.gemm_seconds, 6),
+       fixed(k.gemm_gflops(), 3), std::to_string(k.im2col_calls),
+       fixed(k.im2col_seconds, 6), std::to_string(k.eltwise_calls),
+       fixed(k.eltwise_seconds, 6)},
+  };
 }
 
 }  // namespace ca::telemetry

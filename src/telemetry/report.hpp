@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/counters.hpp"
+
 namespace ca::telemetry {
 
 /// RFC-4180-style CSV: fields containing commas, quotes or newlines are
@@ -19,5 +21,15 @@ namespace ca::telemetry {
 /// file cannot be opened -- bench binaries treat export as best-effort.
 bool write_csv(const std::string& path,
                const std::vector<std::vector<std::string>>& rows);
+
+/// One-line human-readable summary of the compute-kernel counters, e.g.
+/// "gemm 12 calls 3.1ms 41.2 GFLOP/s | im2col 8 calls 0.4ms | eltwise ...".
+/// All figures are host wall time (see KernelCounters).
+[[nodiscard]] std::string format_kernel_report(const KernelCounters& k);
+
+/// The same counters as CSV rows (header + one data row), for the bench
+/// exporters.
+[[nodiscard]] std::vector<std::vector<std::string>> kernel_report_rows(
+    const KernelCounters& k);
 
 }  // namespace ca::telemetry

@@ -1,0 +1,47 @@
+// Wall-clock stopwatch for the compute-kernel counters (KernelCounters).
+//
+// src/ is normally wall-clock-free (tools/ca_lint.py, rule `wall-clock`):
+// every *modeled* quantity is simulated seconds from sim::Clock.  The
+// kernel counters are the one sanctioned exception -- they report how fast
+// the host actually executed the real-backend GEMM/conv kernels (achieved
+// GFLOP/s), which is meaningless in simulated time.  The waivers below are
+// safe because nothing read from this clock ever reaches sim::Clock or any
+// modeled result; misuse is caught by the ca_lint rule firing on any other
+// chrono use in src/.
+#pragma once
+
+#include <chrono>  // ca_lint: allow(wall-clock)
+
+namespace ca::telemetry {
+
+/// Monotonic stopwatch: construct, then read elapsed seconds.
+class KernelStopwatch {
+ public:
+  KernelStopwatch() : start_(clock::now()) {}
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();  // ca_lint: allow(wall-clock)
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;  // ca_lint: allow(wall-clock)
+  clock::time_point start_;
+};
+
+/// Accumulate the stopwatch's elapsed time into `*sink` on scope exit
+/// (sink may be null: disabled timer, zero overhead beyond the clock read).
+class ScopedKernelTimer {
+ public:
+  explicit ScopedKernelTimer(double* sink) : sink_(sink) {}
+  ~ScopedKernelTimer() {
+    if (sink_ != nullptr) *sink_ += watch_.seconds();
+  }
+  ScopedKernelTimer(const ScopedKernelTimer&) = delete;
+  ScopedKernelTimer& operator=(const ScopedKernelTimer&) = delete;
+
+ private:
+  double* sink_;
+  KernelStopwatch watch_;
+};
+
+}  // namespace ca::telemetry

@@ -12,7 +12,9 @@
 // active schedule exploration at spawn.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <queue>
 #include <thread>
@@ -25,6 +27,12 @@ namespace ca::util {
 
 class ThreadPool {
  public:
+  /// Ranges at or below this many elements run inline on the caller: for
+  /// tiny kernels (a few KiB of floats) the pool wakeup costs more than the
+  /// loop itself.  Callers whose per-element work is heavier than "a few
+  /// arithmetic ops" pass a smaller min_grain (see grain_for).
+  static constexpr std::size_t kDefaultMinGrain = 4096;
+
   /// Creates `threads` workers (at least 1).
   explicit ThreadPool(std::size_t threads);
   ~ThreadPool();
@@ -43,10 +51,41 @@ class ThreadPool {
   /// [0, n) is covered.  Work is distributed through ONE shared task state:
   /// workers (and the calling thread, which participates) pull index ranges
   /// from an atomic cursor, so the queue mutex is touched O(workers) times
-  /// per call instead of once per chunk.  Runs inline when n is small or
-  /// the pool has a single worker.
+  /// per call instead of once per chunk.  Runs inline on the caller -- no
+  /// task is enqueued, no worker wakes -- when n <= min_grain or the pool
+  /// has a single worker; when it does go wide, no pulled range is smaller
+  /// than min_grain.
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t min_grain = kDefaultMinGrain);
+
+  /// 2D variant: run `fn(y0, y1, x0, x1)` over a tiling of
+  /// [0, ny) x [0, nx).  The grain heuristic counts *elements* (ny * nx):
+  /// small tensors run inline as a single fn(0, ny, 0, nx) call; large ones
+  /// split rows first (keeping inner-x contiguity for vectorized kernels)
+  /// and split columns only when there are too few rows to feed the pool.
+  void parallel_for_2d(
+      std::size_t ny, std::size_t nx,
+      const std::function<void(std::size_t, std::size_t, std::size_t,
+                               std::size_t)>& fn,
+      std::size_t min_grain = kDefaultMinGrain);
+
+  /// min_grain scaled to per-element cost: a parallel_for whose elements
+  /// each do `work_per_item` element-ops of real work should flip to the
+  /// pool once n * work_per_item exceeds kDefaultMinGrain.
+  [[nodiscard]] static constexpr std::size_t grain_for(
+      std::size_t work_per_item) noexcept {
+    return work_per_item == 0
+               ? kDefaultMinGrain
+               : std::max<std::size_t>(1, kDefaultMinGrain / work_per_item);
+  }
+
+  /// Total tasks ever enqueued (submit calls), including parallel_for
+  /// helpers.  Observability for the grain heuristic: a parallel_for below
+  /// min_grain must leave this unchanged.
+  [[nodiscard]] std::uint64_t tasks_enqueued() const noexcept {
+    return enqueued_.load(std::memory_order_relaxed);
+  }
 
   /// Block until the task queue is empty and all workers are idle.
   void wait_idle() CA_EXCLUDES(mu_);
@@ -56,6 +95,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::vector<sync::spawn_token> worker_tokens_;  ///< parallel to workers_
+  sync::atomic<std::uint64_t> enqueued_{0};
   sync::mutex mu_;
   std::queue<std::function<void()>> tasks_ CA_GUARDED_BY(mu_);
   sync::condition_variable cv_task_;

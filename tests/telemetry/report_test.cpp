@@ -47,5 +47,39 @@ TEST(Csv, UnwritablePathReturnsFalse) {
   EXPECT_FALSE(write_csv("/nonexistent_dir/x.csv", {{"a"}}));
 }
 
+TEST(KernelReport, FormatsCountersAndRate) {
+  KernelCounters k;
+  k.gemm_calls = 12;
+  k.gemm_seconds = 0.5;
+  k.gemm_flops = 1.0e9;  // 2 GFLOP/s over 0.5 s
+  k.im2col_calls = 8;
+  k.im2col_seconds = 0.0004;
+  k.eltwise_calls = 3;
+  const std::string line = format_kernel_report(k);
+  EXPECT_NE(line.find("gemm 12 calls"), std::string::npos);
+  EXPECT_NE(line.find("2.00 GFLOP/s"), std::string::npos);
+  EXPECT_NE(line.find("im2col 8 calls"), std::string::npos);
+  EXPECT_NE(line.find("eltwise 3 calls"), std::string::npos);
+}
+
+TEST(KernelReport, ZeroTimeHasZeroRate) {
+  const std::string line = format_kernel_report(KernelCounters{});
+  EXPECT_NE(line.find("0.00 GFLOP/s"), std::string::npos);
+}
+
+TEST(KernelReport, RowsMatchHeader) {
+  KernelCounters k;
+  k.gemm_calls = 2;
+  k.gemm_seconds = 1.0;
+  k.gemm_flops = 4.0e9;
+  const auto rows = kernel_report_rows(k);
+  ASSERT_EQ(rows.size(), 2u);
+  ASSERT_EQ(rows[0].size(), rows[1].size());
+  EXPECT_EQ(rows[0][0], "gemm_calls");
+  EXPECT_EQ(rows[1][0], "2");
+  EXPECT_EQ(rows[0][2], "gemm_gflops");
+  EXPECT_EQ(rows[1][2], "4.000");
+}
+
 }  // namespace
 }  // namespace ca::telemetry

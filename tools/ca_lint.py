@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """ca_lint: repository-rule linter for the data-management core.
 
-Three rules that clang-tidy cannot express, enforced over src/:
+Four rules that clang-tidy cannot express, enforced over src/:
 
   byte-copy-route
       Raw ``memcpy``/``memmove`` and raw ``std::thread`` are confined to
@@ -24,10 +24,18 @@ Three rules that clang-tidy cannot express, enforced over src/:
       builds verify the cross-structure invariants at every mutation
       boundary.
 
+  kernel-scratch-route
+      The fast compute-kernel sources (src/dnn/ops_real.cpp,
+      src/dnn/gemm.cpp) run on ThreadPool workers and copy rows into
+      per-thread scratch buffers; those bulk copies must go through
+      ``util::copy_bytes`` -- not ``std::copy``/``std::copy_n``/``memcpy``
+      -- so the race detector sees every scratch handoff and TSan/CA_RACE
+      coverage of the kernel tier stays meaningful.
+
 A finding can be waived on its own line with a trailing
 ``// ca_lint: allow(<rule>)`` comment; use sparingly and say why nearby.
 
-Usage: tools/ca_lint.py [--root DIR]
+Usage: tools/ca_lint.py [--root DIR] [--self-test]
 Exit status: 0 clean, 1 findings, 2 usage/setup error.
 """
 
@@ -71,6 +79,13 @@ DM_MUTATORS = (
 )
 
 WAIVER = re.compile(r"//\s*ca_lint:\s*allow\(([a-z-]+)\)")
+
+# Rule `kernel-scratch-route`: the fast-kernel translation units, and the
+# bulk-copy primitives they must not reach for (util::copy_bytes only).
+KERNEL_SCRATCH_FILES = ("src/dnn/ops_real.cpp", "src/dnn/gemm.cpp")
+
+KERNEL_SCRATCH_TOKENS = re.compile(
+    r"\bstd::copy(?:_n|_backward)?\s*\(|\b(?:std::)?(?:memcpy|memmove)\s*\(")
 
 
 class Finding:
@@ -214,26 +229,101 @@ def check_dm_audit(root: Path) -> list[Finding]:
     return findings
 
 
+def check_kernel_scratch_route(root: Path) -> list[Finding]:
+    findings = []
+    for rel in KERNEL_SCRATCH_FILES:
+        path = root / rel
+        if not path.exists():
+            continue  # the kernel tier may not exist yet in partial trees
+        text = path.read_text()
+        code = strip_comments_and_strings(text)
+        findings += scan_tokens(
+            path, rel, text, code, "kernel-scratch-route",
+            KERNEL_SCRATCH_TOKENS,
+            "kernel scratch copies must route through util::copy_bytes so "
+            "the race detector sees the per-thread scratch handoff")
+    return findings
+
+
+# --- self-test ---------------------------------------------------------------
+
+SELF_TEST_BAD = """\
+void im2col(float* col, const float* x, unsigned n) {
+  std::copy(x, x + n, col);
+  std::copy_n(x, n, col);
+  memcpy(col, x, n * sizeof(float));
+}
+"""
+
+SELF_TEST_GOOD = """\
+#include "util/bytes.hpp"
+void im2col(float* col, const float* x, unsigned n) {
+  util::copy_bytes(col, x, n * sizeof(float), "ops::im2col");
+  // a std::copy mention in a comment is fine
+  std::copy(x, x + n, col);  // ca_lint: allow(kernel-scratch-route)
+}
+"""
+
+
+def self_test() -> int:
+    """Negative-test the rules against in-memory fixtures: the bad snippet
+    must trip `kernel-scratch-route`; the waived/commented one must not."""
+    import tempfile
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        kernel = root / "src" / "dnn"
+        kernel.mkdir(parents=True)
+        (root / "src" / "dm").mkdir(parents=True)
+
+        (kernel / "ops_real.cpp").write_text(SELF_TEST_BAD)
+        (kernel / "gemm.cpp").write_text(SELF_TEST_GOOD)
+        findings = check_kernel_scratch_route(root)
+        bad = [f for f in findings if f.path.as_posix().endswith("ops_real.cpp")]
+        good = [f for f in findings if f.path.as_posix().endswith("gemm.cpp")]
+        if len(bad) != 3:
+            failures.append(
+                f"kernel-scratch-route: expected 3 findings in the bad "
+                f"fixture, got {len(bad)}")
+        if good:
+            failures.append(
+                f"kernel-scratch-route: waiver/comment fixture produced "
+                f"{len(good)} finding(s)")
+
+    for f in failures:
+        print(f"ca_lint --self-test: {f}", file=sys.stderr)
+    if failures:
+        return 1
+    print("ca_lint --self-test: ok")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", type=Path,
                         default=Path(__file__).resolve().parent.parent,
                         help="repository root (default: the checkout "
                              "containing this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter's own negative tests and exit")
     args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
     root = args.root.resolve()
     if not (root / "src").is_dir():
         print(f"ca_lint: no src/ under {root}", file=sys.stderr)
         return 2
 
     findings = (check_byte_copy_route(root) + check_wall_clock(root) +
-                check_dm_audit(root))
+                check_dm_audit(root) + check_kernel_scratch_route(root))
     for finding in findings:
         print(finding)
     if findings:
         print(f"ca_lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    print("ca_lint: clean (byte-copy-route, wall-clock, dm-audit)")
+    print("ca_lint: clean (byte-copy-route, wall-clock, dm-audit, "
+          "kernel-scratch-route)")
     return 0
 
 

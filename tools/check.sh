@@ -13,11 +13,17 @@
 #   race     CA_RACE=ON build (instrumented sync shims + vector-clock
 #            detector) and the deterministic schedule-explorer suite
 #            (ctest -R race, plus the Transfer edge cases under the shims).
+#   kparity  kernel-parity: the fast compute-kernel tier vs the scalar
+#            reference kernels (ctest -R kparity) under BOTH the ASan build
+#            and the CA_RACE build, so the blocked GEMM / im2col / parallel
+#            elementwise paths are proven numerically correct and race-free
+#            with CA_NATIVE=OFF (the portable codegen CI ships).
 #   bench    bench-smoke: every bench entry point runs end to end on tiny
 #            shapes (ctest -L bench-smoke on the ASan build).
 #   tidy     clang-tidy over src/ with the repo's .clang-tidy profile.
 #   ca_lint  tools/ca_lint.py repository rules (byte-copy routing,
-#            wall-clock ban, DataManager audit boundaries).
+#            wall-clock ban, DataManager audit boundaries, kernel scratch
+#            routing), preceded by the linter's own --self-test.
 #
 # Exits non-zero on the first finding of a stage that ran.  Stages whose
 # toolchain is not installed (e.g. clang-tidy on a gcc-only box) emit a
@@ -26,14 +32,15 @@
 # that are supposed to carry the full toolchain cannot degrade quietly.
 #
 # Usage: tools/check.sh [--jobs N] [--require-all]
-#                       [--skip-tsan] [--skip-race] [--skip-bench]
-#                       [--skip-tidy] [--skip-lint]
+#                       [--skip-tsan] [--skip-race] [--skip-kparity]
+#                       [--skip-bench] [--skip-tidy] [--skip-lint]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 RUN_TSAN=1
 RUN_RACE=1
+RUN_KPARITY=1
 RUN_BENCH=1
 RUN_TIDY=1
 RUN_LINT=1
@@ -44,6 +51,7 @@ while [[ $# -gt 0 ]]; do
     --require-all) REQUIRE_ALL=1; shift ;;
     --skip-tsan) RUN_TSAN=0; shift ;;
     --skip-race) RUN_RACE=0; shift ;;
+    --skip-kparity) RUN_KPARITY=0; shift ;;
     --skip-bench) RUN_BENCH=0; shift ;;
     --skip-tidy) RUN_TIDY=0; shift ;;
     --skip-lint) RUN_LINT=0; shift ;;
@@ -97,10 +105,27 @@ else
   skip race "--skip-race"
 fi
 
+# --- kparity: fast kernel tier vs the scalar reference ------------------------
+if [[ "$RUN_KPARITY" -eq 1 ]]; then
+  note "kparity: kernel parity suite under ASan (ctest -R kparity)"
+  cmake --build build-asan -j "$JOBS" --target test_kernels
+  ( cd build-asan && ctest -R 'kparity\.' --output-on-failure )
+  # The race half configures build-race itself so this stage is
+  # self-contained under --skip-race (CI runs kparity as its own job).
+  # CA_NATIVE stays OFF: parity must hold for the portable codegen.
+  note "kparity: kernel parity suite under CA_RACE shims"
+  cmake -B build-race -S . -DCA_RACE=ON -DCA_WERROR=OFF > /dev/null
+  cmake --build build-race -j "$JOBS" --target test_kernels
+  ( cd build-race && ctest -R 'kparity\.' --output-on-failure )
+else
+  skip kparity "--skip-kparity"
+fi
+
 # --- bench smoke ---------------------------------------------------------------
 if [[ "$RUN_BENCH" -eq 1 ]]; then
   note "bench: every bench entry point on tiny shapes"
-  cmake --build build-asan -j "$JOBS" --target ablation_async micro_async_mover
+  cmake --build build-asan -j "$JOBS" \
+    --target ablation_async micro_kernels micro_async_mover
   ( cd build-asan && ctest -L bench-smoke --output-on-failure )
 else
   skip bench "--skip-bench"
@@ -126,6 +151,9 @@ fi
 if [[ "$RUN_LINT" -eq 1 ]]; then
   if command -v python3 > /dev/null 2>&1; then
     note "ca_lint: repository rules (tools/ca_lint.py)"
+    if ! python3 tools/ca_lint.py --self-test; then
+      fail=1
+    fi
     if ! python3 tools/ca_lint.py; then
       fail=1
     fi
