@@ -131,7 +131,11 @@ void run_band(const GemmArgs& g, std::size_t n0, std::size_t n1, float* pa,
 }
 
 constexpr std::size_t panel_floats(std::size_t band_cols) {
-  return kGemmMC * kGemmKC + kGemmKC * std::min(band_cols, kGemmNC);
+  // pack_b zero-pads every panel to full kNR columns, so the B scratch must
+  // hold the kNR-rounded band width (kNC is itself a multiple of kNR).
+  return kGemmMC * kGemmKC +
+         kGemmKC *
+             std::min(util::ceil_div(band_cols, kGemmNR) * kGemmNR, kGemmNC);
 }
 
 }  // namespace

@@ -109,6 +109,31 @@ TEST_F(KernelParityTest, GemmMatchesNaiveAcrossTransposesAndFringes) {
   }
 }
 
+// Serial-path fringes with n % kNR != 0 and k >= kKC, run against exact-
+// sized leases: a null ctx owns a fresh local ScratchPool, so every acquire
+// is exact and ASan sees any pack_b write past the padded panel width.  (The
+// fixture's shared pool recycles oversized buffers LIFO, which can hide an
+// overflow in the slack of an earlier, larger lease.)
+TEST_F(KernelParityTest, GemmSerialFringeExactLeases) {
+  struct Case {
+    std::size_t m, n, k;
+  };
+  // n = 7: 8 * ceil(7/8) * kc > kc * 7, the width pack_b actually writes.
+  // k = 300 > kKC exercises the multi-pc loop; k = 256 the exact boundary.
+  for (const auto& c : {Case{13, 7, 300}, Case{4, 3, 256}, Case{97, 15, 257}}) {
+    ASSERT_NE(c.n % kGemmNR, 0u);
+    ASSERT_GE(c.k, kGemmKC);
+    const auto a = randn(c.m * c.k, 6);
+    const auto b = randn(c.k * c.n, 7);
+    std::vector<float> want(c.m * c.n, 0.0f), got(c.m * c.n, 0.0f);
+    gemm(fast(), false, false, c.m, c.n, c.k, 1.0f, a.data(), c.k, b.data(),
+         c.n, 0.0f, want.data(), c.n);
+    gemm(KernelCtx{}, false, false, c.m, c.n, c.k, 1.0f, a.data(), c.k,
+         b.data(), c.n, 0.0f, got.data(), c.n);
+    expect_close(got, want, "gemm serial fringe");
+  }
+}
+
 TEST_F(KernelParityTest, GemmSerialFallbackWithoutPoolOrScratch) {
   const std::size_t m = 23, n = 41, k = 57;
   const auto a = randn(m * k, 4);
