@@ -264,6 +264,39 @@ int main(int argc, char** argv) {
                    util::format_fixed(
                        elt_fast > 0.0 ? elt_scalar / elt_fast : 0.0, 1)});
 
+  // --- parallel_for rendezvous: the latch wakeup tail -----------------------
+  // Each round is one tiny fan-out/fan-in through the pool: the cost is
+  // almost entirely the rendezvous (CompletionLatch arrive/wait), so the
+  // p99 exposes the wakeup tail the spin-then-park latch is meant to keep
+  // short.  min_grain = 1 forces the pool path even at this size.
+  {
+    const int rounds = smoke ? 200 : 5000;
+    std::vector<float> buf(kThreads * 8, 0.0f);
+    std::vector<double> lat(static_cast<std::size_t>(rounds));
+    for (int i = 0; i < rounds; ++i) {
+      WallTimer t;
+      pool.parallel_for(
+          buf.size(),
+          [&](std::size_t b, std::size_t e) {
+            for (std::size_t j = b; j < e; ++j) buf[j] += 1.0f;
+          },
+          /*min_grain=*/1);
+      lat[static_cast<std::size_t>(i)] = t.seconds();
+    }
+    std::sort(lat.begin(), lat.end());
+    const double p50 = lat[lat.size() / 2];
+    const double p99 = lat[static_cast<std::size_t>(
+        0.99 * static_cast<double>(lat.size() - 1))];
+    std::printf("parallel_for rendezvous (%d rounds, n=%zu): "
+                "p50 %.2fus, p99 %.2fus wakeup tail\n\n",
+                rounds, buf.size(), p50 * 1e6, p99 * 1e6);
+    records.push_back({"parallel_for rendezvous p50 s", 0.0, p50, 0});
+    records.push_back({"parallel_for rendezvous p99 s", 0.0, p99, 0});
+    table.push_back({"parallel_for rendezvous p50/p99 us",
+                     util::format_fixed(p50 * 1e6, 2),
+                     util::format_fixed(p99 * 1e6, 2), ""});
+  }
+
   std::printf("Totals: %zu gemm calls, %.1f achieved GFLOP/s, "
               "%.3f s in gemm, %.3f s in im2col.\n",
               static_cast<std::size_t>(counters.gemm_calls),

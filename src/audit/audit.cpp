@@ -1,8 +1,10 @@
 #include "audit/audit.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <utility>
 
 #include "dm/audit_hook.hpp"
@@ -142,6 +144,147 @@ AuditReport verify(const mem::FreeListAllocator& alloc) {
   expect(stats.free_bytes, walk_free_bytes, "free_bytes");
   expect(stats.free_blocks, walk_free.size(), "free_blocks");
   expect(stats.largest_free_block, walk_largest_free, "largest_free_block");
+
+  // alloc.bin-membership -- every free block of the walk is reachable from
+  // exactly one size-class bin, and that bin is its size class; no bin
+  // holds anything that is not a free block.
+  const auto bins = alloc.bin_snapshot();
+  std::vector<std::pair<std::size_t, std::size_t>> binned;  // (size, off)
+  for (const auto& bin : bins) {
+    for (const auto& e : bin.entries) {
+      binned.emplace_back(e.size, e.offset);
+      const std::size_t want = alloc.bin_of(e.size);
+      if (bin.bin != want) {
+        report.add("alloc.bin-membership",
+                   "free block " + std::to_string(e.offset) + "+" +
+                       std::to_string(e.size) + " filed under bin " +
+                       std::to_string(bin.bin) + " but its size class is " +
+                       std::to_string(want));
+      }
+    }
+  }
+  std::sort(binned.begin(), binned.end());
+  for (std::size_t i = 1; i < binned.size(); ++i) {
+    if (binned[i] == binned[i - 1]) {
+      report.add("alloc.bin-membership",
+                 "free block " + std::to_string(binned[i].second) + "+" +
+                     std::to_string(binned[i].first) +
+                     " reachable from more than one bin entry");
+    }
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> unbinned, stray;
+  std::set_difference(walk_free.begin(), walk_free.end(), binned.begin(),
+                      binned.end(), std::back_inserter(unbinned));
+  std::set_difference(binned.begin(), binned.end(), walk_free.begin(),
+                      walk_free.end(), std::back_inserter(stray));
+  for (const auto& [size, off] : unbinned) {
+    report.add("alloc.bin-membership",
+               "free block " + std::to_string(off) + "+" +
+                   std::to_string(size) + " not reachable from any bin");
+  }
+  for (const auto& [size, off] : stray) {
+    report.add("alloc.bin-membership",
+               "bin entry " + std::to_string(off) + "+" +
+                   std::to_string(size) +
+                   " does not match any free block of the tiling");
+  }
+
+  // alloc.bin-order -- each bin's list keeps the order the fit policy
+  // depends on: address order under first-fit, (size, offset) order under
+  // best-fit.  Out-of-order entries silently break placement parity.
+  for (const auto& bin : bins) {
+    for (std::size_t i = 1; i < bin.entries.size(); ++i) {
+      const auto& p = bin.entries[i - 1];
+      const auto& e = bin.entries[i];
+      const bool ok =
+          alloc.fit() == mem::FreeListAllocator::Fit::kFirstFit
+              ? p.offset < e.offset
+              : (p.size < e.size ||
+                 (p.size == e.size && p.offset < e.offset));
+      if (!ok) {
+        report.add("alloc.bin-order",
+                   "bin " + std::to_string(bin.bin) + " entry " +
+                       std::to_string(e.offset) + "+" +
+                       std::to_string(e.size) + " out of order after " +
+                       std::to_string(p.offset) + "+" +
+                       std::to_string(p.size));
+      }
+    }
+  }
+
+  // alloc.bin-bitmap -- the find-first-set bitmap must mirror bin
+  // occupancy in both directions: a cleared bit hides free memory from
+  // allocate(); a stray set bit makes allocate() dereference an empty bin.
+  const auto words = alloc.bin_bitmap_words();
+  std::vector<bool> occupied(mem::FreeListAllocator::bin_count(), false);
+  for (const auto& bin : bins) {
+    if (!bin.entries.empty()) occupied[bin.bin] = true;
+  }
+  for (std::size_t b = 0; b < occupied.size(); ++b) {
+    const bool bit =
+        (words[b >> 6] & (std::uint64_t{1} << (b & 63))) != 0;
+    if (bit && !occupied[b]) {
+      report.add("alloc.bin-bitmap",
+                 "bitmap marks bin " + std::to_string(b) +
+                     " occupied but its list is empty");
+    }
+    if (!bit && occupied[b]) {
+      report.add("alloc.bin-bitmap",
+                 "bin " + std::to_string(b) +
+                     " holds free blocks but its bitmap bit is clear");
+    }
+  }
+
+  // alloc.boundary-tags -- the offset-index + neighbour-link view of every
+  // block must mirror the address-order walk: same block set, and each
+  // block's prev/next links name exactly its address neighbours.  A torn
+  // link would send free()'s O(1) coalesce to the wrong block.
+  const auto tags = alloc.boundary_snapshot();
+  if (tags.size() != blocks.size()) {
+    report.add("alloc.boundary-tags",
+               "boundary view has " + std::to_string(tags.size()) +
+                   " blocks but the walk has " +
+                   std::to_string(blocks.size()));
+  } else {
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+      const auto& t = tags[i];
+      const auto& b = blocks[i];
+      if (t.offset != b.offset || t.size != b.size ||
+          t.allocated != b.allocated) {
+        report.add("alloc.boundary-tags",
+                   "boundary tag " + std::to_string(t.offset) + "+" +
+                       std::to_string(t.size) +
+                       " disagrees with walk block " +
+                       std::to_string(b.offset) + "+" +
+                       std::to_string(b.size));
+        continue;
+      }
+      if (!t.start_bit) {
+        report.add("alloc.boundary-tags",
+                   "block " + std::to_string(t.offset) +
+                       " missing from the block-start bitmap");
+      }
+      const bool prev_ok =
+          i == 0 ? !t.prev_offset.has_value()
+                 : t.prev_offset == std::optional(blocks[i - 1].offset);
+      const bool next_ok =
+          i + 1 == tags.size()
+              ? !t.next_offset.has_value()
+              : t.next_offset == std::optional(blocks[i + 1].offset);
+      if (!prev_ok || !next_ok) {
+        report.add("alloc.boundary-tags",
+                   "block " + std::to_string(t.offset) +
+                       " neighbour links do not match the tiling");
+      }
+    }
+  }
+  if (alloc.start_bit_count() != blocks.size()) {
+    report.add("alloc.boundary-tags",
+               "start bitmap population " +
+                   std::to_string(alloc.start_bit_count()) +
+                   " does not match block count " +
+                   std::to_string(blocks.size()));
+  }
   return report;
 }
 

@@ -434,6 +434,7 @@ DataManager::DeviceStats DataManager::device_stats(sim::DeviceId dev) const {
   out.largest_free_block = s.largest_free_block;
   out.regions = s.allocated_blocks;
   out.fragmentation = s.fragmentation();
+  out.alloc = s.counters();
   return out;
 }
 

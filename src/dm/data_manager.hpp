@@ -45,6 +45,10 @@ class DataManager {
     std::size_t largest_free_block = 0;
     std::size_t regions = 0;
     double fragmentation = 0.0;
+
+    /// Hot-path counters of the device's binned heap allocator (splits,
+    /// coalesces, bin hit rate); see telemetry::AllocatorCounters.
+    telemetry::AllocatorCounters alloc;
   };
 
   /// Aggregate statistics for asynchronous transfers (paper §V-c).

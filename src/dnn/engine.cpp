@@ -68,7 +68,6 @@ void Engine::fill_labels(Tensor& t, std::size_t classes, std::uint64_t seed) {
 void Engine::execute_args(const std::string& name,
                           const std::vector<KernelArg>& args, double flops,
                           double efficiency, const RealFn& real_fn) {
-  (void)name;
   std::vector<dm::Object*> objs;
   objs.reserve(args.size());
   for (const auto& a : args) {
@@ -118,6 +117,7 @@ void Engine::execute_args(const std::string& name,
   stats_.compute_seconds += comp_s;
   stats_.memory_seconds += mem_s;
   stats_.kernel_seconds += std::max(mem_s, comp_s);
+  stats_.op_histogram.record(name, std::max(mem_s, comp_s));
 
   // Resolve pointers; writes mark the primary dirty in both backends.
   std::vector<const float*> rptr;

@@ -82,6 +82,10 @@ struct EngineStats {
   /// Host-side kernel timing (real backends only; wall seconds, never fed
   /// into sim::Clock).  See telemetry::KernelCounters.
   telemetry::KernelCounters kernel_counters;
+
+  /// Per-op-type roofline seconds (simulated), keyed by launch name: which
+  /// layer family the modeled time went to.  See telemetry::OpHistogram.
+  telemetry::OpHistogram op_histogram;
 };
 
 class Engine {

@@ -13,20 +13,46 @@
 //
 // The allocator works purely in offset space (no memory is touched), which
 // keeps it independently testable and lets the data manager combine it with
-// any Arena.  Blocks are kept in an address-ordered map with eager
-// coalescing of adjacent free blocks; a size-ordered index of free blocks
-// supports best-fit in O(log n).
+// any Arena.
+//
+// Internals: size-segregated binned free lists.
+//   * The heap tiling lives in a slab of index-linked nodes.  Each node's
+//     address-order prev/next links are the offset-space analogue of
+//     boundary tags: free() reaches both neighbours in O(1), with no
+//     ordered-map walk.
+//   * An offset -> node hash map resolves free()/cookie lookups in O(1).
+//   * Free blocks are filed into size-class bins: one exact bin per
+//     alignment multiple up to kExactBins units (the hot DNN tensor
+//     classes -- small activations, biases, batchnorm parameters), then
+//     four sub-bins per power-of-two doubling above that.
+//   * A bin-occupancy bitmap makes allocate() a find-first-set + pop.
+//   * A block-start bitmap (one bit per alignment unit of the heap)
+//     answers the predecessor query `for_blocks_from` needs.
+//
+// Placement semantics are bit-identical to the pre-binning allocator
+// (mem::ReferenceAllocator, kept as the differential-fuzz oracle):
+// kFirstFit returns the lowest-address free block that fits, kBestFit the
+// smallest fitting free block with lowest-address ties.  To make that exact
+// with bins, each bin's list is kept address-ordered under kFirstFit and
+// (size, offset)-ordered under kBestFit; a fitting candidate from the
+// request's home bin then competes only against the *heads* of the
+// occupied higher bins (every block there fits by construction), so the
+// global scan is O(home-bin prefix + occupied bins), O(1) amortized on the
+// exact classes.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
-#include <set>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "telemetry/counters.hpp"
 #include "util/align.hpp"
 
 namespace ca::mem {
@@ -57,11 +83,33 @@ class FreeListAllocator {
     std::uint64_t total_frees = 0;
     std::uint64_t failed_allocs = 0;
 
+    // Binned-heap telemetry (all zero on the reference allocator).
+    std::uint64_t splits = 0;           ///< allocations that split a block
+    std::uint64_t coalesces = 0;        ///< neighbour merges inside free()
+    std::uint64_t bin_exact_hits = 0;   ///< allocs served from the home bin
+    std::uint64_t bin_spill_allocs = 0; ///< allocs served from a higher bin
+
     /// External fragmentation in [0,1]: 1 - largest_free / free_bytes.
     [[nodiscard]] double fragmentation() const noexcept {
       if (free_bytes == 0) return 0.0;
       return 1.0 - static_cast<double>(largest_free_block) /
                        static_cast<double>(free_bytes);
+    }
+
+    /// The subset the telemetry report consumes (counters.hpp).
+    [[nodiscard]] telemetry::AllocatorCounters counters() const noexcept {
+      telemetry::AllocatorCounters c;
+      c.total_allocs = total_allocs;
+      c.total_frees = total_frees;
+      c.failed_allocs = failed_allocs;
+      c.splits = splits;
+      c.coalesces = coalesces;
+      c.bin_exact_hits = bin_exact_hits;
+      c.bin_spill_allocs = bin_spill_allocs;
+      c.free_blocks = free_blocks;
+      c.largest_free_block = largest_free_block;
+      c.fragmentation = fragmentation();
+      return c;
     }
   };
 
@@ -76,6 +124,7 @@ class FreeListAllocator {
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::size_t alignment() const noexcept { return alignment_; }
+  [[nodiscard]] Fit fit() const noexcept { return fit_; }
 
   /// Allocate `size` bytes (rounded up to the alignment).  Returns the
   /// block offset, or nullopt if no free block fits.  Never throws for
@@ -112,47 +161,176 @@ class FreeListAllocator {
   [[nodiscard]] Stats stats() const;
 
   /// Verify structural invariants (blocks tile [0, capacity) exactly, no
-  /// two adjacent free blocks, indexes consistent).  Throws InternalError
-  /// on violation.  Used by the property-based test suite.  `audit::verify`
-  /// is the non-throwing counterpart that returns a structured report.
+  /// two adjacent free blocks, bins/bitmaps/links consistent).  Throws
+  /// InternalError on violation.  Used by the property-based test suite.
+  /// `audit::verify` is the non-throwing counterpart that returns a
+  /// structured report.
   void check_invariants() const;
 
-  /// The (size, offset) entries of the free-block index, in index order.
-  /// Read-only view for the ca::audit library, which cross-checks the index
-  /// against the address-ordered block map.
+  /// The (size, offset) entries of the free-block bins, sorted by
+  /// (size, offset).  Read-only view for the ca::audit library, which
+  /// cross-checks the bins against the address-ordered tiling.
   [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
   free_index_snapshot() const;
+
+  // --- bin geometry (static, so audit/tests can recompute size classes) ---
+
+  /// One exact bin per block size of 1..kExactBins alignment units.
+  static constexpr std::size_t kExactBins = 64;
+  /// Sub-bins per power-of-two doubling above the exact range.
+  static constexpr std::size_t kSubBins = 4;
+  /// log2(kExactBins): the first power-of-two range above the exact bins.
+  static constexpr std::size_t kExactShift = 6;
+  /// Total number of size-class bins (doublings 2^6 .. 2^63 inclusive).
+  static constexpr std::size_t kBinCount =
+      kExactBins + (63 - kExactShift + 1) * kSubBins;
+
+  [[nodiscard]] static constexpr std::size_t bin_count() noexcept {
+    return kBinCount;
+  }
+
+  /// The bin a free block of `size` bytes files under (this allocator's
+  /// alignment).  Monotone in size; bins partition the size space.
+  [[nodiscard]] std::size_t bin_of(std::size_t size) const noexcept {
+    return bin_for_units(std::max<std::size_t>(1, size >> shift_));
+  }
+
+  /// Smallest block size (bytes) that files under bin `b`.
+  [[nodiscard]] std::size_t bin_min_bytes(std::size_t b) const noexcept;
+
+  // --- audit views over the binned internals ------------------------------
+
+  /// One (offset, size) entry of a bin's free list.
+  struct BinEntry {
+    std::size_t offset = 0;
+    std::size_t size = 0;
+  };
+
+  /// One occupied bin, entries in list order (head to tail).
+  struct BinView {
+    std::size_t bin = 0;
+    std::size_t min_bytes = 0;  ///< smallest size this bin may hold
+    std::vector<BinEntry> entries;
+  };
+
+  /// All occupied bins, ascending bin index.
+  [[nodiscard]] std::vector<BinView> bin_snapshot() const;
+
+  /// The bin-occupancy bitmap words (bit b of word w covers bin 64*w+b).
+  [[nodiscard]] std::vector<std::uint64_t> bin_bitmap_words() const;
+
+  /// The boundary-tag view of one block, derived from the offset hash map
+  /// and the per-node neighbour links -- deliberately NOT from the
+  /// address-order walk, so a corrupted link is visible as a disagreement
+  /// between the two views.
+  struct BoundaryTag {
+    std::size_t offset = 0;
+    std::size_t size = 0;
+    bool allocated = false;
+    bool start_bit = false;  ///< block start marked in the start bitmap
+    std::optional<std::size_t> prev_offset;  ///< address-order neighbours
+    std::optional<std::size_t> next_offset;
+  };
+
+  /// Every block's boundary tags, sorted by offset.
+  [[nodiscard]] std::vector<BoundaryTag> boundary_snapshot() const;
+
+  /// Number of set bits in the block-start bitmap (must equal block count).
+  [[nodiscard]] std::size_t start_bit_count() const noexcept;
+
+  /// Per-bin occupancy and hit telemetry (occupied or ever-hit bins only).
+  struct BinOccupancy {
+    std::size_t bin = 0;
+    std::size_t min_bytes = 0;
+    std::size_t free_blocks = 0;
+    std::uint64_t hits = 0;  ///< allocations served from this bin
+  };
+  [[nodiscard]] std::vector<BinOccupancy> bin_occupancy() const;
 
  private:
   // Test-only seam: lets the audit test suite corrupt internal state to
   // prove that audit::verify detects each class of violation.  Defined only
   // in tests/audit/; never in the library.
   friend struct AllocatorTestPeer;
-  struct Block {
+
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::uint16_t kNoBin = 0xFFFFu;
+  static constexpr std::size_t kBinWords = (kBinCount + 63) / 64;
+
+  /// One block of the tiling.  prev/next are address-order neighbour links
+  /// (the boundary tags); bin_prev/bin_next thread the block through its
+  /// size-class free list when free.
+  struct Node {
+    std::size_t offset = 0;
     std::size_t size = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    std::uint32_t bin_prev = kNil;
+    std::uint32_t bin_next = kNil;
+    std::uint16_t bin = kNoBin;  ///< kNoBin while allocated
     bool allocated = false;
     void* cookie = nullptr;
   };
 
-  using BlockMap = std::map<std::size_t, Block>;
+  struct BinList {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
 
-  /// Free-block index entry ordered by (size, offset) for best-fit.
-  using FreeKey = std::pair<std::size_t, std::size_t>;
+  [[nodiscard]] static constexpr std::size_t bin_for_units(
+      std::size_t units) noexcept {
+    if (units <= kExactBins) return units - 1;
+    const auto k = static_cast<std::size_t>(std::bit_width(units)) - 1;
+    const std::size_t sub = (units >> (k - 2)) & (kSubBins - 1);
+    return kExactBins + (k - kExactShift) * kSubBins + sub;
+  }
 
-  [[nodiscard]] BlockMap::iterator find_fit(std::size_t size);
-  void index_insert(std::size_t offset, std::size_t size);
-  void index_erase(std::size_t offset, std::size_t size);
+  [[nodiscard]] std::uint32_t new_node();
+  void recycle_node(std::uint32_t i);
+
+  void bin_link(std::uint32_t i);
+  void bin_unlink(std::uint32_t i);
+  void set_bin_bit(std::size_t b) noexcept;
+  void clear_bin_bit(std::size_t b) noexcept;
+  /// Lowest occupied bin with index > b, or bin_count() if none.
+  [[nodiscard]] std::size_t next_occupied_bin(std::size_t b) const noexcept;
+
+  void set_start_bit(std::size_t offset) noexcept;
+  void clear_start_bit(std::size_t offset) noexcept;
+  /// Node of the block whose start is the highest one at or below `pos`
+  /// (an alignment-unit index).  The heap is never empty, so this always
+  /// resolves (unit 0 is always a block start).
+  [[nodiscard]] std::uint32_t block_at_or_before(std::size_t pos) const;
+
+  /// The fit target for `size` (aligned), or kNil.  Sets `from_home` when
+  /// the winner came out of the request's home bin.
+  [[nodiscard]] std::uint32_t find_fit(std::size_t size,
+                                       bool& from_home) const;
 
   std::size_t capacity_;
   std::size_t alignment_;
+  std::size_t shift_;  ///< log2(alignment_)
   Fit fit_;
-  BlockMap blocks_;
-  std::set<FreeKey> free_index_;
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_slots_;  ///< recycled node indices
+  std::unordered_map<std::size_t, std::uint32_t> index_;  ///< offset -> node
+  std::vector<std::uint64_t> start_bits_;  ///< block-start bitmap
+  std::array<BinList, kBinCount> bins_{};
+  std::array<std::uint64_t, kBinWords> bin_bitmap_{};
+  std::uint32_t head_ = kNil;  ///< node at offset 0
+
   std::size_t allocated_bytes_ = 0;
   std::size_t allocated_blocks_ = 0;
+  std::size_t free_blocks_ = 0;
   std::uint64_t total_allocs_ = 0;
   std::uint64_t total_frees_ = 0;
   std::uint64_t failed_allocs_ = 0;
+  std::uint64_t splits_ = 0;
+  std::uint64_t coalesces_ = 0;
+  std::uint64_t bin_exact_hits_ = 0;
+  std::uint64_t bin_spill_allocs_ = 0;
+  std::array<std::uint64_t, kBinCount> bin_hits_{};
 };
 
 }  // namespace ca::mem

@@ -1,0 +1,110 @@
+// One-shot completion latch: the rendezvous at the end of a fork/join
+// region (ThreadPool::parallel_for).
+//
+// A latch is constructed with the number of work units outstanding;
+// producers call arrive(k) as they retire units and a consumer blocks in
+// wait() until the count reaches zero.  The fast path is wait-free on both
+// sides: arrivals are a single fetch_sub, and a waiter first spins a short
+// bounded burst (the common case -- helpers finish within a few hundred
+// nanoseconds of the caller) before parking on the condition variable.
+// The old rendezvous took the queue mutex on every completion to broadcast;
+// here the mutex is touched only when a waiter actually parks, which the
+// wakeup-tail measurement in bench/micro_kernels shows is the rare case.
+//
+// Lost-wakeup freedom (the Dekker-style handshake on the slow path):
+//   waiter:  waiters_.fetch_add(1)  [seq_cst]  ... then re-check
+//            remaining_ under the lock before sleeping;
+//   arriver: remaining_.fetch_sub(n) [seq_cst] ... then read waiters_.
+// In the seq_cst total order either the waiter's re-check observes the
+// count at zero (it never sleeps) or the arriver observes the registered
+// waiter (it takes the lock and notifies).  Notifying under the mutex
+// closes the remaining window against a waiter between its predicate check
+// and the actual sleep.
+//
+// Under CA_RACE the shims model every atomic as acq_rel and make every
+// operation a schedule point, so the spin loop is skipped (spinning inside
+// a deterministic scheduler is at best wasted schedule states) and the
+// arriver always locks and notifies -- the classic pattern the explorer can
+// exhaustively check.
+#pragma once
+
+#include <cstddef>
+
+#include "race/sync.hpp"
+
+namespace ca::util {
+
+namespace detail {
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+}  // namespace detail
+
+class CompletionLatch {
+ public:
+  /// Spin budget before a waiter parks.  Sized so the spin covers the tail
+  /// of a typical parallel_for chunk without burning a timeslice.
+  static constexpr int kSpinIters = 4096;
+
+  explicit CompletionLatch(std::size_t count) noexcept : remaining_(count) {}
+
+  CompletionLatch(const CompletionLatch&) = delete;
+  CompletionLatch& operator=(const CompletionLatch&) = delete;
+
+  /// Retire `n` work units.  Total arrivals must equal the constructed
+  /// count; the call that brings the count to zero releases all waiters.
+  void arrive(std::size_t n = 1) {
+#if defined(CA_RACE)
+    if (remaining_.fetch_sub(n) == n) {
+      sync::lock lk(mu_);
+      cv_.notify_all();
+    }
+#else
+    if (remaining_.fetch_sub(n, std::memory_order_seq_cst) == n) {
+      if (waiters_.load(std::memory_order_seq_cst) != 0) {
+        sync::lock lk(mu_);
+        cv_.notify_all();
+      }
+    }
+#endif
+  }
+
+  /// Block until the count reaches zero.  All arrive() calls
+  /// happen-before the matching wait() return.
+  void wait() {
+#if defined(CA_RACE)
+    sync::lock lk(mu_);
+    cv_.wait(lk, [&] { return remaining_.load() == 0; });
+#else
+    for (int i = 0; i < kSpinIters; ++i) {
+      if (remaining_.load(std::memory_order_acquire) == 0) return;
+      detail::cpu_relax();
+    }
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      sync::lock lk(mu_);
+      cv_.wait(lk, [&] {
+        return remaining_.load(std::memory_order_seq_cst) == 0;
+      });
+    }
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+#endif
+  }
+
+  /// Non-blocking probe (telemetry / tests only).
+  [[nodiscard]] bool done() const {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  }
+
+ private:
+  sync::atomic<std::size_t> remaining_;
+  sync::atomic<std::size_t> waiters_{0};
+  sync::mutex mu_;
+  sync::condition_variable cv_;
+};
+
+}  // namespace ca::util

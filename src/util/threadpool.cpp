@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "util/align.hpp"
+#include "util/completion_latch.hpp"
 #include "util/error.hpp"
 
 namespace ca::util {
@@ -54,15 +55,18 @@ namespace {
 
 /// Shared state of one parallel_for: a single atomic cursor all
 /// participants pull ranges from.  Exactly one heap object per call, no
-/// matter how many chunks the range splits into.
+/// matter how many chunks the range splits into.  Completion is a
+/// CompletionLatch counting elements: each pulled range retires with one
+/// wait-free arrive(), and only a parked waiter ever touches the mutex
+/// (the old scheme locked and broadcast on the final chunk every call).
 struct ParallelForState {
   const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
   std::size_t n = 0;
   std::size_t grain = 1;
   sync::atomic<std::size_t> next{0};
-  sync::atomic<std::size_t> covered{0};
-  sync::mutex mu;
-  sync::condition_variable cv;
+  CompletionLatch latch;
+
+  explicit ParallelForState(std::size_t n_) : n(n_), latch(n_) {}
 
   /// Pull ranges until the cursor runs past n.  Safe to call from any
   /// thread, any number of times, including after completion (late-started
@@ -73,11 +77,7 @@ struct ParallelForState {
       if (begin >= n) return;
       const std::size_t end = std::min(begin + grain, n);
       (*fn)(begin, end);
-      if (covered.fetch_add(end - begin, std::memory_order_acq_rel) +
-              (end - begin) == n) {
-        sync::lock lock(mu);
-        cv.notify_all();
-      }
+      latch.arrive(end - begin);
     }
   }
 };
@@ -97,9 +97,8 @@ void ThreadPool::parallel_for(
     return;
   }
 
-  auto state = std::make_shared<ParallelForState>();
+  auto state = std::make_shared<ParallelForState>(n);
   state->fn = &fn;
-  state->n = n;
   // ~4 pulls per participant: coarse enough that the atomic cursor is cold,
   // fine enough that a straggler cannot hold more than 1/4 of a share.  A
   // pulled range never drops below min_grain, so helpers that lose the race
@@ -115,10 +114,7 @@ void ThreadPool::parallel_for(
     submit([state] { state->work(); });
   }
   state->work();
-  sync::lock lock(state->mu);
-  state->cv.wait(lock, [&] {
-    return state->covered.load(std::memory_order_acquire) == n;
-  });
+  state->latch.wait();
 }
 
 void ThreadPool::parallel_for_2d(

@@ -19,6 +19,7 @@
 
 #include "audit/audit.hpp"
 #include "dm/data_manager.hpp"
+#include "mem/freelist_allocator.hpp"
 #include "sim/platform.hpp"
 #include "util/align.hpp"
 #include "util/error.hpp"
@@ -502,6 +503,50 @@ TEST(AuditStress, ThirdSeedLargeObjects) {
   audit::ScopedAbortHook hook;
   StressHarness h(/*seed=*/7777, 1 * util::MiB, 4 * util::MiB);
   h.run(1500);
+}
+
+// --- allocator-level fit-policy sweep ---------------------------------------
+//
+// The binned free lists keep different orderings per fit policy, so each
+// policy gets its own seeded churn run with the full allocator audit
+// (tiling, bins, bitmaps, boundary tags) after every step.
+
+void run_allocator_sweep(mem::FreeListAllocator::Fit fit, std::uint64_t seed,
+                         std::size_t steps) {
+  mem::FreeListAllocator alloc(4 * util::MiB, 64, fit);
+  util::Xoshiro256 rng(seed);
+  std::vector<std::size_t> live;
+  for (std::size_t step = 0; step < steps; ++step) {
+    if (rng.bounded(100) < 55 || live.empty()) {
+      std::size_t size;
+      switch (rng.bounded(4)) {
+        case 0: size = 1 + rng.bounded(512); break;
+        case 1: size = 1 + rng.bounded(8 * util::KiB); break;
+        case 2: size = 1 + rng.bounded(64 * util::KiB); break;
+        default: size = 1 + rng.bounded(512 * util::KiB); break;
+      }
+      if (const auto off = alloc.allocate(size)) live.push_back(*off);
+    } else {
+      const std::size_t pick = rng.bounded(live.size());
+      alloc.free(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    const auto report = audit::verify(alloc);
+    ASSERT_TRUE(report.ok())
+        << "allocator audit violations after step " << step << ":\n"
+        << report.to_string();
+  }
+}
+
+TEST(AuditStress, AllocatorFirstFitSweepStaysClean) {
+  run_allocator_sweep(mem::FreeListAllocator::Fit::kFirstFit,
+                      /*seed=*/0xF125F17, 5200);
+}
+
+TEST(AuditStress, AllocatorBestFitSweepStaysClean) {
+  run_allocator_sweep(mem::FreeListAllocator::Fit::kBestFit,
+                      /*seed=*/0xBE57F17, 5200);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 
 #include "audit/audit.hpp"
 #include "dm/audit_hook.hpp"
@@ -19,46 +20,167 @@ namespace ca::mem {
 // ways the public API never would, so the audit's detection power can be
 // proven test by test.
 struct AllocatorTestPeer {
-  static void drop_free_index_entry(FreeListAllocator& a) {
-    a.free_index_.erase(a.free_index_.begin());
+  static constexpr std::uint32_t kNil = FreeListAllocator::kNil;
+
+  static std::uint32_t first_free_node(FreeListAllocator& a) {
+    for (std::uint32_t i = a.head_; i != kNil; i = a.nodes_[i].next) {
+      if (!a.nodes_[i].allocated) return i;
+    }
+    return kNil;
   }
+
+  /// Unlink a free block from its size-class bin without freeing it: the
+  /// block stays in the tiling but allocate() can no longer find it.
+  static void drop_free_index_entry(FreeListAllocator& a) {
+    const std::uint32_t i = first_free_node(a);
+    ASSERT_NE(i, kNil) << "no free block to unlink";
+    a.bin_unlink(i);
+  }
+
+  /// Thread a dangling node (not part of the tiling) into its bin.
   static void forge_free_index_entry(FreeListAllocator& a, std::size_t size,
                                      std::size_t offset) {
-    a.free_index_.insert({size, offset});
+    const std::uint32_t i = a.new_node();
+    a.nodes_[i].offset = offset;
+    a.nodes_[i].size = size;
+    a.bin_link(i);
   }
-  /// Split the first free block into two adjacent free blocks (both indexed,
-  /// so only the coalescing invariant breaks).
+
+  /// Refile a free block under the wrong size class (the bin links stay
+  /// well-formed -- only the classification is wrong).
+  static void misfile_free_block(FreeListAllocator& a) {
+    const std::uint32_t i = first_free_node(a);
+    ASSERT_NE(i, kNil) << "no free block to misfile";
+    a.bin_unlink(i);
+    FreeListAllocator::Node& n = a.nodes_[i];
+    const std::size_t wrong =
+        (FreeListAllocator::bin_for_units(n.size >> a.shift_) + 1) %
+        FreeListAllocator::kBinCount;
+    n.bin = static_cast<std::uint16_t>(wrong);
+    n.bin_prev = kNil;
+    n.bin_next = a.bins_[wrong].head;
+    if (a.bins_[wrong].head != kNil) {
+      a.nodes_[a.bins_[wrong].head].bin_prev = i;
+    } else {
+      a.bins_[wrong].tail = i;
+    }
+    a.bins_[wrong].head = i;
+    a.set_bin_bit(wrong);
+  }
+
+  /// Swap the first two entries of the first bin holding at least two
+  /// blocks, breaking the order the fit policy relies on.
+  static void reorder_bin_entries(FreeListAllocator& a) {
+    for (auto& bl : a.bins_) {
+      if (bl.head == kNil || a.nodes_[bl.head].bin_next == kNil) continue;
+      const std::uint32_t first = bl.head;
+      const std::uint32_t second = a.nodes_[first].bin_next;
+      bl.head = second;
+      a.nodes_[second].bin_prev = kNil;
+      a.nodes_[first].bin_next = a.nodes_[second].bin_next;
+      if (a.nodes_[first].bin_next != kNil) {
+        a.nodes_[a.nodes_[first].bin_next].bin_prev = first;
+      } else {
+        bl.tail = first;
+      }
+      a.nodes_[second].bin_next = first;
+      a.nodes_[first].bin_prev = second;
+      return;
+    }
+    FAIL() << "no bin holds two blocks";
+  }
+
+  /// Clear the occupancy bit of the first occupied bin (hides its blocks
+  /// from allocate's find-first-set).
+  static void clear_occupied_bin_bit(FreeListAllocator& a) {
+    const std::uint32_t i = first_free_node(a);
+    ASSERT_NE(i, kNil) << "no free block";
+    a.clear_bin_bit(a.nodes_[i].bin);
+  }
+
+  /// Set the occupancy bit of an empty bin.
+  static void set_stray_bin_bit(FreeListAllocator& a) {
+    for (std::size_t b = 0; b < FreeListAllocator::kBinCount; ++b) {
+      if (a.bins_[b].head == kNil) {
+        a.set_bin_bit(b);
+        return;
+      }
+    }
+    FAIL() << "every bin occupied";
+  }
+
+  /// Point a block's address-order prev link at itself (a torn boundary
+  /// tag: free() would coalesce with the wrong neighbour).
+  static void corrupt_prev_link(FreeListAllocator& a) {
+    for (std::uint32_t i = a.head_; i != kNil; i = a.nodes_[i].next) {
+      if (a.nodes_[i].prev != kNil) {
+        a.nodes_[i].prev = i;
+        return;
+      }
+    }
+    FAIL() << "heap has a single block";
+  }
+
+  /// Drop a block start from the start bitmap (for_blocks_from would skip
+  /// or mis-resolve the predecessor query).
+  static void clear_start_bit_of_block(FreeListAllocator& a) {
+    for (std::uint32_t i = a.head_; i != kNil; i = a.nodes_[i].next) {
+      if (a.nodes_[i].offset != 0) {
+        a.clear_start_bit(a.nodes_[i].offset);
+        return;
+      }
+    }
+    FAIL() << "heap has a single block";
+  }
+
+  /// Split the first free block into two adjacent free blocks (both binned
+  /// and indexed, so only the coalescing invariant breaks).
   static void split_free_block(FreeListAllocator& a) {
-    for (auto it = a.blocks_.begin(); it != a.blocks_.end(); ++it) {
-      if (it->second.allocated || it->second.size < 2 * a.alignment_) continue;
-      const std::size_t off = it->first;
-      const std::size_t size = it->second.size;
+    for (std::uint32_t i = a.head_; i != kNil; i = a.nodes_[i].next) {
+      if (a.nodes_[i].allocated || a.nodes_[i].size < 2 * a.alignment_) {
+        continue;
+      }
+      a.bin_unlink(i);
+      const std::size_t size = a.nodes_[i].size;
       const std::size_t half = a.alignment_ * (size / a.alignment_ / 2);
-      a.index_erase(off, size);
-      it->second.size = half;
-      a.index_insert(off, half);
-      a.blocks_.emplace(off + half,
-                        FreeListAllocator::Block{size - half, false, nullptr});
-      a.index_insert(off + half, size - half);
+      a.nodes_[i].size = half;
+      const std::uint32_t old_next = a.nodes_[i].next;
+      const std::uint32_t r = a.new_node();
+      a.nodes_[r].offset = a.nodes_[i].offset + half;
+      a.nodes_[r].size = size - half;
+      a.nodes_[r].prev = i;
+      a.nodes_[r].next = old_next;
+      if (old_next != kNil) a.nodes_[old_next].prev = r;
+      a.nodes_[i].next = r;
+      a.index_.emplace(a.nodes_[r].offset, r);
+      a.set_start_bit(a.nodes_[r].offset);
+      a.bin_link(i);
+      a.bin_link(r);
+      ++a.free_blocks_;
       return;
     }
     FAIL() << "no free block large enough to split";
   }
+
   /// Shrink an allocated block without fixing its neighbours (tiling gap).
   static void shrink_allocated_block(FreeListAllocator& a) {
-    for (auto& [off, b] : a.blocks_) {
-      if (!b.allocated || b.size < 2 * a.alignment_) continue;
-      b.size -= a.alignment_;
+    for (std::uint32_t i = a.head_; i != kNil; i = a.nodes_[i].next) {
+      if (!a.nodes_[i].allocated || a.nodes_[i].size < 2 * a.alignment_) {
+        continue;
+      }
+      a.nodes_[i].size -= a.alignment_;
       a.allocated_bytes_ -= a.alignment_;
       return;
     }
     FAIL() << "no allocated block large enough to shrink";
   }
+
   static void drift_allocated_bytes(FreeListAllocator& a) {
     a.allocated_bytes_ += a.alignment_;
   }
+
   static void clear_cookie(FreeListAllocator& a, std::size_t offset) {
-    a.blocks_.at(offset).cookie = nullptr;
+    a.nodes_[a.index_.at(offset)].cookie = nullptr;
   }
 };
 
@@ -136,6 +258,78 @@ TEST_F(AllocatorAuditFixture, CounterDriftIsNamed) {
   const auto report = audit::verify(alloc_);
   ASSERT_FALSE(report.ok());
   EXPECT_TRUE(report.has("alloc.accounting")) << report.to_string();
+}
+
+// --- binned-heap invariants (red-before/green-after) ------------------------
+
+TEST_F(AllocatorAuditFixture, UnbinnedFreeBlockIsNamed) {
+  ASSERT_TRUE(audit::verify(alloc_).ok());  // green before corruption
+  AllocatorTestPeer::drop_free_index_entry(alloc_);
+  const auto report = audit::verify(alloc_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("alloc.bin-membership")) << report.to_string();
+}
+
+TEST_F(AllocatorAuditFixture, MisfiledFreeBlockIsNamed) {
+  ASSERT_TRUE(audit::verify(alloc_).ok());
+  AllocatorTestPeer::misfile_free_block(alloc_);
+  const auto report = audit::verify(alloc_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("alloc.bin-membership")) << report.to_string();
+}
+
+TEST_F(AllocatorAuditFixture, ForgedBinEntryIsNamedAsMembership) {
+  ASSERT_TRUE(audit::verify(alloc_).ok());
+  AllocatorTestPeer::forge_free_index_entry(alloc_, 4096, a_);
+  const auto report = audit::verify(alloc_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("alloc.bin-membership")) << report.to_string();
+}
+
+TEST_F(AllocatorAuditFixture, OutOfOrderBinIsNamed) {
+  // Two free blocks of the same size land in one exact bin: allocate five
+  // same-size blocks and free two non-adjacent ones.
+  std::size_t off[5];
+  for (auto& o : off) o = *alloc_.allocate(1024);
+  alloc_.free(off[1]);
+  alloc_.free(off[3]);
+  ASSERT_TRUE(audit::verify(alloc_).ok());
+  AllocatorTestPeer::reorder_bin_entries(alloc_);
+  const auto report = audit::verify(alloc_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("alloc.bin-order")) << report.to_string();
+}
+
+TEST_F(AllocatorAuditFixture, ClearedBinBitmapBitIsNamed) {
+  ASSERT_TRUE(audit::verify(alloc_).ok());
+  AllocatorTestPeer::clear_occupied_bin_bit(alloc_);
+  const auto report = audit::verify(alloc_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("alloc.bin-bitmap")) << report.to_string();
+}
+
+TEST_F(AllocatorAuditFixture, StrayBinBitmapBitIsNamed) {
+  ASSERT_TRUE(audit::verify(alloc_).ok());
+  AllocatorTestPeer::set_stray_bin_bit(alloc_);
+  const auto report = audit::verify(alloc_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("alloc.bin-bitmap")) << report.to_string();
+}
+
+TEST_F(AllocatorAuditFixture, TornNeighbourLinkIsNamed) {
+  ASSERT_TRUE(audit::verify(alloc_).ok());
+  AllocatorTestPeer::corrupt_prev_link(alloc_);
+  const auto report = audit::verify(alloc_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("alloc.boundary-tags")) << report.to_string();
+}
+
+TEST_F(AllocatorAuditFixture, DroppedStartBitIsNamed) {
+  ASSERT_TRUE(audit::verify(alloc_).ok());
+  AllocatorTestPeer::clear_start_bit_of_block(alloc_);
+  const auto report = audit::verify(alloc_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("alloc.boundary-tags")) << report.to_string();
 }
 
 TEST_F(AllocatorAuditFixture, ReportListsEveryViolationNotJustTheFirst) {

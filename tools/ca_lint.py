@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """ca_lint: repository-rule linter for the data-management core.
 
-Four rules that clang-tidy cannot express, enforced over src/:
+Five rules that clang-tidy cannot express, enforced over src/:
 
   byte-copy-route
       Raw ``memcpy``/``memmove`` and raw ``std::thread`` are confined to
@@ -31,6 +31,15 @@ Four rules that clang-tidy cannot express, enforced over src/:
       ``util::copy_bytes`` -- not ``std::copy``/``std::copy_n``/``memcpy``
       -- so the race detector sees every scratch handoff and TSan/CA_RACE
       coverage of the kernel tier stays meaningful.
+
+  intrusive-links
+      The binned free lists thread intrusive ``bin_next``/``bin_prev``
+      links through allocator nodes; every write to those links must stay
+      inside src/mem/freelist_allocator.cpp (the list owner), where
+      check_invariants() and ca::audit can vouch for them.  Other src/
+      code reads the allocator through its public views only -- a stray
+      link write elsewhere would bypass the bin bitmap and the membership
+      invariants.
 
 A finding can be waived on its own line with a trailing
 ``// ca_lint: allow(<rule>)`` comment; use sparingly and say why nearby.
@@ -86,6 +95,12 @@ KERNEL_SCRATCH_FILES = ("src/dnn/ops_real.cpp", "src/dnn/gemm.cpp")
 
 KERNEL_SCRATCH_TOKENS = re.compile(
     r"\bstd::copy(?:_n|_backward)?\s*\(|\b(?:std::)?(?:memcpy|memmove)\s*\(")
+
+# Rule `intrusive-links`: the only translation unit allowed to write the
+# intrusive per-bin list links.
+INTRUSIVE_LINK_ALLOWED = ("src/mem/freelist_allocator.cpp",)
+
+INTRUSIVE_LINK_TOKENS = re.compile(r"(?:\.|->)bin_(?:next|prev)\s*=(?!=)")
 
 
 class Finding:
@@ -245,6 +260,24 @@ def check_kernel_scratch_route(root: Path) -> list[Finding]:
     return findings
 
 
+def check_intrusive_links(root: Path) -> list[Finding]:
+    findings = []
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in (".cpp", ".hpp"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        if rel in INTRUSIVE_LINK_ALLOWED:
+            continue
+        text = path.read_text()
+        code = strip_comments_and_strings(text)
+        findings += scan_tokens(
+            path, rel, text, code, "intrusive-links", INTRUSIVE_LINK_TOKENS,
+            "bin_next/bin_prev writes are confined to "
+            "src/mem/freelist_allocator.cpp; use the allocator's public "
+            "surface")
+    return findings
+
+
 # --- self-test ---------------------------------------------------------------
 
 SELF_TEST_BAD = """\
@@ -261,6 +294,24 @@ void im2col(float* col, const float* x, unsigned n) {
   util::copy_bytes(col, x, n * sizeof(float), "ops::im2col");
   // a std::copy mention in a comment is fine
   std::copy(x, x + n, col);  // ca_lint: allow(kernel-scratch-route)
+}
+"""
+
+SELF_TEST_LINKS_BAD = """\
+void poke(Node* n, Node& m) {
+  n->bin_next = 0;
+  m.bin_prev = 1;
+}
+"""
+
+SELF_TEST_LINKS_GOOD = """\
+bool same(const Node& a, const Node& b) {
+  // a bin_next mention in a comment is fine, and comparisons are reads:
+  if (a.bin_next == b.bin_next) return true;
+  return false;
+}
+void waived(Node* n) {
+  n->bin_next = 0;  // ca_lint: allow(intrusive-links)
 }
 """
 
@@ -291,6 +342,25 @@ def self_test() -> int:
                 f"kernel-scratch-route: waiver/comment fixture produced "
                 f"{len(good)} finding(s)")
 
+        mem = root / "src" / "mem"
+        mem.mkdir(parents=True)
+        (root / "src" / "dm" / "poker.cpp").write_text(SELF_TEST_LINKS_BAD)
+        (mem / "freelist_allocator.cpp").write_text(SELF_TEST_LINKS_BAD)
+        (root / "src" / "dm" / "reader.cpp").write_text(SELF_TEST_LINKS_GOOD)
+        link_findings = check_intrusive_links(root)
+        link_bad = [f for f in link_findings
+                    if f.path.as_posix().endswith("poker.cpp")]
+        link_other = [f for f in link_findings
+                      if not f.path.as_posix().endswith("poker.cpp")]
+        if len(link_bad) != 2:
+            failures.append(
+                f"intrusive-links: expected 2 findings in the bad fixture, "
+                f"got {len(link_bad)}")
+        if link_other:
+            failures.append(
+                f"intrusive-links: owner/waiver/read fixtures produced "
+                f"{len(link_other)} finding(s)")
+
     for f in failures:
         print(f"ca_lint --self-test: {f}", file=sys.stderr)
     if failures:
@@ -316,14 +386,15 @@ def main(argv: list[str]) -> int:
         return 2
 
     findings = (check_byte_copy_route(root) + check_wall_clock(root) +
-                check_dm_audit(root) + check_kernel_scratch_route(root))
+                check_dm_audit(root) + check_kernel_scratch_route(root) +
+                check_intrusive_links(root))
     for finding in findings:
         print(finding)
     if findings:
         print(f"ca_lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
     print("ca_lint: clean (byte-copy-route, wall-clock, dm-audit, "
-          "kernel-scratch-route)")
+          "kernel-scratch-route, intrusive-links)")
     return 0
 
 

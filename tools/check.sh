@@ -5,8 +5,9 @@
 #   asan     ASan+UBSan Debug build of the whole tree (Debug ⇒
 #            CA_AUDIT_ENABLED, so every DataManager mutation boundary is
 #            audited during the tests), then the full ctest suite under it —
-#            including the randomized audit stress harness (ctest -R audit)
-#            and the Transfer edge-case tests.
+#            including the randomized audit stress harness (ctest -R audit,
+#            which sweeps the binned allocator under BOTH fit policies with
+#            seeded >=5k-step runs) and the Transfer edge-case tests.
 #   tsan     TSan build of the concurrency-bearing components (thread pool,
 #            copy engine, data-manager transfer registry) and their tests,
 #            including the Async* interleaving suites.
@@ -23,7 +24,8 @@
 #   tidy     clang-tidy over src/ with the repo's .clang-tidy profile.
 #   ca_lint  tools/ca_lint.py repository rules (byte-copy routing,
 #            wall-clock ban, DataManager audit boundaries, kernel scratch
-#            routing), preceded by the linter's own --self-test.
+#            routing, intrusive bin-link confinement), preceded by the
+#            linter's own --self-test.
 #
 # Exits non-zero on the first finding of a stage that ran.  Stages whose
 # toolchain is not installed (e.g. clang-tidy on a gcc-only box) emit a
@@ -89,7 +91,7 @@ if [[ "$RUN_TSAN" -eq 1 ]]; then
     -DCA_SANITIZE=thread \
     -DCA_WERROR=OFF > /dev/null
   cmake --build build-tsan -j "$JOBS" --target test_util test_mem test_dm
-  ( cd build-tsan && ctest -R 'ThreadPool|CopyEngine|Async|TransferEdge' \
+  ( cd build-tsan && ctest -R 'ThreadPool|CopyEngine|Async|TransferEdge|Latch' \
       --output-on-failure )
 else
   skip tsan "--skip-tsan"
@@ -99,8 +101,8 @@ fi
 if [[ "$RUN_RACE" -eq 1 ]]; then
   note "race: CA_RACE=ON build + schedule-explorer suite (ctest -R race)"
   cmake -B build-race -S . -DCA_RACE=ON -DCA_WERROR=OFF > /dev/null
-  cmake --build build-race -j "$JOBS" --target test_race test_mem
-  ( cd build-race && ctest -R 'race\.|TransferEdge' --output-on-failure )
+  cmake --build build-race -j "$JOBS" --target test_race test_mem test_util
+  ( cd build-race && ctest -R 'race\.|TransferEdge|Latch' --output-on-failure )
 else
   skip race "--skip-race"
 fi
@@ -125,7 +127,7 @@ fi
 if [[ "$RUN_BENCH" -eq 1 ]]; then
   note "bench: every bench entry point on tiny shapes"
   cmake --build build-asan -j "$JOBS" \
-    --target ablation_async micro_kernels micro_async_mover
+    --target ablation_async micro_kernels micro_async_mover micro_allocator
   ( cd build-asan && ctest -L bench-smoke --output-on-failure )
 else
   skip bench "--skip-bench"
