@@ -302,7 +302,8 @@ class DataManager {
   /// Guards the in-flight registry and async statistics.  Leaf lock: it is
   /// never held across Transfer::join(), engine calls, or CA_AUDIT()
   /// (docs/CONCURRENCY.md has the full hierarchy).
-  mutable sync::mutex inflight_mu_;
+  mutable sync::mutex inflight_mu_
+      CA_LEAF{CA_LOCK_CLASS("dm::DataManager::inflight_mu_")};
   std::vector<InflightTransfer> inflight_ CA_GUARDED_BY(inflight_mu_);
   AsyncStats async_stats_ CA_GUARDED_BY(inflight_mu_);
 };

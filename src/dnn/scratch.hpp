@@ -105,7 +105,7 @@ class ScratchPool {
     free_.push_back(std::move(buf));
   }
 
-  mutable sync::mutex mu_;
+  mutable sync::mutex mu_ CA_LEAF{CA_LOCK_CLASS("dnn::ScratchPool::mu_")};
   std::vector<std::vector<float>> free_ CA_GUARDED_BY(mu_);
   Stats stats_ CA_GUARDED_BY(mu_);
 };

@@ -1,0 +1,416 @@
+#include "lockdep/lockdep.hpp"
+
+#if defined(CA_LOCKDEP_ENABLED)
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+namespace ca::lockdep {
+
+namespace {
+
+/// A site compressed to the pieces source_location hands out.  The file
+/// name is a string literal (static storage), so keeping the pointer is
+/// safe and allocation-free on the acquire hot path.
+struct Site {
+  const char* file = "";
+  unsigned line = 0;
+
+  [[nodiscard]] std::string str() const {
+    return std::string(file) + ":" + std::to_string(line);
+  }
+};
+
+/// One held lock on a thread's stack.
+struct Held {
+  const void* mu = nullptr;
+  const ClassInfo* cls = nullptr;  ///< nullptr for an unnamed mutex
+  Site site;
+  bool trylock = false;
+};
+
+struct Edge {
+  Site site;  ///< acquire site that first created the edge
+};
+
+/// All global lockdep state, guarded by one plain std::mutex.  The guard
+/// must NOT be a ca::sync::mutex: the hooks are called from inside the
+/// sync shims and an instrumented guard would recurse.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ClassInfo>> classes;
+  std::unordered_map<std::string, ClassInfo*> by_name;
+  /// Acquisition-order graph: adjacency keyed on stable ClassInfo*.
+  std::map<const ClassInfo*, std::map<const ClassInfo*, Edge>> graph;
+  /// Held-across-blocking occurrences, deduplicated by (class, op).
+  std::map<std::pair<const ClassInfo*, std::string>, Site> blocking;
+  std::vector<LockdepReport> reports;
+
+  static Registry& instance() {
+    static Registry* r = new Registry;  // leaked: ClassInfo* stay valid
+    return *r;
+  }
+
+  ClassInfo* get_or_register_locked(const char* name, const char* file,
+                                    unsigned line) {
+    auto it = by_name.find(name);
+    if (it != by_name.end()) return it->second;
+    auto cls = std::make_unique<ClassInfo>();
+    cls->name = name;
+    cls->file = file;
+    cls->line = line;
+    ClassInfo* raw = cls.get();
+    classes.push_back(std::move(cls));
+    by_name.emplace(raw->name, raw);
+    return raw;
+  }
+};
+
+/// The calling thread's stack of held locks.  Thread-local: only its own
+/// thread ever touches it, so no lock is needed.
+thread_local std::vector<Held> t_held;
+
+const ClassInfo* anonymous_class() {
+  static const ClassInfo* cls = [] {
+    Registry& r = Registry::instance();
+    std::lock_guard<std::mutex> g(r.mu);
+    return r.get_or_register_locked("<unnamed>", "<unknown>", 0);
+  }();
+  return cls;
+}
+
+/// DFS for a path `from -> ... -> to` through the graph; fills `path` with
+/// one ChainLink per traversed edge (the edge's first-acquire site).
+/// Caller holds the registry lock.
+bool find_path_locked(const Registry& r, const ClassInfo* from,
+                      const ClassInfo* to, std::vector<const ClassInfo*>& seen,
+                      std::vector<ChainLink>& path) {
+  if (from == to) return true;
+  if (std::find(seen.begin(), seen.end(), from) != seen.end()) return false;
+  seen.push_back(from);
+  const auto adj = r.graph.find(from);
+  if (adj == r.graph.end()) return false;
+  for (const auto& [next, edge] : adj->second) {
+    path.push_back(ChainLink{next, edge.site.str()});
+    if (find_path_locked(r, next, to, seen, path)) return true;
+    path.pop_back();
+  }
+  return false;
+}
+
+/// The held chain from the oldest named lock to the top of the stack.
+std::vector<ChainLink> held_chain() {
+  std::vector<ChainLink> chain;
+  for (const Held& h : t_held) {
+    chain.push_back(ChainLink{h.cls != nullptr ? h.cls : anonymous_class(),
+                              h.site.str()});
+  }
+  return chain;
+}
+
+void report_blocking(const char* op, const std::source_location& loc,
+                     const void* excluded_mu) {
+  if (t_held.empty()) return;
+  const Site site{loc.file_name(), loc.line()};
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> g(r.mu);
+  bool reported = false;
+  for (const Held& h : t_held) {
+    if (h.mu == excluded_mu) continue;
+    const ClassInfo* cls = h.cls != nullptr ? h.cls : anonymous_class();
+    if (cls->waive_blocking) continue;
+    r.blocking.insert({{cls, op}, site});
+    reported = true;
+  }
+  if (!reported) return;
+  LockdepReport report;
+  report.kind = LockdepReport::Kind::kHeldAcrossBlocking;
+  for (const Held& h : t_held) {
+    if (h.mu == excluded_mu) continue;
+    const ClassInfo* cls = h.cls != nullptr ? h.cls : anonymous_class();
+    if (cls->waive_blocking) continue;
+    report.chain.push_back(ChainLink{cls, h.site.str()});
+  }
+  report.blocking_op = op;
+  report.blocking_site = site.str();
+  r.reports.push_back(std::move(report));
+}
+
+void json_escape(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string ChainLink::to_string() const {
+  return (cls != nullptr ? cls->name : std::string("<unnamed>")) +
+         " (acquired at " + site + ")";
+}
+
+std::string LockdepReport::to_string() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kOrderInversion: {
+      out << "lockdep: lock-order inversion\n  observed chain:\n";
+      for (const auto& link : chain) out << "    " << link.to_string() << "\n";
+      out << "  conflicts with the existing ordering:\n";
+      for (const auto& link : conflict)
+        out << "    " << link.to_string() << "\n";
+      break;
+    }
+    case Kind::kHeldAcrossBlocking: {
+      out << "lockdep: lock held across blocking operation " << blocking_op
+          << " at " << blocking_site << "\n  held:\n";
+      for (const auto& link : chain) out << "    " << link.to_string() << "\n";
+      break;
+    }
+    case Kind::kRecursiveClass: {
+      out << "lockdep: class acquired twice on one stack\n  held:\n";
+      for (const auto& link : chain) out << "    " << link.to_string() << "\n";
+      break;
+    }
+  }
+  return std::move(out).str();
+}
+
+const ClassInfo* register_class(const char* name, const char* file,
+                                unsigned line) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> g(r.mu);
+  return r.get_or_register_locked(name, file, line);
+}
+
+void waive_blocking(const char* name) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> g(r.mu);
+  r.get_or_register_locked(name, "<waiver>", 0)->waive_blocking = true;
+}
+
+void on_acquire(const void* mu, const ClassInfo* cls,
+                const std::source_location& loc, bool trylock) {
+  const Site site{loc.file_name(), loc.line()};
+  const Held* top = t_held.empty() ? nullptr : &t_held.back();
+
+  // Recursive-class check: the same class twice on one stack deadlocks
+  // self-sufficiently (our mutexes are non-recursive).
+  const ClassInfo* recursive = nullptr;
+  if (cls != nullptr) {
+    for (const Held& h : t_held) {
+      if (h.cls == cls) {
+        recursive = cls;
+        break;
+      }
+    }
+  }
+
+  const bool add_edge = !trylock && top != nullptr && top->cls != nullptr &&
+                        cls != nullptr && top->cls != cls;
+  if (add_edge || recursive != nullptr) {
+    Registry& r = Registry::instance();
+    std::lock_guard<std::mutex> g(r.mu);
+    if (recursive != nullptr) {
+      LockdepReport report;
+      report.kind = LockdepReport::Kind::kRecursiveClass;
+      report.chain = held_chain();
+      report.chain.push_back(ChainLink{cls, site.str()});
+      r.reports.push_back(std::move(report));
+    }
+    if (add_edge) {
+      // Cycle check BEFORE inserting the new edge, so the conflict path is
+      // purely pre-existing ordering evidence.  Checked on every acquire
+      // (not only on first insertion): the graph persists across explorer
+      // schedules, and each schedule that re-executes the inversion must
+      // re-report it.
+      std::vector<const ClassInfo*> seen;
+      std::vector<ChainLink> conflict;
+      conflict.push_back(ChainLink{cls, "held first in the conflicting chain"});
+      if (find_path_locked(r, cls, top->cls, seen, conflict)) {
+        LockdepReport report;
+        report.kind = LockdepReport::Kind::kOrderInversion;
+        report.chain = held_chain();
+        report.chain.push_back(ChainLink{cls, site.str()});
+        report.conflict = std::move(conflict);
+        r.reports.push_back(std::move(report));
+      }
+      r.graph[top->cls].emplace(cls, Edge{site});
+    }
+  }
+  t_held.push_back(Held{mu, cls, site, trylock});
+}
+
+void on_release(const void* mu) {
+  // Search from the top: releases are almost always LIFO, but basic_lock's
+  // unlock/relock dance around condition variables can interleave.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mu == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void on_blocking(const char* op, const std::source_location& loc) {
+  report_blocking(op, loc, /*excluded_mu=*/nullptr);
+}
+
+void on_cv_wait(const void* mu, const std::source_location& loc) {
+  report_blocking("sync::condition_variable::wait", loc, mu);
+}
+
+std::vector<LockdepReport> take_reports() {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> g(r.mu);
+  return std::exchange(r.reports, {});
+}
+
+std::size_t report_count() {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> g(r.mu);
+  return r.reports.size();
+}
+
+std::vector<EdgeInfo> edges() {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> g(r.mu);
+  std::vector<EdgeInfo> out;
+  for (const auto& [from, adj] : r.graph) {
+    for (const auto& [to, edge] : adj) {
+      out.push_back(EdgeInfo{from->name, to->name, edge.site.str()});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const EdgeInfo& a, const EdgeInfo& b) {
+    return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+  });
+  return out;
+}
+
+std::vector<BlockingEdge> blocking_edges() {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> g(r.mu);
+  std::vector<BlockingEdge> out;
+  for (const auto& [key, site] : r.blocking) {
+    out.push_back(BlockingEdge{key.first->name, key.second, site.str()});
+  }
+  // The map is keyed on ClassInfo pointers (allocation order); sort by name
+  // so dumps and tests are deterministic across runs.
+  std::sort(out.begin(), out.end(),
+            [](const BlockingEdge& a, const BlockingEdge& b) {
+              return std::tie(a.cls, a.op) < std::tie(b.cls, b.op);
+            });
+  return out;
+}
+
+std::vector<std::string> held_classes() {
+  std::vector<std::string> out;
+  for (const Held& h : t_held) {
+    out.push_back(h.cls != nullptr ? h.cls->name : std::string("<unnamed>"));
+  }
+  return out;
+}
+
+std::string dump_graph_json() {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> g(r.mu);
+
+  std::vector<const ClassInfo*> classes;
+  classes.reserve(r.classes.size());
+  for (const auto& cls : r.classes) classes.push_back(cls.get());
+  std::sort(classes.begin(), classes.end(),
+            [](const ClassInfo* a, const ClassInfo* b) {
+              return a->name < b->name;
+            });
+
+  std::ostringstream out;
+  out << "{\n  \"classes\": [";
+  bool first = true;
+  for (const ClassInfo* cls : classes) {
+    out << (first ? "\n" : ",\n") << "    {\"name\": ";
+    json_escape(out, cls->name);
+    out << ", \"file\": ";
+    json_escape(out, cls->file);
+    out << ", \"line\": " << cls->line << ", \"waive_blocking\": "
+        << (cls->waive_blocking ? "true" : "false") << "}";
+    first = false;
+  }
+  // Re-derive the sorted views locked (edges()/blocking_edges() would
+  // re-lock); both are name-sorted so the dump is byte-stable across runs.
+  std::vector<EdgeInfo> edge_list;
+  for (const auto& [from, adj] : r.graph) {
+    for (const auto& [to, edge] : adj) {
+      edge_list.push_back(EdgeInfo{from->name, to->name, edge.site.str()});
+    }
+  }
+  std::sort(edge_list.begin(), edge_list.end(),
+            [](const EdgeInfo& a, const EdgeInfo& b) {
+              return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+            });
+  std::vector<BlockingEdge> blocking_list;
+  for (const auto& [key, site] : r.blocking) {
+    blocking_list.push_back(
+        BlockingEdge{key.first->name, key.second, site.str()});
+  }
+  std::sort(blocking_list.begin(), blocking_list.end(),
+            [](const BlockingEdge& a, const BlockingEdge& b) {
+              return std::tie(a.cls, a.op) < std::tie(b.cls, b.op);
+            });
+
+  out << "\n  ],\n  \"edges\": [";
+  first = true;
+  for (const auto& edge : edge_list) {
+    out << (first ? "\n" : ",\n") << "    {\"from\": ";
+    json_escape(out, edge.from);
+    out << ", \"to\": ";
+    json_escape(out, edge.to);
+    out << ", \"site\": ";
+    json_escape(out, edge.site);
+    out << "}";
+    first = false;
+  }
+  out << "\n  ],\n  \"blocking\": [";
+  first = true;
+  for (const auto& b : blocking_list) {
+    out << (first ? "\n" : ",\n") << "    {\"class\": ";
+    json_escape(out, b.cls);
+    out << ", \"op\": ";
+    json_escape(out, b.op);
+    out << ", \"site\": ";
+    json_escape(out, b.site);
+    out << "}";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+  return std::move(out).str();
+}
+
+void reset_for_testing() {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> g(r.mu);
+  r.graph.clear();
+  r.blocking.clear();
+  r.reports.clear();
+}
+
+}  // namespace ca::lockdep
+
+#else  // !CA_LOCKDEP_ENABLED
+
+// Keep the translation unit non-empty in release builds; the library
+// target exists in every configuration.
+namespace ca::lockdep {
+namespace {
+[[maybe_unused]] constexpr int kLockdepDisabled = 0;
+}  // namespace
+}  // namespace ca::lockdep
+
+#endif  // CA_LOCKDEP_ENABLED

@@ -37,6 +37,10 @@
 #include "util/thread_annotations.hpp"
 #include "util/threadpool.hpp"
 
+namespace ca::dm {
+struct RaceTestPeer;
+}  // namespace ca::dm
+
 namespace ca::mem {
 
 class CopyEngine {
@@ -143,6 +147,10 @@ class CopyEngine {
   }
 
  private:
+  /// The race/lockdep hazard injectors reach mu_ directly to stage
+  /// deliberate ordering violations (tests/race/race_test_peer.hpp).
+  friend struct ca::dm::RaceTestPeer;
+
   /// Pick the earliest-available channel of the transfer's direction.
   [[nodiscard]] std::size_t pick_channel(sim::DeviceId src_dev,
                                          sim::DeviceId dst_dev) const
@@ -156,7 +164,7 @@ class CopyEngine {
   /// Guards the modeled channel schedule and the statistics; the lock
   /// hierarchy is documented in docs/CONCURRENCY.md (mu_ is a leaf: never
   /// hold it while calling into the pools, the clock, or the counters).
-  mutable sync::mutex mu_;
+  mutable sync::mutex mu_ CA_LEAF{CA_LOCK_CLASS("mem::CopyEngine::mu_")};
   std::vector<double> channel_busy_ CA_GUARDED_BY(mu_);  ///< per-channel availability
   sync::atomic<std::size_t> inflight_{0};
   Stats stats_ CA_GUARDED_BY(mu_);

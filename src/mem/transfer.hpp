@@ -67,6 +67,11 @@ class Transfer {
   /// (joining twice, or joining an already-retired transfer, is safe).
   void join() const {
     if (state_ == nullptr) return;
+    // Lockdep's held-across-blocking check fires before the real_done
+    // early-out: whether a join *would* block is nondeterministic (the
+    // mover may already be done), but holding a lock on the join path is
+    // hazardous either way, so flag it in every schedule.
+    CA_LOCKDEP_ON_BLOCKING("mem::Transfer::join");
     if (state_->real_done.load(std::memory_order_acquire)) return;
     sync::lock lock(state_->mu);
     state_->cv.wait(lock, [s = state_.get()] {
@@ -85,7 +90,7 @@ class Transfer {
     std::size_t channel = 0;
     std::size_t bytes = 0;
     sync::atomic<bool> real_done{false};
-    sync::mutex mu;
+    sync::mutex mu CA_LEAF{CA_LOCK_CLASS("mem::Transfer::State::mu")};
     sync::condition_variable cv;
   };
 

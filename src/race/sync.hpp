@@ -28,19 +28,26 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <source_location>
 #include <thread>
 
+#include "lockdep/lockdep.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace ca::sync {
 
 /// Annotated scoped lock over any of the mutex shims below.  Constructed
 /// locked; supports the unlock/relock dance condition variables need.
+/// The defaulted source_location rides into the mutex shim so ca::lockdep
+/// reports carry the *call site* of every acquisition, not this header.
 template <class M>
 class CA_SCOPED_CAPABILITY basic_lock {
  public:
-  explicit basic_lock(M& m) CA_ACQUIRE(m) : m_(&m), owned_(true) {
-    m_->lock();
+  explicit basic_lock(
+      M& m, std::source_location loc = std::source_location::current())
+      CA_ACQUIRE(m)
+      : m_(&m), owned_(true) {
+    m_->lock(loc);
   }
   ~basic_lock() CA_RELEASE() {
     if (owned_) m_->unlock();
@@ -48,8 +55,9 @@ class CA_SCOPED_CAPABILITY basic_lock {
   basic_lock(const basic_lock&) = delete;
   basic_lock& operator=(const basic_lock&) = delete;
 
-  void lock() CA_ACQUIRE() {
-    m_->lock();
+  void lock(std::source_location loc = std::source_location::current())
+      CA_ACQUIRE() {
+    m_->lock(loc);
     owned_ = true;
   }
   void unlock() CA_RELEASE() {
@@ -84,32 +92,42 @@ inline const void* fork_key(std::uint64_t token) {
 
 class CA_CAPABILITY("mutex") mutex {
  public:
-  mutex() = default;
+  /// `cls` names this mutex's ca::lockdep lock class (CA_LOCK_CLASS at the
+  /// declaration site); nullptr leaves the mutex out of the ordering graph
+  /// (it still participates in held-across-blocking checks, anonymously).
+  explicit mutex(const lockdep::ClassInfo* cls = nullptr) : cls_(cls) {}
   ~mutex() { Runtime::instance().forget_sync(this); }
   mutex(const mutex&) = delete;
   mutex& operator=(const mutex&) = delete;
 
-  void lock() CA_ACQUIRE() {
+  void lock(std::source_location loc = std::source_location::current())
+      CA_ACQUIRE() {
     if (auto* sched = Scheduler::current()) {
       sched->mutex_lock(this);
     } else {
       real_.lock();
     }
     Runtime::instance().acquire(this);
+    lockdep::on_acquire(this, cls_, loc);
   }
 
-  bool try_lock() CA_TRY_ACQUIRE(true) {
+  bool try_lock(std::source_location loc = std::source_location::current())
+      CA_TRY_ACQUIRE(true) {
     bool ok = false;
     if (auto* sched = Scheduler::current()) {
       ok = sched->mutex_try_lock(this);
     } else {
       ok = real_.try_lock();
     }
-    if (ok) Runtime::instance().acquire(this);
+    if (ok) {
+      Runtime::instance().acquire(this);
+      lockdep::on_acquire(this, cls_, loc, /*trylock=*/true);
+    }
     return ok;
   }
 
   void unlock() CA_RELEASE() {
+    lockdep::on_release(this);
     Runtime::instance().release(this);
     if (auto* sched = Scheduler::current()) {
       sched->mutex_unlock(this);
@@ -118,8 +136,13 @@ class CA_CAPABILITY("mutex") mutex {
     }
   }
 
+  [[nodiscard]] const lockdep::ClassInfo* lock_class() const noexcept {
+    return cls_;
+  }
+
  private:
   std::mutex real_;
+  const lockdep::ClassInfo* cls_ = nullptr;
 };
 
 using lock = ::ca::sync::basic_lock<mutex>;
@@ -131,26 +154,21 @@ class condition_variable {
   condition_variable(const condition_variable&) = delete;
   condition_variable& operator=(const condition_variable&) = delete;
 
-  void wait(lock& lk) {
-    if (auto* sched = Scheduler::current()) {
-      mutex* m = lk.mutex();
-      // The model performs unlock/relock itself; record the matching
-      // happens-before edges around it.
-      Runtime::instance().release(m);
-      sched->cv_wait(this, m);
-      Runtime::instance().acquire(this);
-      Runtime::instance().acquire(m);
-    } else {
-      // condition_variable_any funnels unlock/relock through race::mutex,
-      // which records the mutex edges; add the notify edge on wake.
-      real_.wait(lk);
-      Runtime::instance().acquire(this);
-    }
+  void wait(lock& lk,
+            std::source_location loc = std::source_location::current()) {
+    // Held-across-blocking check: any lock held besides the one this wait
+    // atomically releases is a lockdep finding.  Hooked at entry -- before
+    // we know whether the wait actually parks -- so a held lock is flagged
+    // deterministically, not only in schedules where the wait blocks.
+    lockdep::on_cv_wait(lk.mutex(), loc);
+    wait_nocheck(lk);
   }
 
   template <class Predicate>
-  void wait(lock& lk, Predicate pred) {
-    while (!pred()) wait(lk);
+  void wait(lock& lk, Predicate pred,
+            std::source_location loc = std::source_location::current()) {
+    lockdep::on_cv_wait(lk.mutex(), loc);
+    while (!pred()) wait_nocheck(lk);
   }
 
   void notify_one() {
@@ -172,6 +190,23 @@ class condition_variable {
   }
 
  private:
+  void wait_nocheck(lock& lk) {
+    if (auto* sched = Scheduler::current()) {
+      mutex* m = lk.mutex();
+      // The model performs unlock/relock itself; record the matching
+      // happens-before edges around it.
+      Runtime::instance().release(m);
+      sched->cv_wait(this, m);
+      Runtime::instance().acquire(this);
+      Runtime::instance().acquire(m);
+    } else {
+      // condition_variable_any funnels unlock/relock through race::mutex,
+      // which records the mutex edges; add the notify edge on wake.
+      real_.wait(lk);
+      Runtime::instance().acquire(this);
+    }
+  }
+
   std::condition_variable_any real_;
 };
 
@@ -268,6 +303,7 @@ inline void await_adoptions(std::size_t count) {
 }
 
 inline void join_thread(std::thread& t, const spawn_token& token) {
+  CA_LOCKDEP_ON_BLOCKING("sync::join_thread");
   if (token.sched != nullptr) token.sched->join_os_thread(t.get_id());
   t.join();
   Runtime::instance().acquire(detail::fork_key(token.fork));
@@ -295,19 +331,36 @@ namespace ca::sync {
 
 /// Zero-overhead std::mutex wrapper carrying the capability annotation so
 /// Clang can check CA_GUARDED_BY members in every build, not just CA_RACE.
+/// In Debug builds (CA_LOCKDEP_ENABLED without CA_RACE) the lockdep hooks
+/// are live here too; in release builds they inline to nothing.
 class CA_CAPABILITY("mutex") mutex {
  public:
-  mutex() = default;
+  explicit mutex(const lockdep::ClassInfo* cls = nullptr) : cls_(cls) {}
   mutex(const mutex&) = delete;
   mutex& operator=(const mutex&) = delete;
 
-  void lock() CA_ACQUIRE() { real_.lock(); }
-  bool try_lock() CA_TRY_ACQUIRE(true) { return real_.try_lock(); }
-  void unlock() CA_RELEASE() { real_.unlock(); }
+  void lock(std::source_location loc = std::source_location::current())
+      CA_ACQUIRE() {
+    real_.lock();
+    lockdep::on_acquire(this, cls_, loc);
+  }
+  bool try_lock(std::source_location loc = std::source_location::current())
+      CA_TRY_ACQUIRE(true) {
+    const bool ok = real_.try_lock();
+    if (ok) lockdep::on_acquire(this, cls_, loc, /*trylock=*/true);
+    return ok;
+  }
+  void unlock() CA_RELEASE() {
+    lockdep::on_release(this);
+    real_.unlock();
+  }
+
+  [[nodiscard]] const lockdep::ClassInfo* lock_class() const { return cls_; }
 
  private:
   friend class condition_variable;
   std::mutex real_;
+  const lockdep::ClassInfo* cls_ = nullptr;
 };
 
 using lock = basic_lock<mutex>;
@@ -318,7 +371,27 @@ class condition_variable {
   condition_variable(const condition_variable&) = delete;
   condition_variable& operator=(const condition_variable&) = delete;
 
-  void wait(lock& lk) {
+  void wait(lock& lk,
+            std::source_location loc = std::source_location::current()) {
+    // Any lock held besides the one this wait releases is a lockdep
+    // finding.  Hooked at entry -- before we know whether the wait parks --
+    // so a held lock is flagged deterministically.
+    lockdep::on_cv_wait(lk.mutex(), loc);
+    wait_nocheck(lk);
+  }
+
+  template <class Predicate>
+  void wait(lock& lk, Predicate pred,
+            std::source_location loc = std::source_location::current()) {
+    lockdep::on_cv_wait(lk.mutex(), loc);
+    while (!pred()) wait_nocheck(lk);
+  }
+
+  void notify_one() { real_.notify_one(); }
+  void notify_all() { real_.notify_all(); }
+
+ private:
+  void wait_nocheck(lock& lk) {
     // Re-wrap the already-held native mutex so the unannotated std types
     // stay an implementation detail.
     std::unique_lock<std::mutex> inner(lk.mutex()->real_, std::adopt_lock);
@@ -326,15 +399,6 @@ class condition_variable {
     inner.release();
   }
 
-  template <class Predicate>
-  void wait(lock& lk, Predicate pred) {
-    while (!pred()) wait(lk);
-  }
-
-  void notify_one() { real_.notify_one(); }
-  void notify_all() { real_.notify_all(); }
-
- private:
   std::condition_variable real_;
 };
 
@@ -353,7 +417,10 @@ class task_scope {
 
 inline std::size_t adoption_mark() { return 0; }
 inline void await_adoptions(std::size_t) {}
-inline void join_thread(std::thread& t, const spawn_token&) { t.join(); }
+inline void join_thread(std::thread& t, const spawn_token&) {
+  CA_LOCKDEP_ON_BLOCKING("sync::join_thread");
+  t.join();
+}
 
 }  // namespace ca::sync
 

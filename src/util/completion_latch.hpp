@@ -76,6 +76,9 @@ class CompletionLatch {
   /// Block until the count reaches zero.  All arrive() calls
   /// happen-before the matching wait() return.
   void wait() {
+    // Before the spin/park: any lock held here blocks helpers for the whole
+    // rendezvous, so lockdep flags it regardless of which path we take.
+    CA_LOCKDEP_ON_BLOCKING("util::CompletionLatch::wait");
 #if defined(CA_RACE)
     sync::lock lk(mu_);
     cv_.wait(lk, [&] { return remaining_.load() == 0; });
@@ -103,7 +106,7 @@ class CompletionLatch {
  private:
   sync::atomic<std::size_t> remaining_;
   sync::atomic<std::size_t> waiters_{0};
-  sync::mutex mu_;
+  sync::mutex mu_ CA_LEAF{CA_LOCK_CLASS("util::CompletionLatch::mu_")};
   sync::condition_variable cv_;
 };
 

@@ -34,3 +34,25 @@
 #define CA_RELEASE(...) CA_TSA(release_capability(__VA_ARGS__))
 #define CA_TRY_ACQUIRE(...) CA_TSA(try_acquire_capability(__VA_ARGS__))
 #define CA_NO_THREAD_SAFETY_ANALYSIS CA_TSA(no_thread_safety_analysis)
+
+// --- lock-hierarchy annotations (ca::lockdep's static half) -----------------
+//
+// Declare the sanctioned acquisition order next to each mutex:
+//
+//   sync::mutex mu_ CA_LEAF{CA_LOCK_CLASS("mem::CopyEngine::mu_")};
+//   sync::mutex outer_ CA_ACQUIRED_BEFORE(inner_){...};
+//
+// CA_ACQUIRED_BEFORE maps to Clang's acquired_before attribute where it
+// exists, so the in-source declarations are compiler-checked; CA_LEAF marks
+// a mutex under which no other lock may be taken (no Clang analogue — it is
+// a documentation token).  Both are parsed, byte-for-byte, by
+// tools/lockdep_check.py and cross-checked against docs/lock_hierarchy.json
+// and against the runtime-observed graph, so an edge declared in only one
+// place fails CI.  Gate per attribute: acquired_before is newer than
+// guarded_by and absent in some Clang releases.
+#if CA_TSA_HAS(acquired_before)
+#define CA_ACQUIRED_BEFORE(...) __attribute__((acquired_before(__VA_ARGS__)))
+#else
+#define CA_ACQUIRED_BEFORE(...)
+#endif
+#define CA_LEAF

@@ -96,7 +96,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::vector<sync::spawn_token> worker_tokens_;  ///< parallel to workers_
   sync::atomic<std::uint64_t> enqueued_{0};
-  sync::mutex mu_;
+  sync::mutex mu_ CA_LEAF{CA_LOCK_CLASS("util::ThreadPool::mu_")};
   std::queue<std::function<void()>> tasks_ CA_GUARDED_BY(mu_);
   sync::condition_variable cv_task_;
   sync::condition_variable cv_idle_;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dm/data_manager.hpp"
+#include "lockdep/lockdep.hpp"
 #include "mem/copy_engine.hpp"
 #include "mem/transfer.hpp"
 #include "util/align.hpp"
@@ -124,6 +125,59 @@ TEST_F(TransferEdgeTest, JoinAfterRetireIsSafe) {
   dm.free(dst);
   dm.free(src);
 }
+
+#if defined(CA_LOCKDEP_ENABLED)
+
+// The join discipline, proven rather than assumed: retire_transfers and
+// sync_region_real (via free of a region with a live transfer) pull handles
+// out of the registry under inflight_mu_ and join AFTER releasing it.
+// Lockdep's blocking detector hooks Transfer::join() entry, so if either
+// path ever joined under the lock these tests go red -- under both TSan
+// and CA_RACE builds (tools/check.sh runs this suite in each).
+
+TEST_F(TransferEdgeTest, RetirePathHoldsNoLockAcrossJoin) {
+  lockdep::reset_for_testing();
+  sim::Clock clock;
+  telemetry::TrafficCounters counters;
+  dm::DataManager dm(platform_, clock, counters);
+  dm::Region* src = dm.allocate(sim::kSlow, 1 * util::MiB);
+  dm::Region* dst = dm.allocate(sim::kFast, 1 * util::MiB);
+  const double done = dm.copyto_async(*dst, *src);
+  clock.advance(done - clock.now() + 1e-9, sim::TimeCategory::kOther);
+  dm.retire_transfers();  // joins every retiree -- with the registry lock
+                          // released
+  for (const auto& b : lockdep::blocking_edges()) {
+    ADD_FAILURE() << "lock held across " << b.op << ": " << b.cls << " at "
+                  << b.site;
+  }
+  EXPECT_EQ(lockdep::report_count(), 0u);
+  dm.free(dst);
+  dm.free(src);
+}
+
+TEST_F(TransferEdgeTest, SyncRegionRealPathHoldsNoLockAcrossJoin) {
+  lockdep::reset_for_testing();
+  sim::Clock clock;
+  telemetry::TrafficCounters counters;
+  dm::DataManager dm(platform_, clock, counters);
+  dm::Region* src = dm.allocate(sim::kSlow, 1 * util::MiB);
+  dm::Region* dst = dm.allocate(sim::kFast, 1 * util::MiB);
+  dm.copyto_async(*dst, *src);
+  // Freeing with the transfer still registered forces sync_region_real to
+  // join the live copies touching each region.
+  dm.free(dst);
+  dm.free(src);
+  for (const auto& b : lockdep::blocking_edges()) {
+    ADD_FAILURE() << "lock held across " << b.op << ": " << b.cls << " at "
+                  << b.site;
+  }
+  EXPECT_EQ(lockdep::report_count(), 0u);
+  // And the acquisition-order graph stayed empty of blocking-adjacent
+  // edges: no lock was nested inside the registry lock on either path.
+  EXPECT_TRUE(lockdep::edges().empty());
+}
+
+#endif  // CA_LOCKDEP_ENABLED
 
 }  // namespace
 }  // namespace ca::mem

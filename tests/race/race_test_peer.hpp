@@ -40,6 +40,35 @@ struct RaceTestPeer {
     dm.regions_.erase(region);
   }
 
+  /// Hazard 3 -- "ABBA order inversion": exercise inflight_mu_ ->
+  /// CopyEngine::mu_ and then CopyEngine::mu_ -> inflight_mu_ from a single
+  /// thread.  Never deadlocks live (the two orders run sequentially), which
+  /// is exactly the point: lockdep must prove the *potential* deadlock from
+  /// the acquisition-order cycle alone, in every schedule.  The analysis
+  /// suppression is deliberate -- this is the bug the annotations forbid.
+  static void abba_inversion(DataManager& dm) CA_NO_THREAD_SAFETY_ANALYSIS {
+    {
+      sync::lock lock(dm.inflight_mu_);
+      (void)dm.engine_.stats();  // inflight_mu_ -> mem::CopyEngine::mu_
+    }
+    {
+      sync::lock lock(dm.engine_.mu_);
+      (void)dm.async_stats();  // mem::CopyEngine::mu_ -> inflight_mu_: cycle
+    }
+  }
+
+  /// Hazard 4 -- "join under the registry lock": hold inflight_mu_ across
+  /// Transfer::join(), the discipline retire_transfers/sync_region_real
+  /// exist to avoid (they pull handles out under the lock and join after
+  /// releasing it).  Lockdep's held-across-blocking detector fires at the
+  /// join() entry hook, before the real_done early-out, so the report is
+  /// deterministic even when the mover already finished.
+  static void join_while_locked(DataManager& dm)
+      CA_NO_THREAD_SAFETY_ANALYSIS {
+    sync::lock lock(dm.inflight_mu_);
+    for (auto& t : dm.inflight_) t.transfer.join();
+  }
+
   /// Hazard 2 -- "retire before join": drop registry entries whose modeled
   /// completion has passed WITHOUT joining their real copies (the bug
   /// `retire_transfers` fixes by joining every retiree before returning).

@@ -113,6 +113,10 @@ class Finding:
     def __str__(self) -> str:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
+    def to_json(self) -> dict:
+        return {"file": self.path.as_posix(), "line": self.line,
+                "rule": self.rule, "message": self.message}
+
 
 def strip_comments_and_strings(text: str) -> str:
     """Blank out comments and string/char literals, preserving line count
@@ -315,6 +319,28 @@ void waived(Node* n) {
 }
 """
 
+# Rules must scan comment/string-stripped code: every token below sits in a
+# comment or a string literal and none may produce a finding...
+SELF_TEST_STRIPPED_CLEAN = """\
+// Routing note: never call memcpy(dst, src, n) here; use util::copy_bytes.
+/* std::chrono::steady_clock would break determinism -- see sim::Clock.
+   So would memmove(a, b, n) outside src/mem.  And std::thread. */
+const char* kDoc =
+    "policy may not memcpy( regions; std::chrono is banned in src/";
+const char kOneChar = '"';  // an unmatched quote inside a char literal
+inline int simulated_now() { return 0; }
+"""
+
+# ...while the same tokens in live code must all be flagged.
+SELF_TEST_STRIPPED_BAD = """\
+#include <chrono>
+void tick(void* dst, const void* src, unsigned n) {
+  memcpy(dst, src, n);
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+}
+"""
+
 
 def self_test() -> int:
     """Negative-test the rules against in-memory fixtures: the bad snippet
@@ -361,6 +387,27 @@ def self_test() -> int:
                 f"intrusive-links: owner/waiver/read fixtures produced "
                 f"{len(link_other)} finding(s)")
 
+        # Comment/string stripping: memcpy and std::chrono inside comments
+        # and string literals are not findings; the same tokens in live
+        # code are.  (byte-copy-route and wall-clock both scan src/policy.)
+        policy = root / "src" / "policy"
+        policy.mkdir(parents=True)
+        (policy / "notes.cpp").write_text(SELF_TEST_STRIPPED_CLEAN)
+        (policy / "ticker.cpp").write_text(SELF_TEST_STRIPPED_BAD)
+        stripped = check_byte_copy_route(root) + check_wall_clock(root)
+        clean_hits = [f for f in stripped
+                      if f.path.as_posix().endswith("notes.cpp")]
+        bad_hits = {(f.rule, f.line) for f in stripped
+                    if f.path.as_posix().endswith("ticker.cpp")}
+        if clean_hits:
+            failures.append(
+                "stripping: tokens in comments/strings produced "
+                f"{len(clean_hits)} finding(s): {clean_hits[0]}")
+        if bad_hits != {("byte-copy-route", 3), ("wall-clock", 4)}:
+            failures.append(
+                f"stripping: live-code fixture expected byte-copy-route@3 "
+                f"and wall-clock@4, got {sorted(bad_hits)}")
+
     for f in failures:
         print(f"ca_lint --self-test: {f}", file=sys.stderr)
     if failures:
@@ -375,6 +422,8 @@ def main(argv: list[str]) -> int:
                         default=Path(__file__).resolve().parent.parent,
                         help="repository root (default: the checkout "
                              "containing this script)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON object on stdout")
     parser.add_argument("--self-test", action="store_true",
                         help="run the linter's own negative tests and exit")
     args = parser.parse_args(argv)
@@ -388,13 +437,20 @@ def main(argv: list[str]) -> int:
     findings = (check_byte_copy_route(root) + check_wall_clock(root) +
                 check_dm_audit(root) + check_kernel_scratch_route(root) +
                 check_intrusive_links(root))
-    for finding in findings:
-        print(finding)
+    if args.json:
+        import json
+        print(json.dumps({"tool": "ca_lint",
+                          "findings": [f.to_json() for f in findings]},
+                         indent=2))
+    else:
+        for finding in findings:
+            print(finding)
     if findings:
         print(f"ca_lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    print("ca_lint: clean (byte-copy-route, wall-clock, dm-audit, "
-          "kernel-scratch-route, intrusive-links)")
+    if not args.json:
+        print("ca_lint: clean (byte-copy-route, wall-clock, dm-audit, "
+              "kernel-scratch-route, intrusive-links)")
     return 0
 
 

@@ -14,6 +14,13 @@
 #   race     CA_RACE=ON build (instrumented sync shims + vector-clock
 #            detector) and the deterministic schedule-explorer suite
 #            (ctest -R race, plus the Transfer edge cases under the shims).
+#   lockdep  lock-order analysis gate: the ca::lockdep suite on the CA_RACE
+#            build (ctest -R lockdep — unit, hazard, and graph tests), the
+#            checker self-tests, the manifest-vs-annotations and
+#            manifest-vs-runtime-graph diffs (tools/lockdep_check.py with
+#            the CA_LOCKDEP_DUMP emitted by the graph test), and the
+#            generated lock table in docs/CONCURRENCY.md
+#            (tools/gen_lock_table.py --check).
 #   kparity  kernel-parity: the fast compute-kernel tier vs the scalar
 #            reference kernels (ctest -R kparity) under BOTH the ASan build
 #            and the CA_RACE build, so the blocked GEMM / im2col / parallel
@@ -33,15 +40,21 @@
 # passing; --require-all turns any skip into a non-zero exit so CI images
 # that are supposed to carry the full toolchain cannot degrade quietly.
 #
+# Under GitHub Actions (GITHUB_ACTIONS set) the file:line findings of the
+# linter stages are re-emitted as ::error annotations so they surface on
+# the PR diff.
+#
 # Usage: tools/check.sh [--jobs N] [--require-all]
-#                       [--skip-tsan] [--skip-race] [--skip-kparity]
-#                       [--skip-bench] [--skip-tidy] [--skip-lint]
+#                       [--skip-tsan] [--skip-race] [--skip-lockdep]
+#                       [--skip-kparity] [--skip-bench] [--skip-tidy]
+#                       [--skip-lint]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 RUN_TSAN=1
 RUN_RACE=1
+RUN_LOCKDEP=1
 RUN_KPARITY=1
 RUN_BENCH=1
 RUN_TIDY=1
@@ -53,6 +66,7 @@ while [[ $# -gt 0 ]]; do
     --require-all) REQUIRE_ALL=1; shift ;;
     --skip-tsan) RUN_TSAN=0; shift ;;
     --skip-race) RUN_RACE=0; shift ;;
+    --skip-lockdep) RUN_LOCKDEP=0; shift ;;
     --skip-kparity) RUN_KPARITY=0; shift ;;
     --skip-bench) RUN_BENCH=0; shift ;;
     --skip-tidy) RUN_TIDY=0; shift ;;
@@ -62,6 +76,15 @@ while [[ $# -gt 0 ]]; do
 done
 
 note() { printf '\n==== %s ====\n' "$*"; }
+# Re-emit `path:line: message` findings as GitHub Actions ::error
+# annotations (in addition to the plain lines) when running under GHA.
+annotate() {
+  if [[ -n "${GITHUB_ACTIONS:-}" ]]; then
+    sed -E 's|^([^: ]+):([0-9]+): (.*)$|&\n::error file=\1,line=\2::\3|'
+  else
+    cat
+  fi
+}
 fail=0
 skipped=()
 skip() {  # skip <stage> <reason...>
@@ -105,6 +128,40 @@ if [[ "$RUN_RACE" -eq 1 ]]; then
   ( cd build-race && ctest -R 'race\.|TransferEdge|Latch' --output-on-failure )
 else
   skip race "--skip-race"
+fi
+
+# --- lockdep: lock-order analysis gate ----------------------------------------
+if [[ "$RUN_LOCKDEP" -eq 1 ]]; then
+  if command -v python3 > /dev/null 2>&1; then
+    note "lockdep: ca::lockdep suite on the CA_RACE build (ctest -R lockdep)"
+    # Self-contained under --skip-race (CI runs lockdep as its own job);
+    # CA_RACE implies CA_LOCKDEP_ENABLED and arms the schedule explorer
+    # the hazard scenarios need.
+    cmake -B build-race -S . -DCA_RACE=ON -DCA_WERROR=OFF > /dev/null
+    cmake --build build-race -j "$JOBS" --target test_lockdep
+    ( cd build-race && ctest -R 'lockdep\.' --output-on-failure )
+
+    note "lockdep: checker self-tests + manifest vs annotations vs runtime graph"
+    if ! python3 tools/lockdep_check.py --self-test; then
+      fail=1
+    fi
+    # The graph test re-runs the sanctioned workload and dumps the observed
+    # acquisition-order graph; the checker then diffs manifest <-> source
+    # annotations and manifest <-> runtime graph, both directions.
+    LOCKDEP_DUMP="$(pwd)/build-race/lockdep_graph.json"
+    ( cd build-race && CA_LOCKDEP_DUMP="$LOCKDEP_DUMP" \
+        ctest -R 'lockdep\.LockdepGraph\.' --output-on-failure )
+    if ! python3 tools/lockdep_check.py --graph "$LOCKDEP_DUMP" | annotate; then
+      fail=1
+    fi
+    if ! python3 tools/gen_lock_table.py --check; then
+      fail=1
+    fi
+  else
+    skip lockdep "python3 not installed"
+  fi
+else
+  skip lockdep "--skip-lockdep"
 fi
 
 # --- kparity: fast kernel tier vs the scalar reference ------------------------
@@ -156,7 +213,7 @@ if [[ "$RUN_LINT" -eq 1 ]]; then
     if ! python3 tools/ca_lint.py --self-test; then
       fail=1
     fi
-    if ! python3 tools/ca_lint.py; then
+    if ! python3 tools/ca_lint.py | annotate; then
       fail=1
     fi
   else

@@ -1,0 +1,463 @@
+#!/usr/bin/env python3
+"""lockdep_check: static half of ca::lockdep -- keep the declared lock
+hierarchy, the in-source annotations, and the runtime-observed graph in
+agreement.
+
+The single source of truth is docs/lock_hierarchy.json.  Two checks:
+
+  manifest-vs-annotations (always)
+      Every ``ca::sync::mutex`` in src/ must be declared with
+      ``CA_LOCK_CLASS("<name>")`` and its ordering annotated with
+      ``CA_LEAF`` (no lock may be acquired under it) or
+      ``CA_ACQUIRED_BEFORE(<member>, ...)`` (the successors it may be held
+      around).  The parsed annotations are diffed against the manifest in
+      both directions: a class or edge present in only one place is a
+      finding, as is a leaf/edge disagreement.
+
+  manifest-vs-runtime (--graph DUMP)
+      DUMP is the acquisition-order graph serialized by
+      tests/lockdep/lockdep_graph_test.cpp (run it with CA_LOCKDEP_DUMP
+      pointing at a file; tools/check.sh stage `lockdep` does).  Diffed
+      against the manifest in both directions: an observed-but-undeclared
+      ordering edge fails (the CI-red case), and so does a
+      declared-but-never-observed one (dead hierarchy = stale manifest).
+      Blocking occurrences fail unless the class is waived, and every
+      manifest class must have been exercised by the workload.
+
+Usage: tools/lockdep_check.py [--root DIR] [--manifest FILE]
+                              [--graph DUMP] [--json] [--self-test]
+Exit status: 0 clean, 1 findings, 2 usage/setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+MUTEX_DECL = re.compile(
+    r"sync::mutex\s+(?P<member>\w+)\s*"
+    r"(?P<annotations>(?:CA_LEAF\s*|CA_ACQUIRED_BEFORE\s*\([^)]*\)\s*)*)"
+    r"\{\s*CA_LOCK_CLASS\(\"(?P<cls>[^\"]+)\"\)",
+    re.MULTILINE,
+)
+
+# A sync::mutex declaration with NO CA_LOCK_CLASS initializer: unnamed
+# mutexes are invisible to the ordering graph, so production code may not
+# declare them.  (basic_lock members and using-aliases do not match.)
+UNNAMED_DECL = re.compile(
+    r"sync::mutex\s+\w+\s*(?:CA_LEAF\s*)?(?:;|\{\s*\})")
+
+ACQUIRED_BEFORE = re.compile(r"CA_ACQUIRED_BEFORE\s*\(([^)]*)\)")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {"file": self.path, "line": self.line, "rule": self.rule,
+                "message": self.message}
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments, preserving line count and string
+    literals (CA_LOCK_CLASS names live in strings)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(text[i:j])
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Annotation:
+    """One annotated mutex declaration parsed from a header."""
+
+    def __init__(self, path: str, line: int, member: str, cls: str,
+                 leaf: bool, before_members: list[str]):
+        self.path = path
+        self.line = line
+        self.member = member
+        self.cls = cls
+        self.leaf = leaf
+        self.before_members = before_members  # raw member tokens
+        self.before_classes: list[str] = []   # resolved per file
+
+
+def parse_annotations(root: Path) -> tuple[list[Annotation], list[Finding]]:
+    annotations: list[Annotation] = []
+    findings: list[Finding] = []
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in (".cpp", ".hpp"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith("src/race/") or rel.startswith("src/lockdep/"):
+            continue  # the shims and the subsystem itself, not clients
+        code = strip_comments(path.read_text())
+        per_file: list[Annotation] = []
+        for m in MUTEX_DECL.finditer(code):
+            line = code.count("\n", 0, m.start()) + 1
+            raw = m.group("annotations")
+            before = []
+            for ab in ACQUIRED_BEFORE.finditer(raw):
+                before += [t.strip() for t in ab.group(1).split(",") if t.strip()]
+            per_file.append(Annotation(rel, line, m.group("member"),
+                                       m.group("cls"),
+                                       leaf="CA_LEAF" in raw,
+                                       before_members=before))
+        member_to_class = {a.member: a.cls for a in per_file}
+        for a in per_file:
+            for member in a.before_members:
+                cls = member_to_class.get(member)
+                if cls is None:
+                    findings.append(Finding(
+                        a.path, a.line, "annotation-parse",
+                        f"CA_ACQUIRED_BEFORE({member}) on `{a.cls}` names a "
+                        "member with no CA_LOCK_CLASS in this file"))
+                else:
+                    a.before_classes.append(cls)
+        for m in UNNAMED_DECL.finditer(code):
+            line = code.count("\n", 0, m.start()) + 1
+            findings.append(Finding(
+                rel, line, "unnamed-mutex",
+                "production sync::mutex without CA_LOCK_CLASS: unnamed "
+                "locks are invisible to the ordering graph"))
+        annotations += per_file
+    return annotations, findings
+
+
+def load_manifest(path: Path) -> dict:
+    manifest = json.loads(path.read_text())
+    manifest.setdefault("classes", [])
+    manifest.setdefault("edges", [])
+    return manifest
+
+
+def check_manifest_vs_annotations(manifest: dict, manifest_rel: str,
+                                  annotations: list[Annotation]) -> list[Finding]:
+    findings: list[Finding] = []
+    declared = {c["name"]: c for c in manifest["classes"]}
+    annotated = {a.cls: a for a in annotations}
+
+    for name, a in sorted(annotated.items()):
+        if name not in declared:
+            findings.append(Finding(
+                a.path, a.line, "undeclared-class",
+                f"lock class `{name}` is annotated in source but missing "
+                f"from {manifest_rel}"))
+    for name, c in sorted(declared.items()):
+        a = annotated.get(name)
+        if a is None:
+            findings.append(Finding(
+                manifest_rel, 1, "stale-manifest",
+                f"lock class `{name}` is declared in the manifest but no "
+                "CA_LOCK_CLASS annotation defines it in src/"))
+            continue
+        if c.get("header") and c["header"] != a.path:
+            findings.append(Finding(
+                a.path, a.line, "manifest-mismatch",
+                f"`{name}` declared in {a.path} but the manifest says "
+                f"{c['header']}"))
+        manifest_out = {e["to"] for e in manifest["edges"]
+                        if e["from"] == name}
+        if c.get("leaf", False) and not a.leaf:
+            findings.append(Finding(
+                a.path, a.line, "leaf-mismatch",
+                f"manifest marks `{name}` a leaf but the declaration lacks "
+                "CA_LEAF"))
+        if not c.get("leaf", False) and a.leaf:
+            findings.append(Finding(
+                a.path, a.line, "leaf-mismatch",
+                f"`{name}` is annotated CA_LEAF but the manifest does not "
+                "mark it a leaf"))
+        if c.get("leaf", False) and manifest_out:
+            findings.append(Finding(
+                manifest_rel, 1, "manifest-inconsistent",
+                f"`{name}` is marked leaf yet has outgoing manifest edges: "
+                f"{sorted(manifest_out)}"))
+        annotated_out = set(a.before_classes)
+        for extra in sorted(annotated_out - manifest_out):
+            findings.append(Finding(
+                a.path, a.line, "undeclared-edge",
+                f"CA_ACQUIRED_BEFORE declares `{name}` -> `{extra}` but the "
+                f"manifest does not list that edge"))
+        for missing in sorted(manifest_out - annotated_out):
+            findings.append(Finding(
+                a.path, a.line, "unannotated-edge",
+                f"manifest edge `{name}` -> `{missing}` has no matching "
+                "CA_ACQUIRED_BEFORE annotation"))
+    return findings
+
+
+def check_manifest_vs_graph(manifest: dict, manifest_rel: str,
+                            dump: dict, dump_rel: str) -> list[Finding]:
+    findings: list[Finding] = []
+    declared_classes = {c["name"]: c for c in manifest["classes"]}
+    declared_edges = {(e["from"], e["to"]) for e in manifest["edges"]}
+    observed_classes = {c["name"] for c in dump.get("classes", [])}
+    observed_edges = {(e["from"], e["to"]): e for e in dump.get("edges", [])}
+
+    # Direction 1: everything observed at runtime must be sanctioned.
+    for (src, dst), edge in sorted(observed_edges.items()):
+        if (src, dst) not in declared_edges:
+            findings.append(Finding(
+                dump_rel, 1, "undeclared-runtime-edge",
+                f"runtime observed `{src}` -> `{dst}` (acquired at "
+                f"{edge.get('site', '?')}) but {manifest_rel} does not "
+                "declare that ordering"))
+    for b in dump.get("blocking", []):
+        cls = declared_classes.get(b["class"])
+        if cls is None or not cls.get("waive_blocking", False):
+            findings.append(Finding(
+                dump_rel, 1, "held-across-blocking",
+                f"`{b['class']}` was held across {b['op']} at "
+                f"{b.get('site', '?')} and is not waived in {manifest_rel}"))
+
+    # Direction 2: everything declared must be alive in the workload.
+    for src, dst in sorted(declared_edges - set(observed_edges)):
+        findings.append(Finding(
+            manifest_rel, 1, "unobserved-edge",
+            f"manifest declares `{src}` -> `{dst}` but the sanctioned "
+            "workload never exercised it (stale manifest?)"))
+    for name in sorted(set(declared_classes) - observed_classes):
+        findings.append(Finding(
+            manifest_rel, 1, "unexercised-class",
+            f"manifest class `{name}` never registered at runtime -- the "
+            "graph workload does not cover its subsystem"))
+
+    # Classes observed at runtime that look like production locks (the
+    # test suites register `test::` classes; `<unnamed>` is the shared
+    # anonymous class) must be in the manifest.
+    for name in sorted(observed_classes - set(declared_classes)):
+        if name.startswith("test::") or name == "<unnamed>":
+            continue
+        findings.append(Finding(
+            dump_rel, 1, "unknown-runtime-class",
+            f"runtime registered lock class `{name}` that the manifest "
+            "does not declare"))
+    return findings
+
+
+# --- self-test ---------------------------------------------------------------
+
+SELF_TEST_HEADER = """\
+#include "util/thread_annotations.hpp"
+class Pool {
+  // a sync::mutex mention in a comment is fine
+  sync::mutex mu_ CA_LEAF{CA_LOCK_CLASS("test::Pool::mu_")};
+  sync::mutex outer_ CA_ACQUIRED_BEFORE(mu_){CA_LOCK_CLASS("test::Pool::outer_")};
+};
+"""
+
+SELF_TEST_UNNAMED = """\
+class Rogue {
+  sync::mutex mu_;
+};
+"""
+
+SELF_TEST_MANIFEST = {
+    "classes": [
+        {"name": "test::Pool::mu_", "header": "src/util/pool.hpp",
+         "leaf": True, "waive_blocking": False},
+        {"name": "test::Pool::outer_", "header": "src/util/pool.hpp",
+         "leaf": False, "waive_blocking": False},
+    ],
+    "edges": [{"from": "test::Pool::outer_", "to": "test::Pool::mu_"}],
+}
+
+SELF_TEST_DUMP_CLEAN = {
+    "classes": [{"name": "test::Pool::mu_"}, {"name": "test::Pool::outer_"}],
+    "edges": [{"from": "test::Pool::outer_", "to": "test::Pool::mu_",
+               "site": "pool.cpp:10"}],
+    "blocking": [],
+}
+
+SELF_TEST_DUMP_ROGUE_EDGE = {
+    "classes": [{"name": "test::Pool::mu_"}, {"name": "test::Pool::outer_"}],
+    "edges": [
+        {"from": "test::Pool::outer_", "to": "test::Pool::mu_",
+         "site": "pool.cpp:10"},
+        {"from": "test::Pool::mu_", "to": "test::Pool::outer_",
+         "site": "pool.cpp:99"},
+    ],
+    "blocking": [{"class": "test::Pool::mu_", "op": "mem::Transfer::join",
+                  "site": "pool.cpp:50"}],
+}
+
+
+def self_test() -> int:
+    """Negative tests: the checker must go red on an undeclared runtime
+    edge, an unwaived blocking occurrence, a manifest/annotation drift, and
+    an unnamed production mutex -- and stay green on the clean fixtures."""
+    import tempfile
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        (root / "src" / "util").mkdir(parents=True)
+        (root / "src" / "util" / "pool.hpp").write_text(SELF_TEST_HEADER)
+
+        annotations, parse_findings = parse_annotations(root)
+        if parse_findings:
+            failures.append(
+                f"clean fixture produced parse findings: {parse_findings[0]}")
+        if sorted(a.cls for a in annotations) != [
+                "test::Pool::mu_", "test::Pool::outer_"]:
+            failures.append(
+                f"expected 2 annotated classes, got "
+                f"{[a.cls for a in annotations]}")
+        elif next(a for a in annotations
+                  if a.cls == "test::Pool::outer_").before_classes != [
+                      "test::Pool::mu_"]:
+            failures.append("CA_ACQUIRED_BEFORE member did not resolve to "
+                            "its class name")
+
+        clean = check_manifest_vs_annotations(
+            SELF_TEST_MANIFEST, "manifest.json", annotations)
+        if clean:
+            failures.append(f"clean manifest diff not empty: {clean[0]}")
+
+        # Drift A: a class annotated in source but dropped from the manifest.
+        no_class = {"classes": SELF_TEST_MANIFEST["classes"][:1], "edges": []}
+        rules = {f.rule for f in check_manifest_vs_annotations(
+            no_class, "manifest.json", annotations)}
+        if "undeclared-class" not in rules:
+            failures.append(
+                f"dropped manifest class not detected, rules={sorted(rules)}")
+
+        # Drift B: an edge annotated via CA_ACQUIRED_BEFORE but not declared
+        # in the manifest (and the leaf flag now disagrees too).
+        no_edge = {"classes": SELF_TEST_MANIFEST["classes"], "edges": []}
+        rules = {f.rule for f in check_manifest_vs_annotations(
+            no_edge, "manifest.json", annotations)}
+        if "undeclared-edge" not in rules:
+            failures.append(
+                f"undeclared annotation edge not detected, rules={sorted(rules)}")
+
+        (root / "src" / "util" / "rogue.hpp").write_text(SELF_TEST_UNNAMED)
+        _, rogue_findings = parse_annotations(root)
+        if not any(f.rule == "unnamed-mutex" for f in rogue_findings):
+            failures.append("unnamed production mutex not detected")
+
+        graph_clean = check_manifest_vs_graph(
+            SELF_TEST_MANIFEST, "manifest.json", SELF_TEST_DUMP_CLEAN,
+            "dump.json")
+        if graph_clean:
+            failures.append(f"clean graph diff not empty: {graph_clean[0]}")
+
+        graph_bad = check_manifest_vs_graph(
+            SELF_TEST_MANIFEST, "manifest.json", SELF_TEST_DUMP_ROGUE_EDGE,
+            "dump.json")
+        bad_rules = {f.rule for f in graph_bad}
+        if "undeclared-runtime-edge" not in bad_rules:
+            failures.append("undeclared runtime edge not flagged "
+                            f"(rules={sorted(bad_rules)})")
+        if "held-across-blocking" not in bad_rules:
+            failures.append("unwaived blocking occurrence not flagged "
+                            f"(rules={sorted(bad_rules)})")
+
+    for f in failures:
+        print(f"lockdep_check --self-test: {f}", file=sys.stderr)
+    if failures:
+        return 1
+    print("lockdep_check --self-test: ok")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the checkout "
+                             "containing this script)")
+    parser.add_argument("--manifest", type=Path, default=None,
+                        help="lock-hierarchy manifest "
+                             "(default: docs/lock_hierarchy.json)")
+    parser.add_argument("--graph", type=Path, default=None,
+                        help="runtime graph dump (CA_LOCKDEP_DUMP output of "
+                             "tests/lockdep/lockdep_graph_test) to diff "
+                             "against the manifest")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON array on stdout")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the checker's own negative tests and exit")
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"lockdep_check: no src/ under {root}", file=sys.stderr)
+        return 2
+    manifest_path = args.manifest or root / "docs" / "lock_hierarchy.json"
+    if not manifest_path.exists():
+        print(f"lockdep_check: manifest {manifest_path} not found",
+              file=sys.stderr)
+        return 2
+    manifest = load_manifest(manifest_path)
+    try:
+        manifest_rel = manifest_path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        manifest_rel = manifest_path.as_posix()
+
+    annotations, findings = parse_annotations(root)
+    findings += check_manifest_vs_annotations(manifest, manifest_rel,
+                                              annotations)
+    checked = "annotations"
+    if args.graph is not None:
+        if not args.graph.exists():
+            print(f"lockdep_check: graph dump {args.graph} not found",
+                  file=sys.stderr)
+            return 2
+        dump = json.loads(args.graph.read_text())
+        findings += check_manifest_vs_graph(manifest, manifest_rel, dump,
+                                            args.graph.as_posix())
+        checked += "+runtime-graph"
+
+    if args.json:
+        print(json.dumps({"tool": "lockdep_check", "checked": checked,
+                          "findings": [f.to_json() for f in findings]},
+                         indent=2))
+    else:
+        for finding in findings:
+            print(finding)
+    if findings:
+        print(f"lockdep_check: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    if not args.json:
+        print(f"lockdep_check: clean ({checked}; "
+              f"{len(annotations)} annotated lock classes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
