@@ -1,23 +1,46 @@
-// Microbenchmarks for the copy engine: real host-side copy throughput per
-// transfer size and direction, and the modeled (simulated-time) bandwidth
-// the timing model assigns to the same transfers.
-#include <benchmark/benchmark.h>
+// Microbenchmark: the copy engine's real data plane, per dispatch level.
+//
+// Three families are timed (host wall seconds -- this measures the real
+// byte movement, not the simulated clock):
+//   copy     engine.copy per transfer size and ISA level, writeback
+//            direction (fast -> slow), NT stores engaged
+//   nt-vs-t  the headline comparison: the same large writeback with
+//            non_temporal on (streamed past the cache) vs off (temporal
+//            rep-movsb / memcpy), plus the modeled-time ratio the
+//            bandwidth model assigns to the same pair
+//   fill     engine.fill_zero, which always takes the writeback hint
+//
+// The acceptance number -- NT writeback vs temporal on the large transfer
+// -- is emitted into BENCH_copy_engine.json as an explicit "speedup:"
+// record so CI can regress on it.  The NT win on real NVRAM is the paper's
+// point (PAPER.md SV-d); on a DRAM-only host the ratio mostly reflects
+// cache-allocation avoidance, so treat the modeled ratio as the shape
+// target and the wall ratio as evidence the path is wired.
+//
+// `--smoke` shrinks sizes and repetitions for the bench-smoke ctest label.
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "common.hpp"
 #include "mem/arena.hpp"
 #include "mem/copy_engine.hpp"
+#include "simd/copy.hpp"
+#include "simd/isa.hpp"
 #include "util/align.hpp"
 
 using namespace ca;
+using namespace ca::bench;
 
 namespace {
 
 struct Rig {
-  Rig()
+  explicit Rig(std::size_t arena_bytes)
       : platform(sim::Platform::cascade_lake_scaled(64 * util::MiB,
                                                     64 * util::MiB)),
         engine(platform, clock, counters),
-        src(32 * util::MiB),
-        dst(32 * util::MiB) {}
+        src(arena_bytes),
+        dst(arena_bytes) {}
 
   sim::Platform platform;
   sim::Clock clock;
@@ -27,53 +50,119 @@ struct Rig {
   mem::Arena dst;
 };
 
-void BM_CopyHostThroughput(benchmark::State& state) {
-  Rig rig;
-  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
+/// Wall seconds for `reps` writeback copies of `bytes` (fast -> slow).
+double time_copy(Rig& rig, std::size_t bytes, int reps, bool non_temporal) {
+  WallTimer wall;
+  for (int r = 0; r < reps; ++r) {
     rig.engine.copy(rig.dst.base(), sim::kSlow, rig.src.base(), sim::kFast,
-                    bytes);
+                    bytes, non_temporal);
   }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(bytes));
+  return wall.seconds();
 }
-BENCHMARK(BM_CopyHostThroughput)
-    ->Arg(64 * 1024)
-    ->Arg(1 * 1024 * 1024)
-    ->Arg(16 * 1024 * 1024);
 
-void BM_ModeledBandwidthReport(benchmark::State& state) {
-  // Not a timing benchmark per se: reports the *modeled* bandwidth for the
-  // given transfer size in the counters, exercising the model hot path.
-  Rig rig;
-  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
-  double bw = 0.0;
-  for (auto _ : state) {
-    bw = rig.engine.modeled_bandwidth(bytes, sim::kFast, sim::kSlow, true);
-    benchmark::DoNotOptimize(bw);
-  }
-  state.counters["modeled_MiBps"] = bw / (1024.0 * 1024.0);
-  state.counters["threads"] =
-      static_cast<double>(rig.engine.threads_for(bytes));
+double gibps(std::size_t bytes, int reps, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) * reps / seconds /
+         (1024.0 * 1024.0 * 1024.0);
 }
-BENCHMARK(BM_ModeledBandwidthReport)
-    ->Arg(64 * 1024)
-    ->Arg(256 * 1024)
-    ->Arg(1 * 1024 * 1024)
-    ->Arg(4 * 1024 * 1024)
-    ->Arg(16 * 1024 * 1024);
-
-void BM_FillZero(benchmark::State& state) {
-  Rig rig;
-  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    rig.engine.fill_zero(rig.dst.base(), sim::kFast, bytes);
-  }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(bytes));
-}
-BENCHMARK(BM_FillZero)->Arg(1 * 1024 * 1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool smoke = has_flag(argc, argv, "--smoke");
+  const std::size_t big = smoke ? 2 * util::MiB : 16 * util::MiB;
+  const int reps = smoke ? 2 : 20;
+
+  Rig rig(big);
+  const simd::IsaLevel entry = simd::active_level();
+
+  std::printf("=== micro_copy_engine ===\n");
+  std::printf(
+      "Real copy-path throughput per dispatch level (writeback direction,\n"
+      "fast -> slow; NT threshold %zu KiB, copy chunk %zu KiB).  Host wall\n"
+      "seconds over %d rep(s).%s\n\n",
+      simd::kNtThreshold / 1024, rig.platform.copy_chunk / 1024, reps,
+      smoke ? "  [smoke sizes]" : "");
+
+  std::vector<BenchRecord> records;
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"label", "seconds", "GiB/s"});
+
+  // --- per-level writeback copy sweep ---------------------------------------
+  const std::size_t sizes[] = {64 * util::KiB, 1 * util::MiB, big};
+  std::printf("%-34s %12s %9s\n", "copy (writeback)", "wall [s]", "GiB/s");
+  for (int l = 0; l <= static_cast<int>(simd::max_supported_level()); ++l) {
+    const auto level = static_cast<simd::IsaLevel>(l);
+    simd::set_level(level);
+    for (const std::size_t bytes : sizes) {
+      const double t = time_copy(rig, bytes, reps, /*non_temporal=*/true);
+      const std::string label = std::string("copy ") +
+                                simd::level_name(level) + " " +
+                                util::format_bytes(bytes);
+      std::printf("%-34s %12.4f %9.2f\n", label.c_str(), t,
+                  gibps(bytes, reps, t));
+      records.push_back({label, 0.0, t, bytes});
+      table.push_back({label, util::format_fixed(t, 4),
+                       util::format_fixed(gibps(bytes, reps, t), 2)});
+    }
+  }
+  std::printf("\n");
+
+  // --- NT writeback vs temporal: the acceptance pair ------------------------
+  simd::set_level(simd::max_supported_level());
+  const int nt_reps = reps * 2;
+  const double t_nt = time_copy(rig, big, nt_reps, /*non_temporal=*/true);
+  const double t_tmp = time_copy(rig, big, nt_reps, /*non_temporal=*/false);
+  const double wall_ratio = t_nt > 0.0 ? t_tmp / t_nt : 0.0;
+  const double m_nt =
+      rig.engine.modeled_copy_time(big, sim::kFast, sim::kSlow, true);
+  const double m_tmp =
+      rig.engine.modeled_copy_time(big, sim::kFast, sim::kSlow, false);
+  const double modeled_ratio = m_nt > 0.0 ? m_tmp / m_nt : 0.0;
+  std::printf("nt writeback vs temporal (%s x %d, level %s):\n"
+              "  wall    %0.4fs vs %0.4fs  -> %.2fx\n"
+              "  modeled %0.4fs vs %0.4fs  -> %.2fx (write_bw_nt curve)\n\n",
+              util::format_bytes(big).c_str(), nt_reps,
+              simd::level_name(simd::active_level()), t_nt, t_tmp, wall_ratio,
+              m_nt, m_tmp, modeled_ratio);
+  records.push_back({"speedup: nt writeback vs temporal, wall", 0.0,
+                     wall_ratio, big});
+  records.push_back({"speedup: nt writeback vs temporal, modeled", m_tmp - m_nt,
+                     modeled_ratio, big});
+  table.push_back({"nt vs temporal wall ratio",
+                   util::format_fixed(wall_ratio, 2), ""});
+  table.push_back({"nt vs temporal modeled ratio",
+                   util::format_fixed(modeled_ratio, 2), ""});
+
+  // --- fill_zero (always writeback-hinted) ----------------------------------
+  double t_fill = 0.0;
+  {
+    WallTimer wall;
+    for (int r = 0; r < reps; ++r) {
+      rig.engine.fill_zero(rig.dst.base(), sim::kSlow, big);
+    }
+    t_fill = wall.seconds();
+  }
+  std::printf("%-34s %12.4f %9.2f\n\n", "fill_zero (writeback)", t_fill,
+              gibps(big, reps, t_fill));
+  records.push_back({"fill_zero writeback", 0.0, t_fill, big});
+  table.push_back({"fill_zero writeback", util::format_fixed(t_fill, 4),
+                   util::format_fixed(gibps(big, reps, t_fill), 2)});
+
+  // --- telemetry ------------------------------------------------------------
+  std::printf("%s\n", telemetry::format_simd_report(
+                          {{"DRAM", rig.counters.device(sim::kFast)
+                                        .bytes_written_nt},
+                           {"NVRAM", rig.counters.device(sim::kSlow)
+                                         .bytes_written_nt}})
+                          .c_str());
+  std::printf("engine stats: %llu copies, %llu bytes, %llu nt bytes\n",
+              static_cast<unsigned long long>(rig.engine.stats().copies),
+              static_cast<unsigned long long>(rig.engine.stats().bytes),
+              static_cast<unsigned long long>(rig.engine.stats().nt_bytes));
+
+  simd::set_level(entry);
+  maybe_write_csv(argc, argv, "micro_copy_engine.csv", table);
+  write_bench_json(argc, argv, "copy_engine", records);
+  return 0;
+}

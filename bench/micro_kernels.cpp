@@ -26,6 +26,8 @@
 #include "dnn/gemm.hpp"
 #include "dnn/ops_real.hpp"
 #include "dnn/scratch.hpp"
+#include "simd/gemm_kernel.hpp"
+#include "simd/isa.hpp"
 #include "telemetry/counters.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
@@ -248,6 +250,45 @@ int main(int argc, char** argv) {
                      util::format_fixed(speedup, 1)});
   }
   std::printf("\n");
+
+  // --- gemm dispatch sweep: each ISA tile vs the 4x8 scalar tile ------------
+  // Same blocked code path at every level; only the register tile changes.
+  // The "dispatched vs 4x8" ratio is the acceptance record for the
+  // CA_NATIVE=OFF build hitting native width through runtime dispatch.
+  {
+    const std::size_t m = smoke ? 96 : 384;
+    const std::size_t n = smoke ? 128 : 1024;
+    const std::size_t k = smoke ? 96 : 512;
+    const int sweep_reps = smoke ? 1 : 5;
+    const simd::IsaLevel entry = simd::active_level();
+    std::printf("%-26s %12s %9s   (m=%zu n=%zu k=%zu, blocked path)\n",
+                "gemm dispatch level", "fast [s]", "vs 4x8", m, n, k);
+    double scalar_s = 0.0, best_s = 0.0;
+    for (int l = 0; l <= static_cast<int>(simd::max_supported_level()); ++l) {
+      const auto level = static_cast<simd::IsaLevel>(l);
+      simd::set_level(level);
+      const simd::GemmTile& tile = simd::gemm_tile(level);
+      const double t = time_gemm(m, n, k, sweep_reps, &fast);
+      if (level == simd::IsaLevel::kScalar) scalar_s = t;
+      best_s = t;  // levels ascend; the last one is the dispatched choice
+      const double vs = t > 0.0 ? scalar_s / t : 0.0;
+      const std::string label = std::string("gemm dispatch ") +
+                                simd::level_name(level) + " (" +
+                                std::to_string(tile.mr) + "x" +
+                                std::to_string(tile.nr) + ")";
+      std::printf("%-26s %12.4f %8.1fx\n", label.c_str(), t, vs);
+      records.push_back({label, 0.0, t, 0});
+      table.push_back({label, "", util::format_fixed(t, 4),
+                       util::format_fixed(vs, 1)});
+    }
+    simd::set_level(entry);
+    const double dispatch_speedup = best_s > 0.0 ? scalar_s / best_s : 0.0;
+    std::printf("%-26s %12s %8.1fx\n\n", "dispatched vs 4x8 scalar", "",
+                dispatch_speedup);
+    records.push_back(
+        {"speedup: dispatched gemm vs 4x8 scalar tile (CA_NATIVE=OFF)", 0.0,
+         dispatch_speedup, 0});
+  }
 
   // --- eltwise: stage-0 activation-sized buffers ----------------------------
   const std::size_t elt_n = smoke ? 64 * 1024 : 20 * 16 * 32 * 32 * 4;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dnn/scratch.hpp"
+#include "simd/gemm_kernel.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/stopwatch.hpp"
 #include "util/align.hpp"
@@ -18,34 +19,37 @@ inline float a_at(const float* a, std::size_t lda, bool trans, std::size_t r,
   return trans ? a[c * lda + r] : a[r * lda + c];
 }
 
-/// Pack the A block [ic, ic+mc) x [pc, pc+kc) into kMR-row micro-panels:
-/// pa[(i/kMR)*(kMR*kc) + p*kMR + i%kMR], rows beyond mc zero-padded so the
-/// micro-kernel never branches on the fringe.
+/// Pack the A block [ic, ic+mc) x [pc, pc+kc) into mr-row micro-panels:
+/// pa[(i/mr)*(mr*kc) + p*mr + i%mr], rows beyond mc zero-padded so the
+/// micro-kernel never branches on the fringe.  `mr` is the active
+/// dispatch tile's row count -- packing is shared across ISA tiers.
 void pack_a(const float* a, std::size_t lda, bool trans, std::size_t ic,
-            std::size_t pc, std::size_t mc, std::size_t kc, float* pa) {
-  for (std::size_t ip = 0; ip < mc; ip += kGemmMR) {
-    float* panel = pa + (ip / kGemmMR) * (kGemmMR * kc);
-    const std::size_t rows = std::min(kGemmMR, mc - ip);
+            std::size_t pc, std::size_t mc, std::size_t kc, float* pa,
+            std::size_t mr) {
+  for (std::size_t ip = 0; ip < mc; ip += mr) {
+    float* panel = pa + (ip / mr) * (mr * kc);
+    const std::size_t rows = std::min(mr, mc - ip);
     for (std::size_t p = 0; p < kc; ++p) {
-      float* dst = panel + p * kGemmMR;
+      float* dst = panel + p * mr;
       for (std::size_t r = 0; r < rows; ++r) {
         dst[r] = a_at(a, lda, trans, ic + ip + r, pc + p);
       }
-      for (std::size_t r = rows; r < kGemmMR; ++r) dst[r] = 0.0f;
+      for (std::size_t r = rows; r < mr; ++r) dst[r] = 0.0f;
     }
   }
 }
 
-/// Pack the B block [pc, pc+kc) x [jc, jc+nc) into kNR-column micro-panels:
-/// pb[(j/kNR)*(kNR*kc) + p*kNR + j%kNR], columns beyond nc zero-padded.
+/// Pack the B block [pc, pc+kc) x [jc, jc+nc) into nr-column micro-panels:
+/// pb[(j/nr)*(nr*kc) + p*nr + j%nr], columns beyond nc zero-padded.
 /// B is stored (k x n, ldb) when !trans, (n x k, ldb) when trans.
 void pack_b(const float* b, std::size_t ldb, bool trans, std::size_t pc,
-            std::size_t jc, std::size_t kc, std::size_t nc, float* pb) {
-  for (std::size_t jp = 0; jp < nc; jp += kGemmNR) {
-    float* panel = pb + (jp / kGemmNR) * (kGemmNR * kc);
-    const std::size_t cols = std::min(kGemmNR, nc - jp);
+            std::size_t jc, std::size_t kc, std::size_t nc, float* pb,
+            std::size_t nr) {
+  for (std::size_t jp = 0; jp < nc; jp += nr) {
+    float* panel = pb + (jp / nr) * (nr * kc);
+    const std::size_t cols = std::min(nr, nc - jp);
     for (std::size_t p = 0; p < kc; ++p) {
-      float* dst = panel + p * kGemmNR;
+      float* dst = panel + p * nr;
       if (!trans) {
         const float* src = b + (pc + p) * ldb + jc + jp;
         for (std::size_t j = 0; j < cols; ++j) dst[j] = src[j];
@@ -54,37 +58,7 @@ void pack_b(const float* b, std::size_t ldb, bool trans, std::size_t pc,
           dst[j] = b[(jc + jp + j) * ldb + pc + p];
         }
       }
-      for (std::size_t j = cols; j < kGemmNR; ++j) dst[j] = 0.0f;
-    }
-  }
-}
-
-/// kMR x kNR register tile over packed micro-panels.  The accumulator loop
-/// is branch-free over the full tile (panels are zero-padded); only the
-/// write-back respects the mr x nr fringe.  Plain C on purpose: with the
-/// fixed tile bounds the compiler fully unrolls and vectorizes the j loop.
-void micro_kernel(std::size_t kc, const float* pa, const float* pb,
-                  float alpha, float beta, bool first_pc, float* c,
-                  std::size_t ldc, std::size_t mr, std::size_t nr) {
-  float acc[kGemmMR][kGemmNR] = {};
-  for (std::size_t p = 0; p < kc; ++p) {
-    const float* ap = pa + p * kGemmMR;
-    const float* bp = pb + p * kGemmNR;
-    for (std::size_t i = 0; i < kGemmMR; ++i) {
-      const float av = ap[i];
-      for (std::size_t j = 0; j < kGemmNR; ++j) acc[i][j] += av * bp[j];
-    }
-  }
-  for (std::size_t i = 0; i < mr; ++i) {
-    float* crow = c + i * ldc;
-    if (!first_pc) {
-      for (std::size_t j = 0; j < nr; ++j) crow[j] += alpha * acc[i][j];
-    } else if (beta == 0.0f) {
-      for (std::size_t j = 0; j < nr; ++j) crow[j] = alpha * acc[i][j];
-    } else {
-      for (std::size_t j = 0; j < nr; ++j) {
-        crow[j] = alpha * acc[i][j] + beta * crow[j];
-      }
+      for (std::size_t j = cols; j < nr; ++j) dst[j] = 0.0f;
     }
   }
 }
@@ -100,29 +74,39 @@ struct GemmArgs {
   float beta;
   float* c;
   std::size_t ldc;
+  const simd::GemmTile* tile;  ///< resolved once per gemm() call
 };
+
+/// Floats in a packed A block at the given tile: mc rounded up to whole
+/// mr-row micro-panels times the panel depth.
+std::size_t a_panel_floats(std::size_t mr) {
+  return util::ceil_div(kGemmMC, mr) * mr * kGemmKC;
+}
 
 /// The full blocked loop nest over the C column band [n0, n1), packing
 /// into caller-private panels `pa` / `pb`.
 void run_band(const GemmArgs& g, std::size_t n0, std::size_t n1, float* pa,
               float* pb) {
+  const std::size_t mr_t = g.tile->mr;
+  const std::size_t nr_t = g.tile->nr;
+  const simd::GemmMicroKernelFn kernel = g.tile->kernel;
   for (std::size_t pc = 0; pc < g.k; pc += kGemmKC) {
     const std::size_t kc = std::min(kGemmKC, g.k - pc);
     const bool first_pc = pc == 0;
     for (std::size_t jc = n0; jc < n1; jc += kGemmNC) {
       const std::size_t nc = std::min(kGemmNC, n1 - jc);
-      pack_b(g.b, g.ldb, g.trans_b, pc, jc, kc, nc, pb);
+      pack_b(g.b, g.ldb, g.trans_b, pc, jc, kc, nc, pb, nr_t);
       for (std::size_t ic = 0; ic < g.m; ic += kGemmMC) {
         const std::size_t mc = std::min(kGemmMC, g.m - ic);
-        pack_a(g.a, g.lda, g.trans_a, ic, pc, mc, kc, pa);
-        for (std::size_t jr = 0; jr < nc; jr += kGemmNR) {
-          const std::size_t nr = std::min(kGemmNR, nc - jr);
-          const float* pbp = pb + (jr / kGemmNR) * (kGemmNR * kc);
-          for (std::size_t ir = 0; ir < mc; ir += kGemmMR) {
-            const std::size_t mr = std::min(kGemmMR, mc - ir);
-            micro_kernel(kc, pa + (ir / kGemmMR) * (kGemmMR * kc), pbp,
-                         g.alpha, g.beta, first_pc,
-                         g.c + (ic + ir) * g.ldc + jc + jr, g.ldc, mr, nr);
+        pack_a(g.a, g.lda, g.trans_a, ic, pc, mc, kc, pa, mr_t);
+        for (std::size_t jr = 0; jr < nc; jr += nr_t) {
+          const std::size_t nr = std::min(nr_t, nc - jr);
+          const float* pbp = pb + (jr / nr_t) * (nr_t * kc);
+          for (std::size_t ir = 0; ir < mc; ir += mr_t) {
+            const std::size_t mr = std::min(mr_t, mc - ir);
+            kernel(kc, pa + (ir / mr_t) * (mr_t * kc), pbp, g.alpha, g.beta,
+                   first_pc, g.c + (ic + ir) * g.ldc + jc + jr, g.ldc, mr,
+                   nr);
           }
         }
       }
@@ -130,12 +114,12 @@ void run_band(const GemmArgs& g, std::size_t n0, std::size_t n1, float* pa,
   }
 }
 
-constexpr std::size_t panel_floats(std::size_t band_cols) {
-  // pack_b zero-pads every panel to full kNR columns, so the B scratch must
-  // hold the kNR-rounded band width (kNC is itself a multiple of kNR).
-  return kGemmMC * kGemmKC +
-         kGemmKC *
-             std::min(util::ceil_div(band_cols, kGemmNR) * kGemmNR, kGemmNC);
+std::size_t panel_floats(std::size_t band_cols, std::size_t mr,
+                         std::size_t nr) {
+  // pack_b zero-pads every panel to full nr columns, so the B scratch must
+  // hold the nr-rounded band width (kNC is a multiple of every tier's nr).
+  return a_panel_floats(mr) +
+         kGemmKC * std::min(util::ceil_div(band_cols, nr) * nr, kGemmNC);
 }
 
 }  // namespace
@@ -166,8 +150,9 @@ void gemm(const KernelCtx& ctx, bool trans_a, bool trans_b, std::size_t m,
   }
   telemetry::ScopedKernelTimer timer(time_sink);
 
+  const simd::GemmTile& tile = simd::gemm_tile(simd::active_level());
   GemmArgs g{trans_a, trans_b, m,    n, k,   alpha, a,
-             lda,     b,       ldb,  beta,   c,     ldc};
+             lda,     b,       ldb,  beta,   c,     ldc, &tile};
 
   ScratchPool local;
   ScratchPool& scratch = ctx.scratch != nullptr ? *ctx.scratch : local;
@@ -176,31 +161,32 @@ void gemm(const KernelCtx& ctx, bool trans_a, bool trans_b, std::size_t m,
       2.0 * static_cast<double>(m) * static_cast<double>(n) *
       static_cast<double>(k);
   const bool wide = ctx.pool != nullptr && ctx.pool->thread_count() > 1 &&
-                    n >= 2 * kGemmNR && flops >= 262144.0;
+                    n >= 2 * tile.nr && flops >= 262144.0;
   if (!wide) {
-    auto lease = scratch.acquire(panel_floats(n));
-    run_band(g, 0, n, lease.data(), lease.data() + kGemmMC * kGemmKC);
+    auto lease = scratch.acquire(panel_floats(n, tile.mr, tile.nr));
+    run_band(g, 0, n, lease.data(), lease.data() + a_panel_floats(tile.mr));
     return;
   }
 
-  // Parallel path: partition C's columns into kNR-aligned bands, one task
+  // Parallel path: partition C's columns into nr-aligned bands, one task
   // each.  Bands are disjoint, so tasks share only read-mostly A/B and the
   // pool's own synchronization -- no kernel-level locking.
   const std::size_t threads = ctx.pool->thread_count();
   const std::size_t band_target = threads * 2;  // 2 bands/thread for balance
   const std::size_t band_cols = std::max(
-      kGemmNR,
-      util::ceil_div(util::ceil_div(n, band_target), kGemmNR) * kGemmNR);
+      tile.nr,
+      util::ceil_div(util::ceil_div(n, band_target), tile.nr) * tile.nr);
   const std::size_t bands = util::ceil_div(n, band_cols);
   ctx.pool->parallel_for(
       bands,
       [&](std::size_t begin, std::size_t end) {
-        auto lease = scratch.acquire(panel_floats(band_cols));
+        auto lease = scratch.acquire(panel_floats(band_cols, tile.mr,
+                                                  tile.nr));
         for (std::size_t bi = begin; bi < end; ++bi) {
           const std::size_t n0 = bi * band_cols;
           const std::size_t n1 = std::min(n0 + band_cols, n);
           run_band(g, n0, n1, lease.data(),
-                   lease.data() + kGemmMC * kGemmKC);
+                   lease.data() + a_panel_floats(tile.mr));
         }
       },
       /*min_grain=*/1);

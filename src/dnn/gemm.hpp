@@ -9,10 +9,12 @@
 //            an independent task writing a disjoint C column band)
 //   pc loop: k in kKC panels                   (packed B panel: kKC x strip)
 //   ic loop: rows of C in kMC blocks           (packed A panel: kMC x kKC,
-//            laid out in kMR-row micro-panels)
-//   micro-kernel: a kMR x kNR register tile accumulated over the packed
-//            panels -- written as plain C so the compiler's auto-vectorizer
-//            emits SIMD FMAs; build with -DCA_NATIVE=ON for -march=native.
+//            laid out in mr-row micro-panels)
+//   micro-kernel: an mr x nr register tile accumulated over the packed
+//            panels.  The tile shape and kernel are runtime-dispatched per
+//            ISA (simd::gemm_tile): scalar 4x8, AVX2 6x16, AVX-512 8x32.
+//            Packing is shared -- the pack routines take the active tile's
+//            mr/nr -- so only the innermost kernel is per-ISA code.
 //
 // Packing uses leased ScratchPool buffers, so repeated launches reuse the
 // same panels and every participant (pool worker or caller) packs into
@@ -28,16 +30,20 @@
 
 namespace ca::dnn::real {
 
-// Register tile of the micro-kernel, sized for the *baseline* x86-64
-// register budget (16 SIMD registers): a 4 x 8 accumulator block is 8 SSE
-// vectors, leaving room for the A broadcast and two B loads.  Wider tiles
-// (6 x 16, the AVX2-native shape) spill accumulators to the stack at the
-// default -march and run ~10x slower; with -DCA_NATIVE=ON the compiler
-// re-vectorizes this same code at whatever width the host offers.
+// The *scalar baseline* register tile: 4 x 8 fits the baseline x86-64
+// budget (16 SIMD registers) as 8 SSE accumulator vectors plus the A
+// broadcast and two B loads.  The tile actually executed is a per-ISA
+// trait resolved at run time -- simd::gemm_tile(simd::active_level())
+// returns 6x16 on AVX2 and 8x32 on AVX-512F hosts, hand-written with
+// native-width FMAs, so a CA_NATIVE=OFF portable binary hits native
+// throughput.  CA_ISA=scalar forces this baseline shape (bitwise the seed
+// kernel); these constants remain as the scalar tier's documented shape.
 inline constexpr std::size_t kGemmMR = 4;
 inline constexpr std::size_t kGemmNR = 8;
 // Cache blocking: A panel (kMC x kKC floats = 96 KiB) in L2, B strip panel
-// (kKC x kNC floats <= 1 MiB) streamed through L3.
+// (kKC x kNC floats <= 1 MiB) streamed through L3.  kMC is divisible by
+// every dispatch tier's mr (4, 6, 8) and kNC by every nr (8, 16, 32), so
+// the packed-panel geometry stays exact at any level.
 inline constexpr std::size_t kGemmMC = 96;
 inline constexpr std::size_t kGemmKC = 256;
 inline constexpr std::size_t kGemmNC = 1024;

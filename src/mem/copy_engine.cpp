@@ -1,10 +1,8 @@
 #include "mem/copy_engine.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <thread>
 
-#include "race/access.hpp"
 #include "util/align.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
@@ -34,7 +32,8 @@ CopyEngine::CopyEngine(const sim::Platform& platform, sim::Clock& clock,
       counters_(counters),
       pool_(host_parallelism(platform)),
       mover_pool_(mover_parallelism(platform)),
-      channel_busy_(std::max<std::size_t>(1, platform.mover_channels), 0.0) {}
+      channel_busy_(std::max<std::size_t>(1, platform.mover_channels),
+                    util::CacheLineAligned<double>{0.0}) {}
 
 CopyEngine::~CopyEngine() { drain(); }
 
@@ -64,11 +63,32 @@ double CopyEngine::modeled_copy_time(std::size_t bytes, sim::DeviceId src_dev,
          static_cast<double>(bytes) / bw;
 }
 
+std::uint64_t CopyEngine::modeled_nt_bytes(std::size_t bytes,
+                                           simd::CopyHint hint) const {
+  // The simd NT path engages per chunk, so model it at the engine's
+  // chunking: all full chunks plus the tail, each gated on kNtThreshold.
+  // Deterministic by construction (no pointer alignment involved).
+  const simd::IsaLevel level = simd::active_level();
+  const std::size_t chunk = platform_.copy_chunk;
+  const std::size_t full = bytes / chunk;
+  const std::size_t tail = bytes % chunk;
+  return full * simd::nt_bytes_for(chunk, hint, level) +
+         simd::nt_bytes_for(tail, hint, level);
+}
+
 void CopyEngine::copy(void* dst, sim::DeviceId dst_dev, const void* src,
                       sim::DeviceId src_dev, std::size_t bytes,
                       bool non_temporal) {
   CA_CHECK(dst != nullptr && src != nullptr, "null pointer passed to copy");
   if (bytes == 0) return;
+
+  // Writebacks (toward a slower device) stream past the cache: their
+  // destination is the cold tier and will not be re-read soon.  Fetches
+  // keep temporal stores -- the caller is about to touch the data.
+  const bool writeback = dst_dev.value > src_dev.value;
+  const simd::CopyHint hint = non_temporal && writeback
+                                  ? simd::CopyHint::kWriteback
+                                  : simd::CopyHint::kTemporal;
 
   // Real data movement, chunked across the pool.
   auto* d = static_cast<std::byte*>(dst);
@@ -78,21 +98,24 @@ void CopyEngine::copy(void* dst, sim::DeviceId dst_dev, const void* src,
     for (std::size_t c = begin; c < end; ++c) {
       const std::size_t off = c * platform_.copy_chunk;
       const std::size_t len = std::min(platform_.copy_chunk, bytes - off);
-      util::copy_bytes(d + off, s + off, len, "CopyEngine::copy");
+      util::copy_bytes(d + off, s + off, len, "CopyEngine::copy", hint);
     }
   });
 
   // Modeled cost + traffic accounting.
   const double seconds =
       modeled_copy_time(bytes, src_dev, dst_dev, non_temporal);
+  const std::uint64_t nt = modeled_nt_bytes(bytes, hint);
   clock_.advance(seconds, sim::TimeCategory::kMovement);
   counters_.record_read(src_dev, bytes);
   counters_.record_write(dst_dev, bytes);
+  if (nt != 0) counters_.record_nt_write(dst_dev, nt);
   {
     sync::lock lock(mu_);
     ++stats_.copies;
     stats_.bytes += bytes;
     stats_.seconds += seconds;
+    stats_.nt_bytes += nt;
     stats_.latency_seconds += platform_.spec(src_dev).op_latency_s +
                               platform_.spec(dst_dev).op_latency_s;
   }
@@ -124,7 +147,7 @@ std::size_t CopyEngine::pick_channel(sim::DeviceId src_dev,
   }
   std::size_t best = begin;
   for (std::size_t c = begin + 1; c < end; ++c) {
-    if (channel_busy_[c] < channel_busy_[best]) best = c;
+    if (channel_busy_[c].value < channel_busy_[best].value) best = c;
   }
   return best;
 }
@@ -132,7 +155,9 @@ std::size_t CopyEngine::pick_channel(sim::DeviceId src_dev,
 double CopyEngine::mover_horizon() const {
   sync::lock lock(mu_);
   double horizon = 0.0;
-  for (const double busy : channel_busy_) horizon = std::max(horizon, busy);
+  for (const auto& busy : channel_busy_) {
+    horizon = std::max(horizon, busy.value);
+  }
   return horizon;
 }
 
@@ -155,6 +180,11 @@ Transfer CopyEngine::copy_async(void* dst, sim::DeviceId dst_dev,
 
   const double duration =
       modeled_copy_time(bytes, src_dev, dst_dev, non_temporal);
+  const bool writeback = dst_dev.value > src_dev.value;
+  const simd::CopyHint hint = non_temporal && writeback
+                                  ? simd::CopyHint::kWriteback
+                                  : simd::CopyHint::kTemporal;
+  const std::uint64_t nt = modeled_nt_bytes(bytes, hint);
 
   // Modeled schedule: earliest-available channel of the direction.
   std::size_t channel = 0;
@@ -162,11 +192,13 @@ Transfer CopyEngine::copy_async(void* dst, sim::DeviceId dst_dev,
   {
     sync::lock lock(mu_);
     channel = pick_channel(src_dev, dst_dev);
-    start = std::max({earliest_start, clock_.now(), channel_busy_[channel]});
-    channel_busy_[channel] = start + duration;
+    start = std::max(
+        {earliest_start, clock_.now(), channel_busy_[channel].value});
+    channel_busy_[channel].value = start + duration;
     ++stats_.async_copies;
     stats_.async_bytes += bytes;
     stats_.async_seconds += duration;
+    stats_.nt_bytes += nt;
   }
   const double done = start + duration;
 
@@ -180,6 +212,7 @@ Transfer CopyEngine::copy_async(void* dst, sim::DeviceId dst_dev,
   // thread touches only the bytes and the transfer state).
   counters_.record_read(src_dev, bytes);
   counters_.record_write(dst_dev, bytes);
+  if (nt != 0) counters_.record_nt_write(dst_dev, nt);
 
   // Real movement in the background: one mover task, chunked memcpy.  The
   // source/destination ranges are recorded with the race detector chunk by
@@ -189,10 +222,11 @@ Transfer CopyEngine::copy_async(void* dst, sim::DeviceId dst_dev,
   auto* d = static_cast<std::byte*>(dst);
   const auto* s = static_cast<const std::byte*>(src);
   const std::size_t chunk = platform_.copy_chunk;
-  mover_pool_.submit([this, state, d, s, bytes, chunk] {
+  mover_pool_.submit([this, state, d, s, bytes, chunk, hint] {
     for (std::size_t off = 0; off < bytes; off += chunk) {
       const std::size_t len = std::min(chunk, bytes - off);
-      util::copy_bytes(d + off, s + off, len, "CopyEngine::copy_async(mover)");
+      util::copy_bytes(d + off, s + off, len, "CopyEngine::copy_async(mover)",
+                       hint);
     }
     {
       sync::lock lock(state->mu);
@@ -211,30 +245,34 @@ void CopyEngine::fill_zero(void* dst, sim::DeviceId dst_dev,
   CA_CHECK(dst != nullptr, "null pointer passed to fill_zero");
   if (bytes == 0) return;
 
-  // Chunk the memset across the pool exactly like copy: fills are charged
+  // Chunk the fill across the pool exactly like copy: fills are charged
   // multi-threaded modeled bandwidth, so the real work is multi-threaded
-  // too.
+  // too.  The model charges the NT write curve, so the real fill asks for
+  // the NT path as well (a freshly zeroed region has no warm readers).
+  const simd::CopyHint hint = simd::CopyHint::kWriteback;
   auto* d = static_cast<std::byte*>(dst);
   const std::size_t chunks = util::ceil_div(bytes, platform_.copy_chunk);
   pool_.parallel_for(chunks, [&](std::size_t begin, std::size_t end) {
     for (std::size_t c = begin; c < end; ++c) {
       const std::size_t off = c * platform_.copy_chunk;
       const std::size_t len = std::min(platform_.copy_chunk, bytes - off);
-      CA_RACE_WRITE(d + off, len, "CopyEngine::fill_zero");
-      std::memset(d + off, 0, len);
+      util::fill_zero(d + off, len, "CopyEngine::fill_zero", hint);
     }
   });
 
   const auto& spec = platform_.spec(dst_dev);
   const std::size_t t = threads_for(bytes);
+  const std::uint64_t nt = modeled_nt_bytes(bytes, hint);
   clock_.advance(spec.op_latency_s +
                      static_cast<double>(bytes) / spec.write_bw_nt.at(t),
                  sim::TimeCategory::kMovement);
   counters_.record_write(dst_dev, bytes);
+  if (nt != 0) counters_.record_nt_write(dst_dev, nt);
   {
     sync::lock lock(mu_);
     ++stats_.fills;
     stats_.fill_bytes += bytes;
+    stats_.nt_bytes += nt;
   }
 }
 

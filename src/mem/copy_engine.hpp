@@ -12,6 +12,13 @@
 //     non-temporal stores by default ("crucial for best performance",
 //     §V-d).
 //
+// The real copy earns the NT treatment the model charges for: writebacks
+// (transfers toward a slower device) pass CopyHint::kWriteback down the
+// util::copy_bytes funnel, so the dispatched simd kernels stream them with
+// _mm*_stream NT stores instead of dirtying the cache.  The bytes routed
+// through that path are accounted in Stats::nt_bytes and per destination
+// device in TrafficCounters::bytes_written_nt.
+//
 // Asynchronous transfers (§V-c) run on a dedicated mover pool with
 // `Platform::mover_channels` independent channels, split between the two
 // directions (fetch toward faster devices, writeback toward slower ones).
@@ -33,7 +40,9 @@
 #include "race/sync.hpp"
 #include "sim/clock.hpp"
 #include "sim/platform.hpp"
+#include "simd/copy.hpp"
 #include "telemetry/counters.hpp"
+#include "util/cache_align.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/threadpool.hpp"
 
@@ -56,6 +65,11 @@ class CopyEngine {
     std::uint64_t async_copies = 0;    ///< transfers scheduled on the mover
     std::uint64_t async_bytes = 0;     ///< bytes moved asynchronously
     double async_seconds = 0.0;        ///< modeled channel occupancy, summed
+    /// Bytes (sync + async + fills) routed through the NT-store writeback
+    /// path of the dispatched simd copy kernels.  Modeled per chunk --
+    /// deterministic across runs -- and mirrored per-device in
+    /// TrafficCounters::bytes_written_nt.
+    std::uint64_t nt_bytes = 0;
   };
 
   CopyEngine(const sim::Platform& platform, sim::Clock& clock,
@@ -114,7 +128,7 @@ class CopyEngine {
   [[nodiscard]] double channel_busy_until(std::size_t channel) const
       CA_EXCLUDES(mu_) {
     sync::lock lock(mu_);
-    return channel_busy_.at(channel);
+    return channel_busy_.at(channel).value;
   }
 
   /// Latest modeled completion across all channels (the mover horizon; no
@@ -156,6 +170,11 @@ class CopyEngine {
                                          sim::DeviceId dst_dev) const
       CA_REQUIRES(mu_);
 
+  /// Modeled NT bytes for a transfer of `bytes` under `hint` at the
+  /// engine's chunking (the simd NT path engages per chunk).
+  [[nodiscard]] std::uint64_t modeled_nt_bytes(std::size_t bytes,
+                                               simd::CopyHint hint) const;
+
   const sim::Platform& platform_;
   sim::Clock& clock_;
   telemetry::TrafficCounters& counters_;
@@ -164,9 +183,14 @@ class CopyEngine {
   /// Guards the modeled channel schedule and the statistics; the lock
   /// hierarchy is documented in docs/CONCURRENCY.md (mu_ is a leaf: never
   /// hold it while calling into the pools, the clock, or the counters).
-  mutable sync::mutex mu_ CA_LEAF{CA_LOCK_CLASS("mem::CopyEngine::mu_")};
-  std::vector<double> channel_busy_ CA_GUARDED_BY(mu_);  ///< per-channel availability
-  sync::atomic<std::size_t> inflight_{0};
+  /// The lock word, the channel schedule, and the mover-side inflight
+  /// counter are hammered from different threads (caller vs movers), so
+  /// each sits on its own cache line.
+  alignas(util::kCacheLineSize) mutable sync::mutex mu_
+      CA_LEAF{CA_LOCK_CLASS("mem::CopyEngine::mu_")};
+  std::vector<util::CacheLineAligned<double>> channel_busy_
+      CA_GUARDED_BY(mu_);  ///< per-channel availability, one line each
+  alignas(util::kCacheLineSize) sync::atomic<std::size_t> inflight_{0};
   Stats stats_ CA_GUARDED_BY(mu_);
 };
 

@@ -54,6 +54,7 @@
 
 #include "telemetry/counters.hpp"
 #include "util/align.hpp"
+#include "util/cache_align.hpp"
 
 namespace ca::mem {
 
@@ -323,7 +324,11 @@ class FreeListAllocator {
   std::size_t allocated_bytes_ = 0;
   std::size_t allocated_blocks_ = 0;
   std::size_t free_blocks_ = 0;
-  std::uint64_t total_allocs_ = 0;
+  // The AllocatorCounters event tallies are bumped on every alloc/free;
+  // start the run on its own cache line so counter writes never ping the
+  // line holding the bin bitmap / head words (telemetry snapshots and,
+  // ahead, per-shard allocators packed side by side read those).
+  alignas(util::kCacheLineSize) std::uint64_t total_allocs_ = 0;
   std::uint64_t total_frees_ = 0;
   std::uint64_t failed_allocs_ = 0;
   std::uint64_t splits_ = 0;

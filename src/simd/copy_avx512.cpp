@@ -1,0 +1,99 @@
+// AVX-512 non-temporal copy/fill: 64-byte zmm streams -- each store is a
+// full cache line, so an aligned stream never partially fills a
+// write-combining buffer.  Structure mirrors copy_avx2.cpp.
+#include "simd/copy_ops.hpp"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace ca::simd {
+
+namespace {
+
+constexpr std::size_t kVec = 64;  // one zmm store = one cache line
+
+std::size_t copy_nt(void* dst, const void* src, std::size_t n) {
+  auto* d = static_cast<unsigned char*>(dst);
+  const auto* s = static_cast<const unsigned char*>(src);
+
+  const std::size_t mis = reinterpret_cast<std::uintptr_t>(d) & (kVec - 1);
+  std::size_t head = mis != 0 ? kVec - mis : 0;
+  if (head > n) head = n;
+  if (head != 0) {
+    std::memcpy(d, s, head);
+    d += head;
+    s += head;
+    n -= head;
+  }
+
+  const std::size_t body = n & ~(std::size_t{4} * kVec - 1);
+  std::size_t off = 0;
+  for (; off < body; off += 4 * kVec) {
+    const __m512i v0 =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(s + off));
+    const __m512i v1 =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(s + off + kVec));
+    const __m512i v2 =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(s + off + 2 * kVec));
+    const __m512i v3 =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(s + off + 3 * kVec));
+    _mm512_stream_si512(reinterpret_cast<__m512i*>(d + off), v0);
+    _mm512_stream_si512(reinterpret_cast<__m512i*>(d + off + kVec), v1);
+    _mm512_stream_si512(reinterpret_cast<__m512i*>(d + off + 2 * kVec), v2);
+    _mm512_stream_si512(reinterpret_cast<__m512i*>(d + off + 3 * kVec), v3);
+  }
+  std::size_t streamed = body;
+  for (; off + kVec <= n; off += kVec) {
+    const __m512i v =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(s + off));
+    _mm512_stream_si512(reinterpret_cast<__m512i*>(d + off), v);
+    streamed += kVec;
+  }
+  if (off < n) std::memcpy(d + off, s + off, n - off);
+  _mm_sfence();
+  return streamed;
+}
+
+std::size_t fill_nt(void* dst, std::size_t n) {
+  auto* d = static_cast<unsigned char*>(dst);
+
+  const std::size_t mis = reinterpret_cast<std::uintptr_t>(d) & (kVec - 1);
+  std::size_t head = mis != 0 ? kVec - mis : 0;
+  if (head > n) head = n;
+  if (head != 0) {
+    std::memset(d, 0, head);
+    d += head;
+    n -= head;
+  }
+
+  const __m512i zero = _mm512_setzero_si512();
+  std::size_t off = 0;
+  std::size_t streamed = 0;
+  for (; off + kVec <= n; off += kVec) {
+    _mm512_stream_si512(reinterpret_cast<__m512i*>(d + off), zero);
+    streamed += kVec;
+  }
+  if (off < n) std::memset(d + off, 0, n - off);
+  _mm_sfence();
+  return streamed;
+}
+
+constexpr CopyOps kOps{&copy_nt, &fill_nt};
+
+}  // namespace
+
+const CopyOps* copy_ops_avx512() noexcept { return &kOps; }
+
+}  // namespace ca::simd
+
+#else  // !__AVX512F__
+
+namespace ca::simd {
+const CopyOps* copy_ops_avx512() noexcept { return nullptr; }
+}  // namespace ca::simd
+
+#endif

@@ -1,0 +1,23 @@
+// Internal provider interface between the generic copy dispatcher
+// (copy.cpp) and the per-ISA translation units.  Not part of the public
+// simd API.
+#pragma once
+
+#include <cstddef>
+
+namespace ca::simd {
+
+/// Non-temporal kernel table for one ISA level.  Each function copies /
+/// zeroes `n` bytes, streaming the vector-aligned body with NT stores
+/// (unaligned head and tail fall back to memcpy/memset), issues an sfence,
+/// and returns the number of bytes actually streamed.
+struct CopyOps {
+  std::size_t (*copy_nt)(void* dst, const void* src, std::size_t n);
+  std::size_t (*fill_nt)(void* dst, std::size_t n);
+};
+
+/// nullptr when the binary was built without that ISA's codegen.
+const CopyOps* copy_ops_avx2() noexcept;
+const CopyOps* copy_ops_avx512() noexcept;
+
+}  // namespace ca::simd

@@ -1,0 +1,111 @@
+// AVX2 + FMA tile: 6 x 16.  Six rows of two 8-float ymm accumulators
+// (12 regs) plus the A broadcast and two B loads use 15 of the 16 ymm
+// registers -- the widest tile that stays spill-free at 256 bits.
+//
+// This TU is compiled with -mavx2 -mfma by src/simd/CMakeLists.txt; when
+// the toolchain probe for those flags fails the guard below compiles the
+// provider to return nullptr and dispatch falls back to the scalar tile.
+#include "simd/gemm_kernel.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace ca::simd {
+
+namespace {
+
+constexpr std::size_t kMR = 6;
+constexpr std::size_t kNR = 16;
+
+void micro_kernel(std::size_t kc, const float* pa, const float* pb,
+                  float alpha, float beta, bool first_pc, float* c,
+                  std::size_t ldc, std::size_t mr, std::size_t nr) {
+  __m256 acc[kMR][2];
+#pragma GCC unroll 6
+  for (std::size_t i = 0; i < kMR; ++i) {
+    acc[i][0] = _mm256_setzero_ps();
+    acc[i][1] = _mm256_setzero_ps();
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* ap = pa + p * kMR;
+    const __m256 b0 = _mm256_loadu_ps(pb + p * kNR);
+    const __m256 b1 = _mm256_loadu_ps(pb + p * kNR + 8);
+#pragma GCC unroll 6
+    for (std::size_t i = 0; i < kMR; ++i) {
+      const __m256 av = _mm256_broadcast_ss(ap + i);
+      acc[i][0] = _mm256_fmadd_ps(av, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(av, b1, acc[i][1]);
+    }
+  }
+
+  const __m256 va = _mm256_set1_ps(alpha);
+  if (mr == kMR && nr == kNR) {
+    // Full tile: vector write-back straight against C.
+    if (!first_pc) {
+#pragma GCC unroll 6
+      for (std::size_t i = 0; i < kMR; ++i) {
+        float* crow = c + i * ldc;
+        _mm256_storeu_ps(
+            crow, _mm256_fmadd_ps(va, acc[i][0], _mm256_loadu_ps(crow)));
+        _mm256_storeu_ps(crow + 8, _mm256_fmadd_ps(va, acc[i][1],
+                                                   _mm256_loadu_ps(crow + 8)));
+      }
+    } else if (beta == 0.0f) {
+#pragma GCC unroll 6
+      for (std::size_t i = 0; i < kMR; ++i) {
+        float* crow = c + i * ldc;
+        _mm256_storeu_ps(crow, _mm256_mul_ps(va, acc[i][0]));
+        _mm256_storeu_ps(crow + 8, _mm256_mul_ps(va, acc[i][1]));
+      }
+    } else {
+      const __m256 vb = _mm256_set1_ps(beta);
+#pragma GCC unroll 6
+      for (std::size_t i = 0; i < kMR; ++i) {
+        float* crow = c + i * ldc;
+        _mm256_storeu_ps(crow,
+                         _mm256_fmadd_ps(vb, _mm256_loadu_ps(crow),
+                                         _mm256_mul_ps(va, acc[i][0])));
+        _mm256_storeu_ps(crow + 8,
+                         _mm256_fmadd_ps(vb, _mm256_loadu_ps(crow + 8),
+                                         _mm256_mul_ps(va, acc[i][1])));
+      }
+    }
+    return;
+  }
+
+  // Fringe tile: spill the accumulators and write back element-wise.
+  alignas(32) float spill[kMR][kNR];
+  for (std::size_t i = 0; i < kMR; ++i) {
+    _mm256_store_ps(&spill[i][0], acc[i][0]);
+    _mm256_store_ps(&spill[i][8], acc[i][1]);
+  }
+  for (std::size_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    if (!first_pc) {
+      for (std::size_t j = 0; j < nr; ++j) crow[j] += alpha * spill[i][j];
+    } else if (beta == 0.0f) {
+      for (std::size_t j = 0; j < nr; ++j) crow[j] = alpha * spill[i][j];
+    } else {
+      for (std::size_t j = 0; j < nr; ++j) {
+        crow[j] = alpha * spill[i][j] + beta * crow[j];
+      }
+    }
+  }
+}
+
+constexpr GemmTile kTile{kMR, kNR, &micro_kernel};
+
+}  // namespace
+
+const GemmTile* gemm_tile_avx2() noexcept { return &kTile; }
+
+}  // namespace ca::simd
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace ca::simd {
+const GemmTile* gemm_tile_avx2() noexcept { return nullptr; }
+}  // namespace ca::simd
+
+#endif

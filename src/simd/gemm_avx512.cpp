@@ -1,0 +1,109 @@
+// AVX-512F tile: 8 x 32.  Eight rows of two 16-float zmm accumulators
+// (16 regs) leave half the 32-register file for the A broadcast, B loads,
+// and the alpha/beta constants -- comfortably spill-free at 512 bits.
+//
+// Compiled with -mavx512f by src/simd/CMakeLists.txt; without the flag the
+// provider returns nullptr and dispatch falls back to AVX2 or scalar.
+#include "simd/gemm_kernel.hpp"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace ca::simd {
+
+namespace {
+
+constexpr std::size_t kMR = 8;
+constexpr std::size_t kNR = 32;
+
+void micro_kernel(std::size_t kc, const float* pa, const float* pb,
+                  float alpha, float beta, bool first_pc, float* c,
+                  std::size_t ldc, std::size_t mr, std::size_t nr) {
+  __m512 acc[kMR][2];
+#pragma GCC unroll 8
+  for (std::size_t i = 0; i < kMR; ++i) {
+    acc[i][0] = _mm512_setzero_ps();
+    acc[i][1] = _mm512_setzero_ps();
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* ap = pa + p * kMR;
+    const __m512 b0 = _mm512_loadu_ps(pb + p * kNR);
+    const __m512 b1 = _mm512_loadu_ps(pb + p * kNR + 16);
+#pragma GCC unroll 8
+    for (std::size_t i = 0; i < kMR; ++i) {
+      const __m512 av = _mm512_set1_ps(ap[i]);
+      acc[i][0] = _mm512_fmadd_ps(av, b0, acc[i][0]);
+      acc[i][1] = _mm512_fmadd_ps(av, b1, acc[i][1]);
+    }
+  }
+
+  const __m512 va = _mm512_set1_ps(alpha);
+  if (mr == kMR && nr == kNR) {
+    if (!first_pc) {
+#pragma GCC unroll 8
+      for (std::size_t i = 0; i < kMR; ++i) {
+        float* crow = c + i * ldc;
+        _mm512_storeu_ps(
+            crow, _mm512_fmadd_ps(va, acc[i][0], _mm512_loadu_ps(crow)));
+        _mm512_storeu_ps(
+            crow + 16,
+            _mm512_fmadd_ps(va, acc[i][1], _mm512_loadu_ps(crow + 16)));
+      }
+    } else if (beta == 0.0f) {
+#pragma GCC unroll 8
+      for (std::size_t i = 0; i < kMR; ++i) {
+        float* crow = c + i * ldc;
+        _mm512_storeu_ps(crow, _mm512_mul_ps(va, acc[i][0]));
+        _mm512_storeu_ps(crow + 16, _mm512_mul_ps(va, acc[i][1]));
+      }
+    } else {
+      const __m512 vb = _mm512_set1_ps(beta);
+#pragma GCC unroll 8
+      for (std::size_t i = 0; i < kMR; ++i) {
+        float* crow = c + i * ldc;
+        _mm512_storeu_ps(crow,
+                         _mm512_fmadd_ps(vb, _mm512_loadu_ps(crow),
+                                         _mm512_mul_ps(va, acc[i][0])));
+        _mm512_storeu_ps(crow + 16,
+                         _mm512_fmadd_ps(vb, _mm512_loadu_ps(crow + 16),
+                                         _mm512_mul_ps(va, acc[i][1])));
+      }
+    }
+    return;
+  }
+
+  alignas(64) float spill[kMR][kNR];
+  for (std::size_t i = 0; i < kMR; ++i) {
+    _mm512_store_ps(&spill[i][0], acc[i][0]);
+    _mm512_store_ps(&spill[i][16], acc[i][1]);
+  }
+  for (std::size_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    if (!first_pc) {
+      for (std::size_t j = 0; j < nr; ++j) crow[j] += alpha * spill[i][j];
+    } else if (beta == 0.0f) {
+      for (std::size_t j = 0; j < nr; ++j) crow[j] = alpha * spill[i][j];
+    } else {
+      for (std::size_t j = 0; j < nr; ++j) {
+        crow[j] = alpha * spill[i][j] + beta * crow[j];
+      }
+    }
+  }
+}
+
+constexpr GemmTile kTile{kMR, kNR, &micro_kernel};
+
+}  // namespace
+
+const GemmTile* gemm_tile_avx512() noexcept { return &kTile; }
+
+}  // namespace ca::simd
+
+#else  // !__AVX512F__
+
+namespace ca::simd {
+const GemmTile* gemm_tile_avx512() noexcept { return nullptr; }
+}  // namespace ca::simd
+
+#endif

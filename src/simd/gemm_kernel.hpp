@@ -1,0 +1,53 @@
+// Per-ISA GEMM register tiles behind the shared packed-panel interface.
+//
+// The blocked GEMM in src/dnn/gemm.cpp packs A into mr-row and B into
+// nr-column zero-padded micro-panels and then sweeps an mr x nr register
+// tile over them.  Packing is ISA-agnostic; only the tile shape and the
+// innermost kernel differ per level:
+//
+//     scalar   4 x  8   fits the baseline 16-reg SSE budget (the seed tile)
+//     avx2     6 x 16   12 ymm accumulators + A broadcast + 2 B loads = 15
+//     avx512   8 x 32   16 zmm accumulators of the 32-register file
+//
+// Each kernel consumes panels packed at ITS OWN mr/nr -- the packing
+// routines take the tile shape at run time -- and handles the fringe
+// (mr/nr smaller than the full tile on the last micro-panel) internally,
+// so the caller's loop nest is tile-shape agnostic.
+#pragma once
+
+#include <cstddef>
+
+#include "simd/isa.hpp"
+
+namespace ca::simd {
+
+/// Compute one register tile: C[0:mr, 0:nr] (+)= alpha * sum_p pa x pb,
+/// with the first_pc/beta contract of the blocked loop nest (first k-panel
+/// writes C with a beta scale, later panels accumulate).  `pa` is a packed
+/// tile.mr-row micro-panel, `pb` a packed tile.nr-column micro-panel, both
+/// zero-padded to the full tile; mr/nr <= tile shape give the fringe.
+using GemmMicroKernelFn = void (*)(std::size_t kc, const float* pa,
+                                   const float* pb, float alpha, float beta,
+                                   bool first_pc, float* c, std::size_t ldc,
+                                   std::size_t mr, std::size_t nr);
+
+/// A register-tile shape plus the kernel that sweeps it.
+struct GemmTile {
+  std::size_t mr;
+  std::size_t nr;
+  GemmMicroKernelFn kernel;
+};
+
+/// Tile for `level`, falling back down the dispatch order when the
+/// requested level's kernel is not compiled into this binary.  The scalar
+/// tile always exists, so the result is always usable.
+const GemmTile& gemm_tile(IsaLevel level) noexcept;
+
+/// Per-TU providers.  Each ISA translation unit exports its tile, or
+/// nullptr when the binary was built without that ISA's codegen (the
+/// CMake flag probe failed).  Exposed for dispatch unit tests.
+const GemmTile* gemm_tile_scalar() noexcept;  // never nullptr
+const GemmTile* gemm_tile_avx2() noexcept;
+const GemmTile* gemm_tile_avx512() noexcept;
+
+}  // namespace ca::simd

@@ -1,0 +1,50 @@
+// Scalar baseline tile: 4 x 8, the shape that fits the 16-register SSE
+// budget the portable build auto-vectorizes against.  This is the seed
+// micro-kernel verbatim -- CA_ISA=scalar must stay bitwise identical to
+// the pre-dispatch GEMM, which the kparity suite asserts.
+#include "simd/gemm_kernel.hpp"
+
+namespace ca::simd {
+
+namespace {
+
+constexpr std::size_t kMR = 4;
+constexpr std::size_t kNR = 8;
+
+/// The accumulator loop is branch-free over the full tile (panels are
+/// zero-padded); only the write-back respects the mr x nr fringe.  Plain C
+/// on purpose: with the fixed tile bounds the compiler fully unrolls and
+/// vectorizes the j loop.
+void micro_kernel(std::size_t kc, const float* pa, const float* pb,
+                  float alpha, float beta, bool first_pc, float* c,
+                  std::size_t ldc, std::size_t mr, std::size_t nr) {
+  float acc[kMR][kNR] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* ap = pa + p * kMR;
+    const float* bp = pb + p * kNR;
+    for (std::size_t i = 0; i < kMR; ++i) {
+      const float av = ap[i];
+      for (std::size_t j = 0; j < kNR; ++j) acc[i][j] += av * bp[j];
+    }
+  }
+  for (std::size_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    if (!first_pc) {
+      for (std::size_t j = 0; j < nr; ++j) crow[j] += alpha * acc[i][j];
+    } else if (beta == 0.0f) {
+      for (std::size_t j = 0; j < nr; ++j) crow[j] = alpha * acc[i][j];
+    } else {
+      for (std::size_t j = 0; j < nr; ++j) {
+        crow[j] = alpha * acc[i][j] + beta * crow[j];
+      }
+    }
+  }
+}
+
+constexpr GemmTile kTile{kMR, kNR, &micro_kernel};
+
+}  // namespace
+
+const GemmTile* gemm_tile_scalar() noexcept { return &kTile; }
+
+}  // namespace ca::simd

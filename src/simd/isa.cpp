@@ -1,0 +1,120 @@
+#include "simd/isa.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "simd/copy_ops.hpp"
+#include "simd/gemm_kernel.hpp"
+
+namespace ca::simd {
+
+namespace {
+
+bool cpu_has_avx2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+/// -1 = unresolved; otherwise the cached IsaLevel.  Plain std::atomic on
+/// purpose: the level is config state, not data-plane synchronization,
+/// and must not become a schedule point under the CA_RACE shims.
+std::atomic<int> g_level{-1};
+
+IsaLevel resolve_initial_level() noexcept {
+  IsaLevel level = max_supported_level();
+  if (const char* env = std::getenv("CA_ISA")) {
+    IsaLevel want = level;
+    if (parse_level(env, &want) && want < level) level = want;
+  }
+  return level;
+}
+
+}  // namespace
+
+const char* level_name(IsaLevel level) noexcept {
+  switch (level) {
+    case IsaLevel::kScalar: return "scalar";
+    case IsaLevel::kAvx2: return "avx2";
+    case IsaLevel::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+IsaLevel max_supported_level() noexcept {
+  // A level is usable only when the CPU reports it AND this binary carries
+  // its kernels (the CMake ISA-flag probe can fail on old toolchains, in
+  // which case the providers return nullptr).
+  if (cpu_has_avx512() && gemm_tile_avx512() != nullptr &&
+      copy_ops_avx512() != nullptr) {
+    return IsaLevel::kAvx512;
+  }
+  if (cpu_has_avx2() && gemm_tile_avx2() != nullptr &&
+      copy_ops_avx2() != nullptr) {
+    return IsaLevel::kAvx2;
+  }
+  return IsaLevel::kScalar;
+}
+
+IsaLevel active_level() noexcept {
+  const int cached = g_level.load(std::memory_order_acquire);
+  if (cached >= 0) return static_cast<IsaLevel>(cached);
+  const IsaLevel resolved = resolve_initial_level();
+  int expected = -1;
+  if (g_level.compare_exchange_strong(expected, static_cast<int>(resolved),
+                                      std::memory_order_acq_rel)) {
+    return resolved;
+  }
+  return static_cast<IsaLevel>(expected);  // another thread resolved first
+}
+
+bool set_level(IsaLevel want) noexcept {
+  const IsaLevel cap = max_supported_level();
+  const IsaLevel effective = want < cap ? want : cap;
+  g_level.store(static_cast<int>(effective), std::memory_order_release);
+  return effective == want;
+}
+
+bool parse_level(const char* text, IsaLevel* out) noexcept {
+  if (text == nullptr || out == nullptr) return false;
+  if (std::strcmp(text, "scalar") == 0) {
+    *out = IsaLevel::kScalar;
+  } else if (std::strcmp(text, "avx2") == 0) {
+    *out = IsaLevel::kAvx2;
+  } else if (std::strcmp(text, "avx512") == 0) {
+    *out = IsaLevel::kAvx512;
+  } else if (std::strcmp(text, "native") == 0) {
+    *out = max_supported_level();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const GemmTile& gemm_tile(IsaLevel level) noexcept {
+  // Clamp first: a provider can be compiled into the binary (the build
+  // probe passed) on a CPU that cannot run it, and callers may pass any
+  // level -- the returned kernel must always be executable here.
+  const IsaLevel cap = max_supported_level();
+  if (cap < level) level = cap;
+  if (level >= IsaLevel::kAvx512) {
+    if (const GemmTile* t = gemm_tile_avx512()) return *t;
+  }
+  if (level >= IsaLevel::kAvx2) {
+    if (const GemmTile* t = gemm_tile_avx2()) return *t;
+  }
+  return *gemm_tile_scalar();
+}
+
+}  // namespace ca::simd

@@ -1,0 +1,53 @@
+// Runtime ISA dispatch for the SIMD data plane.
+//
+// The portable build (CA_NATIVE=OFF) compiles the whole tree for the
+// baseline x86-64 ABI, but the two hot data paths -- the GEMM register
+// tile and the bulk byte-copy kernels -- are compiled per-ISA in this
+// subsystem (each translation unit carries its own -mavx2/-mavx512f
+// flags) and selected at run time from CPUID.  One binary therefore runs
+// everywhere and still hits native width on capable hosts.
+//
+// Dispatch levels form a total order; the active level is resolved once,
+// on first use, as
+//
+//     min(CA_ISA override if set, max level the CPU + this binary support)
+//
+// and cached in an atomic.  `CA_ISA=scalar|avx2|avx512|native` forces a
+// level from the environment (clamped to what the host supports -- asking
+// for avx512 on an AVX2 box degrades gracefully); tests and benches can
+// also switch in-process via set_level() to sweep every level in one run.
+#pragma once
+
+namespace ca::simd {
+
+/// Dispatch tiers, in strictly increasing capability order.  Comparisons
+/// on the enum are meaningful: level >= kAvx2 means "256-bit FMA + NT
+/// stores are available".
+enum class IsaLevel : int {
+  kScalar = 0,  ///< portable C++, auto-vectorized at the build's baseline
+  kAvx2 = 1,    ///< 256-bit: AVX2 + FMA kernels, _mm256_stream NT stores
+  kAvx512 = 2,  ///< 512-bit: AVX-512F kernels, _mm512_stream NT stores
+};
+
+/// Human-readable level name ("scalar" / "avx2" / "avx512").
+const char* level_name(IsaLevel level) noexcept;
+
+/// Highest level both this CPU and this binary's compiled kernel set
+/// support.  Constant for the process lifetime.
+IsaLevel max_supported_level() noexcept;
+
+/// The level the data plane currently dispatches to.  First call resolves
+/// CPUID + the CA_ISA environment override and caches the result.
+IsaLevel active_level() noexcept;
+
+/// Force the dispatch level in-process (tests / benches).  Requests above
+/// max_supported_level() are clamped.  Returns true iff the request was
+/// honored exactly (i.e. not clamped).
+bool set_level(IsaLevel want) noexcept;
+
+/// Parse a CA_ISA-style spelling ("scalar", "avx2", "avx512", "native").
+/// "native" resolves to max_supported_level().  Returns false (and leaves
+/// *out untouched) on anything else.
+bool parse_level(const char* text, IsaLevel* out) noexcept;
+
+}  // namespace ca::simd

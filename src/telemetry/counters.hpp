@@ -19,6 +19,11 @@ namespace ca::telemetry {
 struct DeviceTraffic {
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+  /// Subset of bytes_written modeled as non-temporal (streamed) stores:
+  /// CopyEngine writebacks and zero-fills that take the simd NT path.  The
+  /// paper's NVRAM guidance (§V-d) makes this split worth watching per
+  /// device.
+  std::uint64_t bytes_written_nt = 0;
   std::uint64_t read_ops = 0;
   std::uint64_t write_ops = 0;
 
@@ -160,6 +165,12 @@ class TrafficCounters {
     ++t.write_ops;
   }
 
+  /// Attribute `bytes` of an already-recorded write to the NT-store
+  /// regime.  Call after record_write; never increases bytes_written.
+  void record_nt_write(sim::DeviceId dev, std::uint64_t bytes) {
+    traffic_.at(dev.value).bytes_written_nt += bytes;
+  }
+
   [[nodiscard]] const DeviceTraffic& device(sim::DeviceId dev) const {
     return traffic_.at(dev.value);
   }
@@ -171,6 +182,7 @@ class TrafficCounters {
     DeviceTraffic d;
     d.bytes_read = now.bytes_read - snapshot.bytes_read;
     d.bytes_written = now.bytes_written - snapshot.bytes_written;
+    d.bytes_written_nt = now.bytes_written_nt - snapshot.bytes_written_nt;
     d.read_ops = now.read_ops - snapshot.read_ops;
     d.write_ops = now.write_ops - snapshot.write_ops;
     return d;

@@ -5,6 +5,9 @@
 #include <fstream>
 #include <utility>
 
+#include "simd/copy.hpp"
+#include "simd/isa.hpp"
+
 namespace ca::telemetry {
 
 namespace {
@@ -135,6 +138,19 @@ std::vector<std::vector<std::string>> allocator_report_rows(
        std::to_string(a.free_blocks), std::to_string(a.largest_free_block),
        fixed(a.fragmentation, 4)},
   };
+}
+
+std::string format_simd_report(
+    const std::vector<std::pair<std::string, std::uint64_t>>&
+        nt_write_bytes) {
+  std::string out = "simd level ";
+  out += simd::level_name(simd::active_level());
+  out += " | nt-writes";
+  for (const auto& [name, bytes] : nt_write_bytes) {
+    out += " " + name + " " + std::to_string(bytes);
+  }
+  out += " | streamed " + std::to_string(simd::nt_store_bytes());
+  return out;
 }
 
 }  // namespace ca::telemetry

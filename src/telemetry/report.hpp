@@ -51,4 +51,12 @@ bool write_csv(const std::string& path,
 [[nodiscard]] std::vector<std::vector<std::string>> allocator_report_rows(
     const AllocatorCounters& a);
 
+/// One-line summary of the SIMD data plane: the active dispatch level
+/// (simd::active_level), the per-device NT-store write bytes passed in as
+/// (device name, DeviceTraffic::bytes_written_nt) pairs, and the
+/// process-wide streamed-byte counter, e.g.
+/// "simd level avx512 | nt-writes DRAM 0 NVRAM 33554432 | streamed 33521664".
+[[nodiscard]] std::string format_simd_report(
+    const std::vector<std::pair<std::string, std::uint64_t>>& nt_write_bytes);
+
 }  // namespace ca::telemetry

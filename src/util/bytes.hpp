@@ -1,30 +1,48 @@
 // Byte-copy helpers: the only sanctioned way to move raw bytes outside
-// src/mem and src/util.
+// src/mem, src/util, and src/simd.
 //
 // tools/ca_lint.py forbids raw std::memcpy / std::memmove elsewhere in
 // src/ so every bulk byte move funnels through a site the race detector
-// and future instrumentation can see.  These helpers also record the
-// source/destination ranges with the CA_RACE access hooks, so copies made
-// far from the CopyEngine still participate in race checking.
+// and future instrumentation can see.  These helpers record the
+// source/destination ranges with the CA_RACE access hooks, then hand the
+// actual byte movement to the dispatched simd kernels -- callers pick the
+// temporal/writeback regime with a CopyHint and stay oblivious to which
+// ISA executes underneath (simd/copy.hpp).
 #pragma once
 
 #include <cstddef>
 #include <cstring>
 
 #include "race/access.hpp"
+#include "simd/copy.hpp"
 
 namespace ca::util {
 
-/// memcpy for non-overlapping ranges.
-inline void copy_bytes(void* dst, const void* src, std::size_t bytes,
-                       [[maybe_unused]] const char* label = "util::copy_bytes") {
-  if (bytes == 0) return;
+/// Copy non-overlapping ranges.  `hint` selects the temporal or the
+/// NT-store writeback regime (simd::CopyHint); returns the number of bytes
+/// the dispatched kernel issued as NT stores (0 on the temporal path).
+inline std::size_t copy_bytes(
+    void* dst, const void* src, std::size_t bytes,
+    [[maybe_unused]] const char* label = "util::copy_bytes",
+    simd::CopyHint hint = simd::CopyHint::kTemporal) {
+  if (bytes == 0) return 0;
   CA_RACE_READ(src, bytes, label);
   CA_RACE_WRITE(dst, bytes, label);
-  std::memcpy(dst, src, bytes);
+  return simd::copy_bytes(dst, src, bytes, hint);
 }
 
-/// memmove for possibly-overlapping ranges.
+/// Zero a range.  Same NT contract as copy_bytes.
+inline std::size_t fill_zero(
+    void* dst, std::size_t bytes,
+    [[maybe_unused]] const char* label = "util::fill_zero",
+    simd::CopyHint hint = simd::CopyHint::kTemporal) {
+  if (bytes == 0) return 0;
+  CA_RACE_WRITE(dst, bytes, label);
+  return simd::fill_zero(dst, bytes, hint);
+}
+
+/// memmove for possibly-overlapping ranges.  Overlap rules out NT
+/// streaming, so this stays a plain temporal move.
 inline void move_bytes(void* dst, const void* src, std::size_t bytes,
                        [[maybe_unused]] const char* label = "util::move_bytes") {
   if (bytes == 0) return;

@@ -1,0 +1,54 @@
+// Cache-line placement for hot shared state.
+//
+// Two logically independent words that land in the same cache line
+// false-share: every write by one thread steals the line from every
+// reader/writer of the other, and the coherence ping-pong shows up as
+// latency on paths that are algorithmically contention-free (the
+// parallel_for work cursor vs its completion latch, the CopyEngine
+// per-channel busy clocks, the allocator's hot counters next to its free
+// lists).  Padding each such word to its own line trades a few bytes for
+// eliminating that traffic.
+//
+// kCacheLineSize is a fixed 64: every x86-64 part this project targets
+// uses 64-byte lines, and the standard's
+// std::hardware_destructive_interference_size is deliberately avoided --
+// GCC emits -Winterference-size against any header use (its value is an
+// ABI hazard) and our -Werror builds would trip on it.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace ca::util {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wrap a T so it starts on -- and pads out -- its own cache line.
+/// Access the payload through `.value`:
+///
+///     CacheLineAligned<sync::atomic<std::size_t>> next{0};
+///     next.value.fetch_add(1);
+///
+/// Copyable/movable iff T is (arrays of these are fine for per-channel /
+/// per-worker state).
+template <typename T>
+struct alignas(kCacheLineSize) CacheLineAligned {
+  constexpr CacheLineAligned() = default;
+
+  template <typename... Args,
+            typename = std::enable_if_t<
+                !(sizeof...(Args) == 1 &&
+                  (std::is_same_v<std::remove_cvref_t<Args>,
+                                  CacheLineAligned> &&
+                   ...))>>
+  constexpr explicit CacheLineAligned(Args&&... args)
+      : value(std::forward<Args>(args)...) {}
+
+  T value{};
+};
+
+static_assert(alignof(CacheLineAligned<char>) == kCacheLineSize);
+static_assert(sizeof(CacheLineAligned<char>) == kCacheLineSize);
+
+}  // namespace ca::util

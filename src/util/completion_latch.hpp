@@ -31,6 +31,7 @@
 #include <cstddef>
 
 #include "race/sync.hpp"
+#include "util/cache_align.hpp"
 
 namespace ca::util {
 
@@ -104,9 +105,15 @@ class CompletionLatch {
   }
 
  private:
-  sync::atomic<std::size_t> remaining_;
-  sync::atomic<std::size_t> waiters_{0};
-  sync::mutex mu_ CA_LEAF{CA_LOCK_CLASS("util::CompletionLatch::mu_")};
+  // The arrival word is hammered by every helper's fetch_sub while the
+  // waiter spins on it; the waiter-registration word and the park-path
+  // mutex/cv are touched on different cadences.  Each hot word gets its
+  // own cache line so an arrival never invalidates the line a registering
+  // waiter is writing (and vice versa).
+  alignas(kCacheLineSize) sync::atomic<std::size_t> remaining_;
+  alignas(kCacheLineSize) sync::atomic<std::size_t> waiters_{0};
+  alignas(kCacheLineSize) sync::mutex mu_
+      CA_LEAF{CA_LOCK_CLASS("util::CompletionLatch::mu_")};
   sync::condition_variable cv_;
 };
 

@@ -63,8 +63,11 @@ struct ParallelForState {
   const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
   std::size_t n = 0;
   std::size_t grain = 1;
-  sync::atomic<std::size_t> next{0};
-  CompletionLatch latch;
+  // Every participant hammers the work cursor with fetch_add while the
+  // latch's arrival word is hammered right behind it; on separate cache
+  // lines a range claim never invalidates the line an arrival is writing.
+  CacheLineAligned<sync::atomic<std::size_t>> next{0};
+  CompletionLatch latch;  // internally line-separated itself
 
   explicit ParallelForState(std::size_t n_) : n(n_), latch(n_) {}
 
@@ -73,7 +76,8 @@ struct ParallelForState {
   /// helpers see an exhausted cursor and return immediately).
   void work() {
     for (;;) {
-      const std::size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      const std::size_t begin =
+          next.value.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= n) return;
       const std::size_t end = std::min(begin + grain, n);
       (*fn)(begin, end);

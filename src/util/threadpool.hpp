@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "race/sync.hpp"
+#include "util/cache_align.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace ca::util {
@@ -95,8 +96,12 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::vector<sync::spawn_token> worker_tokens_;  ///< parallel to workers_
-  sync::atomic<std::uint64_t> enqueued_{0};
-  sync::mutex mu_ CA_LEAF{CA_LOCK_CLASS("util::ThreadPool::mu_")};
+  // The enqueue counter is bumped by every submitter while workers hammer
+  // the queue mutex next to it; keep each on its own cache line so the
+  // telemetry counter never steals the lock word's line.
+  alignas(kCacheLineSize) sync::atomic<std::uint64_t> enqueued_{0};
+  alignas(kCacheLineSize) sync::mutex mu_
+      CA_LEAF{CA_LOCK_CLASS("util::ThreadPool::mu_")};
   std::queue<std::function<void()>> tasks_ CA_GUARDED_BY(mu_);
   sync::condition_variable cv_task_;
   sync::condition_variable cv_idle_;

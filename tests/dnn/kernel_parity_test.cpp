@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "dnn/gemm.hpp"
@@ -18,7 +19,11 @@
 #include "dnn/ops_real.hpp"
 #include "dnn/scratch.hpp"
 #include "dnn/trainer.hpp"
+#include "simd/copy.hpp"
+#include "simd/gemm_kernel.hpp"
+#include "simd/isa.hpp"
 #include "telemetry/counters.hpp"
+#include "util/bytes.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
 
@@ -121,7 +126,8 @@ TEST_F(KernelParityTest, GemmSerialFringeExactLeases) {
   // n = 7: 8 * ceil(7/8) * kc > kc * 7, the width pack_b actually writes.
   // k = 300 > kKC exercises the multi-pc loop; k = 256 the exact boundary.
   for (const auto& c : {Case{13, 7, 300}, Case{4, 3, 256}, Case{97, 15, 257}}) {
-    ASSERT_NE(c.n % kGemmNR, 0u);
+    // Fringe at whatever tile the dispatcher picked (8/16/32 wide).
+    ASSERT_NE(c.n % simd::gemm_tile(simd::active_level()).nr, 0u);
     ASSERT_GE(c.k, kGemmKC);
     const auto a = randn(c.m * c.k, 6);
     const auto b = randn(c.k * c.n, 7);
@@ -420,6 +426,220 @@ TEST_F(KernelParityTest, CountersAccumulateAcrossTiers) {
   EXPECT_GE(counters_.gemm_seconds, 0.0);
   // GFLOP/s is well-defined once any time was recorded.
   EXPECT_GE(counters_.gemm_gflops(), 0.0);
+}
+
+// RAII sweep guard: force a dispatch level, restore the entry level on
+// scope exit so test order never leaks a forced level.
+class ScopedIsaLevel {
+ public:
+  explicit ScopedIsaLevel(simd::IsaLevel level)
+      : saved_(simd::active_level()) {
+    simd::set_level(level);
+  }
+  ~ScopedIsaLevel() { simd::set_level(saved_); }
+  ScopedIsaLevel(const ScopedIsaLevel&) = delete;
+  ScopedIsaLevel& operator=(const ScopedIsaLevel&) = delete;
+
+ private:
+  simd::IsaLevel saved_;
+};
+
+std::vector<simd::IsaLevel> available_levels() {
+  std::vector<simd::IsaLevel> levels{simd::IsaLevel::kScalar};
+  if (simd::max_supported_level() >= simd::IsaLevel::kAvx2) {
+    levels.push_back(simd::IsaLevel::kAvx2);
+  }
+  if (simd::max_supported_level() >= simd::IsaLevel::kAvx512) {
+    levels.push_back(simd::IsaLevel::kAvx512);
+  }
+  return levels;
+}
+
+// The whole suite already runs at whatever level CA_ISA / the host picked
+// (tools/check.sh sweeps the full binary per level); this test additionally
+// sweeps every level in-process so a single default run still proves
+// scalar, AVX2 and AVX-512 all agree with the naive oracle on the
+// trans/alpha/beta/fringe battery and a conv edge shape.
+TEST_F(KernelParityTest, GemmAndConvParityAtEveryDispatchLevel) {
+  struct Case {
+    std::size_t m, n, k;
+    float alpha, beta;
+  };
+  const Case cases[] = {
+      {5, 17, 3, 1.0f, 0.0f},    // fringe in every tile dimension
+      {37, 53, 29, 2.0f, 0.5f},  // alpha/beta blend
+      {96, 1040, 13, 1.0f, 0.0f},  // goes wide; nc fringe at 1040 > kNC
+  };
+  for (const simd::IsaLevel level : available_levels()) {
+    ScopedIsaLevel forced(level);
+    ASSERT_EQ(simd::active_level(), level);
+    for (const auto& c : cases) {
+      for (const bool ta : {false, true}) {
+        const auto a = randn(c.m * c.k, 101);
+        const auto b = randn(c.k * c.n, 102);
+        const auto c0 = randn(c.m * c.n, 103);
+        const std::size_t lda = ta ? c.m : c.k;
+
+        std::vector<float> want(c0);
+        for (std::size_t i = 0; i < c.m; ++i) {
+          for (std::size_t j = 0; j < c.n; ++j) {
+            double acc = 0.0;
+            for (std::size_t p = 0; p < c.k; ++p) {
+              const float av = ta ? a[p * lda + i] : a[i * lda + p];
+              acc += static_cast<double>(av) * b[p * c.n + j];
+            }
+            want[i * c.n + j] = c.alpha * static_cast<float>(acc) +
+                                c.beta * c0[i * c.n + j];
+          }
+        }
+        std::vector<float> got(c0);
+        gemm(fast(), ta, false, c.m, c.n, c.k, c.alpha, a.data(), lda,
+             b.data(), c.n, c.beta, got.data(), c.n);
+        expect_close(got, want,
+                     simd::level_name(level));
+      }
+    }
+    // One conv edge shape per level (the full conv battery runs per level
+    // via CA_ISA in tools/check.sh).
+    const ConvDims d = kConvShapes[5];  // cout=17: tile fringe
+    const auto x = randn(d.n * d.cin * d.h * d.w, 104);
+    const auto w = randn(d.cout * d.cin * d.k * d.k, 105);
+    const std::size_t ysz = d.n * d.cout * d.hout() * d.wout();
+    std::vector<float> want(ysz), got(ysz);
+    conv2d_fwd(x.data(), w.data(), nullptr, want.data(), d);
+    conv2d_fwd(fast(), x.data(), w.data(), nullptr, got.data(), d);
+    expect_close(got, want, simd::level_name(level));
+  }
+}
+
+// CA_ISA=scalar must be bitwise the seed kernel: same 4x8 packed tile,
+// same accumulation order, same write-back branches.  The oracle below is
+// the seed's serial blocked path, verbatim, with the tile constants fixed
+// at 4x8 -- EXPECT_EQ, not tolerance.
+TEST_F(KernelParityTest, ScalarLevelBitwiseIdenticalToBaselineTile) {
+  constexpr std::size_t MR = 4, NR = 8;
+  const std::size_t m = 37, n = 29, k = 300;
+  const auto a = randn(m * k, 110);
+  const auto b = randn(k * n, 111);
+  const auto c0 = randn(m * n, 112);
+
+  // Seed serial path: pack + 4x8 micro-kernel at kMC/kKC/kNC blocking.
+  std::vector<float> want(c0);
+  {
+    const std::size_t npad = (n + NR - 1) / NR * NR;
+    std::vector<float> pa(kGemmMC * kGemmKC), pb(kGemmKC * npad);
+    for (std::size_t pc = 0; pc < k; pc += kGemmKC) {
+      const std::size_t kc = std::min(kGemmKC, k - pc);
+      const bool first_pc = pc == 0;
+      for (std::size_t jc = 0; jc < n; jc += kGemmNC) {
+        const std::size_t nc = std::min(kGemmNC, n - jc);
+        for (std::size_t jp = 0; jp < nc; jp += NR) {
+          float* panel = pb.data() + (jp / NR) * (NR * kc);
+          const std::size_t cols = std::min(NR, nc - jp);
+          for (std::size_t p = 0; p < kc; ++p) {
+            float* dst = panel + p * NR;
+            const float* src = b.data() + (pc + p) * n + jc + jp;
+            for (std::size_t j = 0; j < cols; ++j) dst[j] = src[j];
+            for (std::size_t j = cols; j < NR; ++j) dst[j] = 0.0f;
+          }
+        }
+        for (std::size_t ic = 0; ic < m; ic += kGemmMC) {
+          const std::size_t mc = std::min(kGemmMC, m - ic);
+          for (std::size_t ip = 0; ip < mc; ip += MR) {
+            float* panel = pa.data() + (ip / MR) * (MR * kc);
+            const std::size_t rows = std::min(MR, mc - ip);
+            for (std::size_t p = 0; p < kc; ++p) {
+              float* dst = panel + p * MR;
+              for (std::size_t r = 0; r < rows; ++r) {
+                dst[r] = a[(ic + ip + r) * k + pc + p];
+              }
+              for (std::size_t r = rows; r < MR; ++r) dst[r] = 0.0f;
+            }
+          }
+          for (std::size_t jr = 0; jr < nc; jr += NR) {
+            const std::size_t nr = std::min(NR, nc - jr);
+            const float* pbp = pb.data() + (jr / NR) * (NR * kc);
+            for (std::size_t ir = 0; ir < mc; ir += MR) {
+              const std::size_t mr = std::min(MR, mc - ir);
+              const float* pap = pa.data() + (ir / MR) * (MR * kc);
+              float acc[MR][NR] = {};
+              for (std::size_t p = 0; p < kc; ++p) {
+                const float* ap = pap + p * MR;
+                const float* bp = pbp + p * NR;
+                for (std::size_t i = 0; i < MR; ++i) {
+                  const float av = ap[i];
+                  for (std::size_t j = 0; j < NR; ++j) {
+                    acc[i][j] += av * bp[j];
+                  }
+                }
+              }
+              float* ctile = want.data() + (ic + ir) * n + jc + jr;
+              for (std::size_t i = 0; i < mr; ++i) {
+                float* crow = ctile + i * n;
+                if (!first_pc) {
+                  for (std::size_t j = 0; j < nr; ++j) {
+                    crow[j] += 1.5f * acc[i][j];
+                  }
+                } else {
+                  for (std::size_t j = 0; j < nr; ++j) {
+                    crow[j] = 1.5f * acc[i][j] + 0.5f * crow[j];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  ScopedIsaLevel forced(simd::IsaLevel::kScalar);
+  std::vector<float> got(c0);
+  gemm(KernelCtx{}, false, false, m, n, k, 1.5f, a.data(), k, b.data(), n,
+       0.5f, got.data(), n);
+  EXPECT_EQ(want, got);
+}
+
+// The NT writeback path must be byte-exact against the temporal path at
+// every level: misaligned heads and tails, sub-threshold sizes (which stay
+// temporal), and sizes straddling kNtThreshold.
+TEST_F(KernelParityTest, CopyAndFillByteExactOnNtPath) {
+  const std::size_t big = simd::kNtThreshold + 1000;
+  std::vector<unsigned char> src(big + 128), dst(big + 128), ref(big + 128);
+  ca::util::Xoshiro256 rng(7);
+  for (auto& x : src) x = static_cast<unsigned char>(rng());
+
+  const std::size_t sizes[] = {
+      0, 1, 31, 32, 33, 63, 64, 65, 4096,
+      simd::kNtThreshold - 1, simd::kNtThreshold, simd::kNtThreshold + 67};
+  for (const simd::IsaLevel level : available_levels()) {
+    ScopedIsaLevel forced(level);
+    for (const std::size_t sz : sizes) {
+      for (const std::size_t off : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{13}, std::size_t{63}}) {
+        ASSERT_LE(off + sz, dst.size());
+        std::fill(dst.begin(), dst.end(), 0xAB);
+        std::fill(ref.begin(), ref.end(), 0xAB);
+        const std::size_t nt =
+            util::copy_bytes(dst.data() + off, src.data() + off, sz,
+                             "kparity-copy", simd::CopyHint::kWriteback);
+        std::memcpy(ref.data() + off, src.data() + off, sz);
+        ASSERT_EQ(dst, ref) << "copy level=" << simd::level_name(level)
+                            << " size=" << sz << " off=" << off;
+        if (sz < simd::kNtThreshold || level == simd::IsaLevel::kScalar) {
+          EXPECT_EQ(nt, 0u);  // temporal fallback
+        }
+
+        std::fill(dst.begin(), dst.end(), 0xAB);
+        std::fill(ref.begin(), ref.end(), 0xAB);
+        util::fill_zero(dst.data() + off, sz, "kparity-fill",
+                        simd::CopyHint::kWriteback);
+        std::memset(ref.data() + off, 0, sz);
+        ASSERT_EQ(dst, ref) << "fill level=" << simd::level_name(level)
+                            << " size=" << sz << " off=" << off;
+      }
+    }
+  }
 }
 
 // End-to-end: one training iteration under Backend::kReal agrees with the

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <vector>
 
+#include "simd/copy.hpp"
+#include "simd/isa.hpp"
 #include "util/align.hpp"
 
 namespace ca::mem {
@@ -215,6 +217,102 @@ TEST_F(CopyEngineTest, MoverHorizonTracksLatestChannel) {
   EXPECT_DOUBLE_EQ(engine_.channel_busy_until(t3.channel()), t3.done_time());
   engine_.drain();
   EXPECT_EQ(engine_.inflight(), 0u);
+}
+
+// --- NT-store accounting -------------------------------------------------
+//
+// The engine charges write_bw_nt in the model and now also *earns* it on
+// the real path: writeback-direction copies stream their full 1 MiB chunks
+// through the NT kernels, and the per-device counters record the modeled
+// streamed bytes deterministically (same value at every dispatch level that
+// has NT kernels, zero at CA_ISA=scalar).
+
+/// Modeled NT bytes for `n` at the engine's chunking and current level:
+/// what counters_.bytes_written_nt / Stats::nt_bytes must report.
+std::uint64_t expected_nt(const sim::Platform& p, std::size_t n) {
+  const std::size_t full = n / p.copy_chunk;
+  const std::size_t tail = n % p.copy_chunk;
+  const simd::IsaLevel level = simd::active_level();
+  return full * simd::nt_bytes_for(p.copy_chunk, simd::CopyHint::kWriteback,
+                                   level) +
+         simd::nt_bytes_for(tail, simd::CopyHint::kWriteback, level);
+}
+
+TEST_F(CopyEngineTest, WritebackCopyRecordsNtBytesPerDevice) {
+  const std::size_t n = 5 * util::MiB;  // five full 1 MiB chunks
+  std::vector<std::byte> src(n), dst(n);
+  engine_.copy(dst.data(), sim::kSlow, src.data(), sim::kFast, n);
+
+  const std::uint64_t want = expected_nt(platform_, n);
+  if (simd::active_level() > simd::IsaLevel::kScalar) {
+    ASSERT_EQ(want, n) << "1 MiB chunks clear kNtThreshold";
+  } else {
+    ASSERT_EQ(want, 0u);
+  }
+  EXPECT_EQ(counters_.device(sim::kSlow).bytes_written_nt, want);
+  EXPECT_EQ(counters_.device(sim::kSlow).bytes_written, n);
+  EXPECT_EQ(counters_.device(sim::kFast).bytes_written_nt, 0u);
+  EXPECT_EQ(engine_.stats().nt_bytes, want);
+}
+
+TEST_F(CopyEngineTest, FetchDirectionNeverStreams) {
+  // slow -> fast: the destination is about to be read (that is why it was
+  // fetched), so the lines belong in cache.
+  const std::size_t n = 5 * util::MiB;
+  std::vector<std::byte> src(n), dst(n);
+  engine_.copy(dst.data(), sim::kFast, src.data(), sim::kSlow, n);
+  EXPECT_EQ(counters_.device(sim::kFast).bytes_written_nt, 0u);
+  EXPECT_EQ(counters_.device(sim::kSlow).bytes_written_nt, 0u);
+  EXPECT_EQ(engine_.stats().nt_bytes, 0u);
+}
+
+TEST_F(CopyEngineTest, TemporalWritebackOptOutNeverStreams) {
+  const std::size_t n = 5 * util::MiB;
+  std::vector<std::byte> src(n), dst(n);
+  engine_.copy(dst.data(), sim::kSlow, src.data(), sim::kFast, n,
+               /*non_temporal=*/false);
+  EXPECT_EQ(counters_.device(sim::kSlow).bytes_written_nt, 0u);
+  EXPECT_EQ(engine_.stats().nt_bytes, 0u);
+}
+
+TEST_F(CopyEngineTest, SubThresholdWritebackStaysTemporal) {
+  // 100 KiB is one tail chunk below kNtThreshold: correct bytes, no NT.
+  const std::size_t n = 100 * util::KiB;
+  ASSERT_LT(n, simd::kNtThreshold);
+  std::vector<std::byte> src(n), dst(n);
+  engine_.copy(dst.data(), sim::kSlow, src.data(), sim::kFast, n);
+  EXPECT_EQ(counters_.device(sim::kSlow).bytes_written, n);
+  EXPECT_EQ(counters_.device(sim::kSlow).bytes_written_nt, 0u);
+  EXPECT_EQ(engine_.stats().nt_bytes, 0u);
+}
+
+TEST_F(CopyEngineTest, AsyncWritebackRecordsNtAtScheduleTime) {
+  const std::size_t n = 4 * util::MiB;
+  std::vector<std::byte> src(n), dst(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    src[i] = static_cast<std::byte>(i * 31 + 7);
+  }
+  Transfer t = engine_.copy_async(dst.data(), sim::kSlow, src.data(),
+                                  sim::kFast, n, 0.0);
+  const std::uint64_t want = expected_nt(platform_, n);
+  // Deterministic accounting happens at schedule time (the mover thread
+  // never touches the single-writer counters).
+  EXPECT_EQ(counters_.device(sim::kSlow).bytes_written_nt, want);
+  EXPECT_EQ(engine_.stats().nt_bytes, want);
+  t.join();
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), n), 0);
+}
+
+TEST_F(CopyEngineTest, FillZeroStreamsAsWriteback) {
+  // fill_zero's destination is cold storage being prepared, not data about
+  // to be read: it always takes the writeback hint.
+  const std::size_t n = 3 * util::MiB;
+  std::vector<std::byte> buf(n, std::byte{0xFF});
+  engine_.fill_zero(buf.data(), sim::kSlow, n);
+  for (const auto b : buf) ASSERT_EQ(std::to_integer<int>(b), 0);
+  const std::uint64_t want = expected_nt(platform_, n);
+  EXPECT_EQ(counters_.device(sim::kSlow).bytes_written_nt, want);
+  EXPECT_EQ(engine_.stats().nt_bytes, want);
 }
 
 TEST_F(CopyEngineTest, EarliestStartDefersModeledTransfer) {

@@ -15,6 +15,7 @@ TEST(RaceHazards, InstrumentationRequired) {
 
 #else  // CA_RACE
 
+#include <cstdint>
 #include <cstdio>
 #include <string_view>
 
@@ -22,6 +23,8 @@ TEST(RaceHazards, InstrumentationRequired) {
 #include "race/explorer.hpp"
 #include "race_test_peer.hpp"
 #include "sim/platform.hpp"
+#include "simd/copy.hpp"
+#include "simd/isa.hpp"
 #include "util/align.hpp"
 
 namespace ca {
@@ -84,6 +87,32 @@ void retire_before_join(bool buggy) {
   dm.free(src);
 }
 
+/// Hazard 3 -- NT writeback vs free.  The same bug as hazard 1, but in the
+/// writeback direction (fast -> slow) with the region sized so the mover's
+/// chunk clears simd::kNtThreshold and the bytes go out as AVX2
+/// non-temporal stores.  The race hooks fire in util::copy_bytes *before*
+/// the dispatched kernel runs, so the detector's view of the mover's write
+/// set must be identical no matter how the stores are issued -- streaming
+/// must not open a blind spot.
+void nt_writeback_free_while_inflight(bool buggy) {
+  const sim::Platform platform = tiny_platform();
+  sim::Clock clock;
+  telemetry::TrafficCounters counters;
+  dm::DataManager dm(platform, clock, counters);
+  // 512 KiB: a single tail chunk (copy_chunk is 1 MiB) that still clears
+  // the 256 KiB NT threshold.
+  dm::Region* src = dm.allocate(sim::kFast, 512 * util::KiB);
+  dm::Region* dst = dm.allocate(sim::kSlow, 512 * util::KiB);
+  dm.copyto_async(*dst, *src);
+  poke_registry(dm);
+  if (buggy) {
+    dm::RaceTestPeer::free_without_join(dm, dst);
+  } else {
+    dm.free(dst);  // joins the real copy before the storage is released
+    dm.free(src);
+  }
+}
+
 TEST(RaceHazards, FreeWhileInflightIsFlaggedInEverySchedule) {
   race::ExplorerOptions opts;
   opts.schedules = 1100;
@@ -125,6 +154,52 @@ TEST(RaceHazards, RetireBeforeJoinIsFlaggedInEverySchedule) {
                "(%zu distinct)\n",
                result.failing_schedules, result.schedules_run,
                result.distinct_schedules);
+}
+
+TEST(RaceHazards, NtWritebackFreeWhileInflightIsFlaggedInEverySchedule) {
+  if (simd::max_supported_level() < simd::IsaLevel::kAvx2) {
+    GTEST_SKIP() << "host lacks AVX2: the NT store path cannot engage";
+  }
+  // Pin the level so the explored schedule set is identical on AVX2-only
+  // and AVX-512 hosts.
+  const simd::IsaLevel entry = simd::active_level();
+  simd::set_level(simd::IsaLevel::kAvx2);
+  const std::uint64_t nt_before = simd::nt_store_bytes();
+
+  race::ExplorerOptions opts;
+  opts.schedules = 1100;
+  opts.mix_strategies = false;
+  opts.log_failures = false;
+  const auto result =
+      race::explore(opts, [] { nt_writeback_free_while_inflight(true); });
+  simd::set_level(entry);
+
+  EXPECT_EQ(result.schedules_run, 1100u);
+  EXPECT_EQ(result.failing_schedules, result.schedules_run);
+  EXPECT_GE(result.distinct_schedules, 1000u);
+  // Proof the streamed path is what ran: the mover's 512 KiB chunks
+  // actually went out as NT stores while the detector still flagged them.
+  EXPECT_GT(simd::nt_store_bytes(), nt_before);
+  std::fprintf(stderr,
+               "ca::race: nt-writeback free-while-inflight flagged in "
+               "%zu/%zu schedules (%zu distinct)\n",
+               result.failing_schedules, result.schedules_run,
+               result.distinct_schedules);
+}
+
+TEST(RaceHazards, NtWritebackFixedPathIsCleanAcrossSchedules) {
+  if (simd::max_supported_level() < simd::IsaLevel::kAvx2) {
+    GTEST_SKIP() << "host lacks AVX2: the NT store path cannot engage";
+  }
+  const simd::IsaLevel entry = simd::active_level();
+  simd::set_level(simd::IsaLevel::kAvx2);
+  race::ExplorerOptions opts;
+  opts.schedules = 300;
+  const auto result =
+      race::explore(opts, [] { nt_writeback_free_while_inflight(false); });
+  simd::set_level(entry);
+  EXPECT_EQ(result.schedules_run, 300u);
+  EXPECT_EQ(result.failing_schedules, 0u);
 }
 
 TEST(RaceHazards, FixedFreePathIsCleanAcrossSchedules) {

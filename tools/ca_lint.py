@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """ca_lint: repository-rule linter for the data-management core.
 
-Five rules that clang-tidy cannot express, enforced over src/:
+Six rules that clang-tidy cannot express, enforced over src/:
 
   byte-copy-route
       Raw ``memcpy``/``memmove`` and raw ``std::thread`` are confined to
@@ -41,6 +41,17 @@ Five rules that clang-tidy cannot express, enforced over src/:
       link write elsewhere would bypass the bin bitmap and the membership
       invariants.
 
+  simd-intrinsics-route
+      x86 vector intrinsics (``_mm*``, ``__m128/__m256/__m512`` vector
+      types, ``__builtin_ia32_*``) are confined to src/simd, the one
+      subsystem compiled per-ISA and guarded by runtime CPUID dispatch.
+      An intrinsic anywhere else either breaks the CA_NATIVE=OFF baseline
+      build or executes unguarded on hosts without the ISA; everything
+      outside reaches vector width through the dispatched providers
+      (simd::gemm_tile, simd::copy_bytes).  ``__builtin_ia32_pause`` is
+      exempt: it lowers to ``pause`` on every x86 and is the sanctioned
+      spin-loop hint (util/completion_latch.hpp).
+
 A finding can be waived on its own line with a trailing
 ``// ca_lint: allow(<rule>)`` comment; use sparingly and say why nearby.
 
@@ -57,7 +68,7 @@ from pathlib import Path
 
 # Directories (relative to the repo root) where rule `byte-copy-route`
 # permits the raw primitives: the sanctioned implementations themselves.
-BYTE_COPY_ALLOWED_DIRS = ("src/mem", "src/util", "src/race")
+BYTE_COPY_ALLOWED_DIRS = ("src/mem", "src/util", "src/race", "src/simd")
 
 BYTE_COPY_TOKENS = re.compile(r"\b(?:std::)?(memcpy|memmove)\s*\(|\bstd::thread\b")
 
@@ -101,6 +112,15 @@ KERNEL_SCRATCH_TOKENS = re.compile(
 INTRUSIVE_LINK_ALLOWED = ("src/mem/freelist_allocator.cpp",)
 
 INTRUSIVE_LINK_TOKENS = re.compile(r"(?:\.|->)bin_(?:next|prev)\s*=(?!=)")
+
+# Rule `simd-intrinsics-route`: the one directory compiled per-ISA behind
+# runtime dispatch, and the intrinsic spellings confined to it.  The
+# negative lookahead exempts __builtin_ia32_pause (the portable spin hint).
+SIMD_INTRINSICS_ALLOWED_DIRS = ("src/simd",)
+
+SIMD_INTRINSICS_TOKENS = re.compile(
+    r"\b_mm\d{0,3}_\w+\s*\(|\b__m(?:64|128|256|512)[di]?\b"
+    r"|\b__builtin_ia32_(?!pause\b)\w+")
 
 
 class Finding:
@@ -282,6 +302,24 @@ def check_intrusive_links(root: Path) -> list[Finding]:
     return findings
 
 
+def check_simd_intrinsics_route(root: Path) -> list[Finding]:
+    findings = []
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in (".cpp", ".hpp"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        if any(rel.startswith(d + "/") for d in SIMD_INTRINSICS_ALLOWED_DIRS):
+            continue
+        text = path.read_text()
+        code = strip_comments_and_strings(text)
+        findings += scan_tokens(
+            path, rel, text, code, "simd-intrinsics-route",
+            SIMD_INTRINSICS_TOKENS,
+            "x86 intrinsics are confined to src/simd (per-ISA TUs behind "
+            "runtime dispatch); use simd::gemm_tile / simd::copy_bytes")
+    return findings
+
+
 # --- self-test ---------------------------------------------------------------
 
 SELF_TEST_BAD = """\
@@ -316,6 +354,29 @@ bool same(const Node& a, const Node& b) {
 }
 void waived(Node* n) {
   n->bin_next = 0;  // ca_lint: allow(intrusive-links)
+}
+"""
+
+SELF_TEST_SIMD_BAD = """\
+#include <immintrin.h>
+void hot(float* c, const float* a, const float* b) {
+  __m256 va = _mm256_loadu_ps(a);
+  __m256 vb = _mm256_loadu_ps(b);
+  _mm256_storeu_ps(c, _mm256_fmadd_ps(va, vb, _mm256_setzero_ps()));
+  __builtin_ia32_sfence();
+}
+"""
+
+SELF_TEST_SIMD_GOOD = """\
+#include "simd/copy.hpp"
+void cool(float* c, const float* a, unsigned n) {
+  // an _mm256_stream_si256( mention in a comment is fine, as is __m512i
+  const char* kDoc = "_mm_sfence( in a string is fine too";
+  ca::simd::copy_bytes(c, a, n);
+  for (;;) __builtin_ia32_pause();  // the sanctioned spin hint
+}
+void waived(float* p) {
+  _mm_prefetch(p, 1);  // ca_lint: allow(simd-intrinsics-route)
 }
 """
 
@@ -408,6 +469,31 @@ def self_test() -> int:
                 f"stripping: live-code fixture expected byte-copy-route@3 "
                 f"and wall-clock@4, got {sorted(bad_hits)}")
 
+        # simd-intrinsics-route: live intrinsics outside src/simd are
+        # flagged (one per line); the same spellings in comments/strings,
+        # the pause hint, a waived line, and anything under src/simd are
+        # not.
+        simd_dir = root / "src" / "simd"
+        simd_dir.mkdir(parents=True)
+        (root / "src" / "dnn" / "vector_hot.cpp").write_text(SELF_TEST_SIMD_BAD)
+        (root / "src" / "dnn" / "vector_cool.cpp").write_text(
+            SELF_TEST_SIMD_GOOD)
+        (simd_dir / "native.cpp").write_text(SELF_TEST_SIMD_BAD)
+        simd_findings = check_simd_intrinsics_route(root)
+        simd_bad = [f for f in simd_findings
+                    if f.path.as_posix().endswith("vector_hot.cpp")]
+        simd_other = [f for f in simd_findings
+                      if not f.path.as_posix().endswith("vector_hot.cpp")]
+        if len(simd_bad) != 4:
+            failures.append(
+                f"simd-intrinsics-route: expected 4 findings in the bad "
+                f"fixture, got {len(simd_bad)}")
+        if simd_other:
+            failures.append(
+                f"simd-intrinsics-route: comment/string/pause/waiver/owner "
+                f"fixtures produced {len(simd_other)} finding(s): "
+                f"{simd_other[0]}")
+
     for f in failures:
         print(f"ca_lint --self-test: {f}", file=sys.stderr)
     if failures:
@@ -436,7 +522,7 @@ def main(argv: list[str]) -> int:
 
     findings = (check_byte_copy_route(root) + check_wall_clock(root) +
                 check_dm_audit(root) + check_kernel_scratch_route(root) +
-                check_intrusive_links(root))
+                check_intrusive_links(root) + check_simd_intrinsics_route(root))
     if args.json:
         import json
         print(json.dumps({"tool": "ca_lint",
@@ -450,7 +536,7 @@ def main(argv: list[str]) -> int:
         return 1
     if not args.json:
         print("ca_lint: clean (byte-copy-route, wall-clock, dm-audit, "
-              "kernel-scratch-route, intrusive-links)")
+              "kernel-scratch-route, intrusive-links, simd-intrinsics-route)")
     return 0
 
 

@@ -26,6 +26,13 @@
 #            and the CA_RACE build, so the blocked GEMM / im2col / parallel
 #            elementwise paths are proven numerically correct and race-free
 #            with CA_NATIVE=OFF (the portable codegen CI ships).
+#   simd     runtime-dispatch gate: the kernel-parity and simd suites on
+#            the ASan build at CA_ISA=scalar AND at the highest level the
+#            host supports (so the AVX2/AVX-512 GEMM tiles and NT-store
+#            copy kernels are proven byte/tolerance-correct under ASan at
+#            every dispatch tier), then the NT-writeback hazard scenario
+#            plus the simd suite under the CA_RACE shims.  Skip-aware: on
+#            a host without AVX2 only the scalar half runs.
 #   bench    bench-smoke: every bench entry point runs end to end on tiny
 #            shapes (ctest -L bench-smoke on the ASan build).
 #   tidy     clang-tidy over src/ with the repo's .clang-tidy profile.
@@ -46,8 +53,8 @@
 #
 # Usage: tools/check.sh [--jobs N] [--require-all]
 #                       [--skip-tsan] [--skip-race] [--skip-lockdep]
-#                       [--skip-kparity] [--skip-bench] [--skip-tidy]
-#                       [--skip-lint]
+#                       [--skip-kparity] [--skip-simd] [--skip-bench]
+#                       [--skip-tidy] [--skip-lint]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -56,6 +63,7 @@ RUN_TSAN=1
 RUN_RACE=1
 RUN_LOCKDEP=1
 RUN_KPARITY=1
+RUN_SIMD=1
 RUN_BENCH=1
 RUN_TIDY=1
 RUN_LINT=1
@@ -68,6 +76,7 @@ while [[ $# -gt 0 ]]; do
     --skip-race) RUN_RACE=0; shift ;;
     --skip-lockdep) RUN_LOCKDEP=0; shift ;;
     --skip-kparity) RUN_KPARITY=0; shift ;;
+    --skip-simd) RUN_SIMD=0; shift ;;
     --skip-bench) RUN_BENCH=0; shift ;;
     --skip-tidy) RUN_TIDY=0; shift ;;
     --skip-lint) RUN_LINT=0; shift ;;
@@ -101,7 +110,8 @@ cmake -B build-asan -S . \
   -DCA_WERROR=OFF > /dev/null
 cmake --build build-asan -j "$JOBS" \
   --target test_util test_sim test_telemetry test_mem test_dm test_policy \
-           test_core test_twolm test_dnn test_integration test_audit test_race
+           test_core test_twolm test_dnn test_integration test_audit \
+           test_race test_simd
 ( cd build-asan && ctest -j "$JOBS" --output-on-failure )
 note "asan: audit suite under sanitizers (ctest -R audit)"
 ( cd build-asan && ctest -R audit --output-on-failure )
@@ -180,11 +190,36 @@ else
   skip kparity "--skip-kparity"
 fi
 
+# --- simd: dispatch levels, NT copy path, race coverage -----------------------
+if [[ "$RUN_SIMD" -eq 1 ]]; then
+  note "simd: kparity + simd suites under ASan at CA_ISA=scalar"
+  cmake --build build-asan -j "$JOBS" --target test_kernels test_simd
+  ( cd build-asan && CA_ISA=scalar ctest -R 'kparity\.|simd\.' \
+      --output-on-failure )
+  # The CA_ISA env pins the entry level; the in-process sweep tests still
+  # cover every supported level inside each run.
+  if grep -qm1 avx2 /proc/cpuinfo 2>/dev/null; then
+    note "simd: kparity + simd suites under ASan at CA_ISA=native"
+    ( cd build-asan && CA_ISA=native ctest -R 'kparity\.|simd\.' \
+        --output-on-failure )
+    note "simd: NT-writeback hazard + simd suite under CA_RACE shims"
+    cmake -B build-race -S . -DCA_RACE=ON -DCA_WERROR=OFF > /dev/null
+    cmake --build build-race -j "$JOBS" --target test_race test_simd
+    ( cd build-race && ctest -R 'race\.RaceHazards\.NtWriteback|simd\.' \
+        --output-on-failure )
+  else
+    skip simd-native "host CPU lacks AVX2; scalar half ran"
+  fi
+else
+  skip simd "--skip-simd"
+fi
+
 # --- bench smoke ---------------------------------------------------------------
 if [[ "$RUN_BENCH" -eq 1 ]]; then
   note "bench: every bench entry point on tiny shapes"
   cmake --build build-asan -j "$JOBS" \
-    --target ablation_async micro_kernels micro_async_mover micro_allocator
+    --target ablation_async micro_kernels micro_async_mover micro_allocator \
+             micro_copy_engine
   ( cd build-asan && ctest -L bench-smoke --output-on-failure )
 else
   skip bench "--skip-bench"
