@@ -11,6 +11,7 @@
 #include "dm/data_manager.hpp"
 #include "dm/object.hpp"
 #include "mem/freelist_allocator.hpp"
+#include "ptrprov/ptrprov.hpp"
 #include "util/align.hpp"
 
 namespace ca::audit {
@@ -474,13 +475,36 @@ AuditReport verify(const dm::DataManager& dm) {
       report.add("dm.primary",
                  label + ": primary is not among the object's regions");
     }
-    // dm.pin -- pin counts never go negative, and a pinned object must have
-    // a primary (the pointer a kernel is holding).
+    // dm.pin -- pin counts never go negative; a pinned object must have a
+    // primary (the pointer a kernel is holding), that primary's storage
+    // must be live with an intact back-pointer (never orphaned: the kernel
+    // dereferences it), and no pinned object may hold a region on a device
+    // being defragmented (compaction memmoves every live region there).
     if (object.pin_count() < 0) {
       report.add("dm.pin", label + ": negative pin count");
     }
     if (object.pinned() && primary == nullptr) {
       report.add("dm.pin", label + ": pinned but has no primary region");
+    } else if (object.pinned()) {
+      if (!dm.owns_region(primary)) {
+        report.add("dm.pin",
+                   label + ": pinned but its primary region is orphaned "
+                           "(storage no longer live)");
+      } else if (primary->parent() != &object) {
+        report.add("dm.pin",
+                   label + ": pinned primary's parent back-pointer points "
+                           "elsewhere");
+      }
+    }
+    if (object.pinned() && dm.defragmenting_device() >= 0) {
+      const auto dd = sim::DeviceId{
+          static_cast<std::uint32_t>(dm.defragmenting_device())};
+      if (object.region_on(dd) != nullptr) {
+        report.add("dm.pin",
+                   label + ": pinned object holds a region on device " +
+                       std::to_string(dm.defragmenting_device()) +
+                       " during defragment");
+      }
     }
     // dm.dirty-siblings -- at most one region of an object may be modified
     // relative to its siblings, and with siblings present the modified one
@@ -495,6 +519,40 @@ AuditReport verify(const dm::DataManager& dm) {
                      region_label(*dirty_region) + " is dirty");
     }
   });
+
+#if defined(CA_PTRPROV_ENABLED)
+  // prov.* -- every live PinnedSpan must still be backed by what it
+  // recorded at acquire: its region neither relocated nor freed since
+  // (prov.stale), and its owning object still pinned (prov.unpinned).
+  const auto spans = ptrprov::active_spans();
+  for (const auto& s : spans) {
+    if (s.region_freed) {
+      report.add("prov.stale",
+                 "live span on '" + s.label + "' acquired at " +
+                     s.acquire_site + ": region freed by " + s.mutation_op);
+    } else if (s.gen_now != s.gen_at_acquire) {
+      report.add("prov.stale",
+                 "live span on '" + s.label + "' acquired at " +
+                     s.acquire_site + " (generation " +
+                     std::to_string(s.gen_at_acquire) +
+                     "): region relocated by " + s.mutation_op +
+                     " to generation " + std::to_string(s.gen_now));
+    }
+  }
+  if (!spans.empty()) {
+    dm.for_each_object([&](const dm::Object& object) {
+      if (object.pinned()) return;
+      for (const auto& s : spans) {
+        if (s.object == &object) {
+          report.add("prov.unpinned",
+                     object_label(object) + ": live span acquired at " +
+                         s.acquire_site +
+                         " but the object is no longer pinned");
+        }
+      }
+    });
+  }
+#endif
   return report;
 }
 

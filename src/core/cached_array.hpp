@@ -93,15 +93,16 @@ class CachedArray {
   template <typename Fn>
   decltype(auto) with_read(Fn&& fn) const {
     Bracket b(*this, /*write=*/false);
-    return std::forward<Fn>(fn)(
-        std::span<const T>(static_cast<const T*>(b.data), size()));
+    return std::forward<Fn>(fn)(std::span<const T>(
+        reinterpret_cast<const T*>(b.span.data()), size()));
   }
 
   /// Write access: `fn` receives std::span<T>.  Marks the primary dirty.
   template <typename Fn>
   decltype(auto) with_write(Fn&& fn) {
     Bracket b(*this, /*write=*/true);
-    return std::forward<Fn>(fn)(std::span<T>(static_cast<T*>(b.data), size()));
+    return std::forward<Fn>(fn)(
+        std::span<T>(reinterpret_cast<T*>(b.span.data()), size()));
   }
 
  private:
@@ -115,19 +116,24 @@ class CachedArray {
     }
   };
 
-  /// RAII kernel bracket for single-array access.
+  /// RAII kernel bracket for single-array access.  The provenance-tracked
+  /// span holds its own pin on top of the bracket's (counted), and is
+  /// dropped before end_kernel unpins.
   struct Bracket {
     Bracket(const CachedArray& a, bool write)
         : rt(&a.runtime()), obj(&a.live()) {
       rt->begin_kernel({&obj, 1});
-      data = rt->resolve(*obj, write);
+      span = rt->access(*obj, write);
     }
-    ~Bracket() { rt->end_kernel({&obj, 1}); }
+    ~Bracket() {
+      span.reset();
+      rt->end_kernel({&obj, 1});
+    }
     Bracket(const Bracket&) = delete;
 
     Runtime* rt;
     dm::Object* obj;
-    void* data = nullptr;
+    dm::PinnedSpan span;
   };
 
   [[nodiscard]] Runtime& runtime() const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ptrprov/ptrprov.hpp"
 #include "util/error.hpp"
 
 namespace ca::core {
@@ -61,7 +62,8 @@ void Runtime::end_kernel(std::span<dm::Object* const> args) {
   policy_->end_kernel();
 }
 
-std::byte* Runtime::resolve(dm::Object& object, bool write) {
+std::byte* Runtime::resolve(dm::Object& object, bool write,
+                            std::source_location loc) {
   CA_CHECK(object.pinned(),
            "resolve outside a begin_kernel/end_kernel bracket");
   dm::Region* primary = dm_->getprimary(object);
@@ -70,6 +72,11 @@ std::byte* Runtime::resolve(dm::Object& object, bool write) {
   // (this is the only synchronous cost async movement leaves behind).
   dm_->wait_ready(*primary);
   if (write) dm_->markdirty(*primary);
+  // Sanctioned raw escape: the returned pointer leaves the provenance
+  // net, so record the extraction (and flag it if the pin check above
+  // was somehow bypassed).
+  ptrprov::on_escape(primary, primary->generation(), object.pin_count(),
+                     object.name().c_str(), loc);
   return primary->data();
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dm/data_manager.hpp"
+#include "dm/pinned_span.hpp"
 #include "policy/policy.hpp"
 #include "sim/clock.hpp"
 #include "sim/platform.hpp"
@@ -87,8 +88,22 @@ class Runtime {
 
   /// Resolve the object indirection for kernel execution.  The object must
   /// be pinned (between begin_kernel/end_kernel) so the pointer stays
-  /// valid.  Write access marks the primary dirty.
-  [[nodiscard]] std::byte* resolve(dm::Object& object, bool write);
+  /// valid.  Write access marks the primary dirty.  This is the sanctioned
+  /// raw-pointer escape: ca::ptrprov records the call site and flags any
+  /// resolve against an unpinned object.
+  [[nodiscard]] std::byte* resolve(
+      dm::Object& object, bool write,
+      std::source_location loc = std::source_location::current());
+
+  /// The provenance-tracked accessor (preferred over resolve): pins the
+  /// object for the span's lifetime and checks every dereference against
+  /// the relocation generation.  Composes with kernel brackets (pins are
+  /// counted).
+  [[nodiscard]] dm::PinnedSpan access(
+      dm::Object& object, bool write,
+      std::source_location loc = std::source_location::current()) {
+    return dm_->access(object, write, loc);
+  }
 
   // --- GC emulation -------------------------------------------------------
 

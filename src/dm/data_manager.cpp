@@ -3,7 +3,9 @@
 #include "dm/audit_hook.hpp"
 
 #include <algorithm>
+#include <source_location>
 
+#include "ptrprov/ptrprov.hpp"
 #include "race/access.hpp"
 #include "util/align.hpp"
 #include "util/bytes.hpp"
@@ -13,7 +15,20 @@ namespace ca::dm {
 
 namespace {
 constexpr std::size_t kHeapAlignment = 64;  // cache-line aligned regions
-}
+
+/// Names the release path in flight for provenance reports ("free" vs
+/// "evictfrom" vs "destroy_object"): a dangling pointer into a region the
+/// eviction loop reclaimed reads very differently from one into a region
+/// the application freed.
+struct ScopedReleaseOp {
+  const char*& slot;
+  const char* prev;
+  ScopedReleaseOp(const char*& s, const char* op) : slot(s), prev(s) {
+    s = op;
+  }
+  ~ScopedReleaseOp() { slot = prev; }
+};
+}  // namespace
 
 DataManager::DeviceHeap::DeviceHeap(const sim::DeviceSpec& spec)
     : arena(spec.capacity),
@@ -75,6 +90,7 @@ void DataManager::destroy_object(Object* object) {
     throw UsageError("destroy_object: object '" + object->name() +
                      "' is pinned by a running kernel");
   }
+  const ScopedReleaseOp op(release_op_, "destroy_object");
   for (auto*& region : object->regions_) {
     if (region != nullptr) {
       Region* r = region;
@@ -134,6 +150,9 @@ Region* DataManager::allocate(sim::DeviceId dev, std::size_t size) {
   h.alloc->set_cookie(*offset, region);
   regions_.emplace(region, std::move(owned));
   CA_RACE_ALLOC(region->data_, region->size_, "DataManager::allocate");
+  // Fresh storage starts a fresh provenance history (the address may have
+  // belonged to a freed region whose tombstone must not outlive it).
+  ptrprov::on_region_alloc(region);
   CA_AUDIT(*this);
   return region;
 }
@@ -180,6 +199,9 @@ void DataManager::release_region(Region* region) {
     inflight_.resize(kept);
   }
 
+  ++region->generation_;
+  ptrprov::on_region_free(region, release_op_,
+                          std::source_location::current());
   CA_RACE_FREE(region->data(), region->size(), "DataManager::release_region");
   auto& h = heap(region->device());
   h.alloc->free(region->offset());
@@ -398,7 +420,12 @@ bool DataManager::evictfrom(sim::DeviceId dev, std::size_t start_offset,
     CA_CHECK(region != nullptr, "heap block without an owning region");
     const std::size_t block_end = *blocked + h.alloc->block_size(*blocked);
 
-    if (evict(*region)) {
+    bool relocated = false;
+    {
+      const ScopedReleaseOp op(release_op_, "evictfrom");
+      relocated = evict(*region);
+    }
+    if (relocated) {
       // The callback claims the region was relocated and freed; verify so a
       // misbehaving policy cannot spin us forever.
       if (h.alloc->is_allocated(*blocked) &&
@@ -458,6 +485,15 @@ void DataManager::defragment(sim::DeviceId dev) {
   engine_.drain();
   auto& h = heap(dev);
 
+  // Window the audit invariant "no pinned object on a defragmenting
+  // device": set for the whole compaction (including the throw path — a
+  // mid-defragment audit must see it), cleared on every exit.
+  struct DefragWindow {
+    int& slot;
+    ~DefragWindow() { slot = -1; }
+  } window{defragmenting_};
+  defragmenting_ = static_cast<int>(dev.value);
+
   // Gather live regions in address order; refuse if any is pinned (its
   // kernel holds a raw pointer into the arena).
   std::vector<Region*> live;
@@ -484,6 +520,12 @@ void DataManager::defragment(sim::DeviceId dev) {
       util::move_bytes(h.arena.at(*new_offset), h.arena.at(region->offset()),
                        region->size(), "DataManager::defragment");
       moved += region->size();
+      // The region's bytes moved: every raw pointer extracted before this
+      // point is invalid.  Advance the generation so ca::ptrprov flags any
+      // later use as use-after-relocate naming this site.
+      ++region->generation_;
+      ptrprov::on_region_mutate(region, region->generation_, "defragment",
+                                std::source_location::current());
     }
     region->offset_ = *new_offset;
     region->data_ = h.arena.at(*new_offset);

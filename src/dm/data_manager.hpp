@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <source_location>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +36,7 @@ namespace ca::dm {
 
 struct DataManagerTestPeer;
 struct RaceTestPeer;
+class PinnedSpan;
 
 class DataManager {
  public:
@@ -101,6 +103,13 @@ class DataManager {
   /// valid (setprimary and destroy_object are rejected).
   void pin(Object& object) noexcept { ++object.pin_count_; }
   void unpin(Object& object);
+
+  /// The sanctioned data accessor (ca::ptrprov runtime half): pins the
+  /// object, stalls for any pending async fill of its primary, marks it
+  /// dirty on write intent, and returns a provenance-tracked RAII span.
+  /// Destroying the span unpins.  Defined in dm/pinned_span.hpp.
+  PinnedSpan access(Object& object, bool write = false,
+                    std::source_location loc = std::source_location::current());
 
   // --- Region functions -------------------------------------------------
 
@@ -226,6 +235,13 @@ class DataManager {
   /// iterations and reports the overhead as negligible.
   void defragment(sim::DeviceId dev);
 
+  /// Device currently being defragmented, or -1.  While set, no pinned
+  /// object may hold a region on that device (audit invariant dm.pin:
+  /// compaction memmoves every live region on it).
+  [[nodiscard]] int defragmenting_device() const noexcept {
+    return defragmenting_;
+  }
+
   /// Verify cross-structure invariants (allocator tiling, region/block
   /// agreement, object/region back-pointers, the fast-primary invariant is
   /// policy-level and not checked here).  For tests.  `audit::verify` is the
@@ -295,6 +311,10 @@ class DataManager {
   sim::Clock& clock_;
   telemetry::TrafficCounters& counters_;
   mem::CopyEngine engine_;
+  /// Provenance label for the release path in flight ("free", "evictfrom",
+  /// "destroy_object"): names the mutation in ProvenanceReports.
+  const char* release_op_ = "free";
+  int defragmenting_ = -1;
   std::vector<std::unique_ptr<DeviceHeap>> heaps_;
   std::unordered_map<Region*, std::unique_ptr<Region>> regions_;
   std::unordered_map<Object*, std::unique_ptr<Object>> objects_;

@@ -53,8 +53,19 @@ class Region {
     return fill_;
   }
 
+  /// Relocation generation (paper §III-C pin discipline, made checkable):
+  /// bumped by the DataManager whenever this region's bytes move
+  /// (defragment compaction) or its storage is released.  A raw pointer
+  /// obtained from data() is valid only for the generation it was
+  /// extracted under; ca::ptrprov flags any use after the counter has
+  /// advanced.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+
  private:
   friend class DataManager;
+  friend struct DataManagerTestPeer;
 
   sim::DeviceId device_{};
   std::size_t offset_ = 0;
@@ -64,6 +75,7 @@ class Region {
   bool dirty_ = false;
   double ready_at_ = 0.0;
   mem::Transfer fill_;
+  std::uint64_t generation_ = 0;
 };
 
 /// The logical data entity.  Holds up to one region per device; the primary
@@ -97,6 +109,7 @@ class Object {
 
  private:
   friend class DataManager;
+  friend struct DataManagerTestPeer;
 
   ObjectId id_ = 0;
   std::size_t size_ = 0;

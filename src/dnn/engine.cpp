@@ -119,16 +119,20 @@ void Engine::execute_args(const std::string& name,
   stats_.kernel_seconds += std::max(mem_s, comp_s);
   stats_.op_histogram.record(name, std::max(mem_s, comp_s));
 
-  // Resolve pointers; writes mark the primary dirty in both backends.
+  // Resolve the indirection once per argument through the provenance-
+  // tracked accessor; writes mark the primary dirty in both backends.
+  // Declared after `unpin` so the spans (and their pins) are dropped
+  // before end_kernel runs.
+  std::vector<dm::PinnedSpan> spans;
+  spans.reserve(args.size());
   std::vector<const float*> rptr;
   std::vector<float*> wptr;
   for (const auto& a : args) {
+    spans.push_back(rt_->access(*a.tensor.object(), a.write));
     if (a.write) {
-      wptr.push_back(
-          reinterpret_cast<float*>(rt_->resolve(*a.tensor.object(), true)));
+      wptr.push_back(reinterpret_cast<float*>(spans.back().data()));
     } else {
-      rptr.push_back(reinterpret_cast<const float*>(
-          rt_->resolve(*a.tensor.object(), false)));
+      rptr.push_back(reinterpret_cast<const float*>(spans.back().data()));
     }
   }
   if (config_.backend != Backend::kSim && real_fn) {

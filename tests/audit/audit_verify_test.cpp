@@ -9,7 +9,9 @@
 #include "audit/audit.hpp"
 #include "dm/audit_hook.hpp"
 #include "dm/data_manager.hpp"
+#include "dm/pinned_span.hpp"
 #include "mem/freelist_allocator.hpp"
+#include "ptrprov/ptrprov.hpp"
 #include "sim/platform.hpp"
 #include "util/align.hpp"
 
@@ -188,13 +190,40 @@ struct AllocatorTestPeer {
 
 namespace ca::dm {
 
-// Same idiom at the data-manager level: a friend of DataManager that hands
-// tests direct access to the in-flight transfer registry so the dm.inflight
-// invariants can be violated deliberately.
+// Same idiom at the data-manager level: a friend of DataManager (and of
+// Object/Region) that hands tests direct access to the in-flight transfer
+// registry and the pin/primary state, so the dm.inflight and dm.pin
+// invariants can be violated deliberately.  Every injector has a restore
+// counterpart (or returns the previous value) so tests can put the manager
+// back into a consistent state before teardown.
 struct DataManagerTestPeer {
   static std::vector<DataManager::InflightTransfer>& inflight(
       DataManager& dm) {
     return dm.inflight_;
+  }
+
+  static void set_pin(Object& object, int count) {
+    object.pin_count_ = count;
+  }
+
+  /// Point the object's primary somewhere else (a bogus or freed region);
+  /// returns the previous primary for restoration.
+  static Region* swap_primary(Object& object, Region* bogus) {
+    Region* prev = object.primary_;
+    object.primary_ = bogus;
+    return prev;
+  }
+
+  /// Corrupt a region's parent back-pointer; returns the previous parent.
+  static Object* swap_region_parent(Region& region, Object* bogus) {
+    Object* prev = region.parent_;
+    region.parent_ = bogus;
+    return prev;
+  }
+
+  /// Pretend device `dev` is mid-compaction (-1 to clear).
+  static void set_defragmenting(DataManager& dm, int dev) {
+    dm.defragmenting_ = dev;
   }
 };
 
@@ -475,6 +504,157 @@ TEST_F(DmAuditFixture, InflightEntryWithoutHandleIsNamed) {
   dm_.free(src);
   dm_.free(dst);
 }
+
+// --- dm.pin invariants (red-before/green-after) -----------------------------
+
+TEST_F(DmAuditFixture, NegativePinCountIsNamed) {
+  dm::Object* obj = dm_.create_object(4096, "neg");
+  dm::Region* r = dm_.allocate(sim::kFast, 4096);
+  dm_.setprimary(*obj, *r);
+  ASSERT_TRUE(audit::verify(dm_).ok());  // green before corruption
+  dm::DataManagerTestPeer::set_pin(*obj, -1);
+  const auto report = audit::verify(dm_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("dm.pin")) << report.to_string();
+  EXPECT_NE(report.to_string().find("negative pin count"), std::string::npos);
+  dm::DataManagerTestPeer::set_pin(*obj, 0);
+  EXPECT_TRUE(audit::verify(dm_).ok());  // green after restore
+  dm_.destroy_object(obj);
+}
+
+TEST_F(DmAuditFixture, OrphanedPinnedPrimaryIsNamed) {
+  dm::Object* obj = dm_.create_object(4096, "orphaned");
+  dm::Region* r = dm_.allocate(sim::kFast, 4096);
+  dm_.setprimary(*obj, *r);
+  dm_.pin(*obj);
+  ASSERT_TRUE(audit::verify(dm_).ok());
+  // Corruption: the pinned object's primary points at storage the manager
+  // does not own -- the kernel would dereference a dangling pointer.
+  dm::Region dead;
+  dm::Region* saved = dm::DataManagerTestPeer::swap_primary(*obj, &dead);
+  const auto report = audit::verify(dm_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("dm.pin")) << report.to_string();
+  EXPECT_NE(report.to_string().find("orphaned"), std::string::npos);
+  dm::DataManagerTestPeer::swap_primary(*obj, saved);
+  EXPECT_TRUE(audit::verify(dm_).ok());
+  dm_.unpin(*obj);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(DmAuditFixture, PinnedPrimaryParentMismatchIsNamed) {
+  dm::Object* obj = dm_.create_object(4096, "reparented");
+  dm::Region* r = dm_.allocate(sim::kFast, 4096);
+  dm_.setprimary(*obj, *r);
+  dm_.pin(*obj);
+  ASSERT_TRUE(audit::verify(dm_).ok());
+  dm::Object* other = dm_.create_object(4096, "other");
+  dm::Object* saved = dm::DataManagerTestPeer::swap_region_parent(*r, other);
+  const auto report = audit::verify(dm_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("dm.pin")) << report.to_string();
+  EXPECT_NE(report.to_string().find("back-pointer"), std::string::npos);
+  dm::DataManagerTestPeer::swap_region_parent(*r, saved);
+  EXPECT_TRUE(audit::verify(dm_).ok());
+  dm_.unpin(*obj);
+  dm_.destroy_object(other);
+  dm_.destroy_object(obj);
+}
+
+TEST_F(DmAuditFixture, PinnedObjectOnDefragmentingDeviceIsNamed) {
+  dm::Object* obj = dm_.create_object(4096, "compacting");
+  dm::Region* r = dm_.allocate(sim::kFast, 4096);
+  dm_.setprimary(*obj, *r);
+  dm_.pin(*obj);
+  ASSERT_TRUE(audit::verify(dm_).ok());
+  // Corruption: compaction is (claimed to be) running on the device this
+  // pinned object lives on -- its kernel-held pointer is being memmoved.
+  dm::DataManagerTestPeer::set_defragmenting(
+      dm_, static_cast<int>(sim::kFast.value));
+  const auto report = audit::verify(dm_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("dm.pin")) << report.to_string();
+  EXPECT_NE(report.to_string().find("during defragment"), std::string::npos);
+  // A pinned object on the OTHER device is fine while kFast compacts.
+  dm::DataManagerTestPeer::set_defragmenting(
+      dm_, static_cast<int>(sim::kSlow.value));
+  EXPECT_TRUE(audit::verify(dm_).ok());
+  dm::DataManagerTestPeer::set_defragmenting(dm_, -1);
+  EXPECT_TRUE(audit::verify(dm_).ok());
+  dm_.unpin(*obj);
+  dm_.destroy_object(obj);
+}
+
+#if defined(CA_PTRPROV_ENABLED)
+
+// --- prov.* invariants (need the ptrprov runtime half) ----------------------
+
+TEST_F(DmAuditFixture, StaleSpanAfterRelocationIsNamed) {
+  ptrprov::reset_for_testing();
+  dm::Object* hole = dm_.create_object(64 * util::KiB, "hole");
+  dm_.setprimary(*hole, *dm_.allocate(sim::kFast, 64 * util::KiB));
+  dm::Object* moved = dm_.create_object(64 * util::KiB, "moved");
+  dm_.setprimary(*moved, *dm_.allocate(sim::kFast, 64 * util::KiB));
+
+  dm::PinnedSpan span = dm_.access(*moved);
+  ASSERT_TRUE(audit::verify(dm_).ok());  // live span, intact pin: green
+  dm_.destroy_object(hole);
+  dm::DataManagerTestPeer::set_pin(*moved, 0);  // the staged bug
+  dm_.defragment(sim::kFast);                   // slides `moved` down
+  dm::DataManagerTestPeer::set_pin(*moved, 1);
+
+  const auto report = audit::verify(dm_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("prov.stale")) << report.to_string();
+  EXPECT_NE(report.to_string().find("relocated by defragment"),
+            std::string::npos);
+
+  span.reset();  // span gone: the audit is green again
+  EXPECT_TRUE(audit::verify(dm_).ok());
+  dm_.destroy_object(moved);
+}
+
+TEST_F(DmAuditFixture, SpanOnFreedRegionIsNamed) {
+  ptrprov::reset_for_testing();
+  dm::Object* obj = dm_.create_object(64 * util::KiB, "freed");
+  dm::Region* r = dm_.allocate(sim::kFast, 64 * util::KiB);
+  dm_.setprimary(*obj, *r);
+
+  dm::PinnedSpan span = dm_.access(*obj);
+  ASSERT_TRUE(audit::verify(dm_).ok());
+  dm::DataManagerTestPeer::set_pin(*obj, 0);  // the staged bug
+  dm_.free(r);
+  const auto report = audit::verify(dm_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("prov.stale")) << report.to_string();
+  EXPECT_NE(report.to_string().find("region freed by free"),
+            std::string::npos);
+
+  dm::DataManagerTestPeer::set_pin(*obj, 1);  // so ~PinnedSpan is sane
+  span.reset();
+  EXPECT_TRUE(audit::verify(dm_).ok());
+  dm_.destroy_object(obj);
+}
+
+TEST_F(DmAuditFixture, UnpinnedObjectWithLiveSpanIsNamed) {
+  ptrprov::reset_for_testing();
+  dm::Object* obj = dm_.create_object(64 * util::KiB, "dropped");
+  dm_.setprimary(*obj, *dm_.allocate(sim::kFast, 64 * util::KiB));
+
+  dm::PinnedSpan span = dm_.access(*obj);
+  ASSERT_TRUE(audit::verify(dm_).ok());
+  dm::DataManagerTestPeer::set_pin(*obj, 0);  // pin dropped under the span
+  const auto report = audit::verify(dm_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("prov.unpinned")) << report.to_string();
+
+  dm::DataManagerTestPeer::set_pin(*obj, 1);
+  EXPECT_TRUE(audit::verify(dm_).ok());
+  span.reset();
+  dm_.destroy_object(obj);
+}
+
+#endif  // CA_PTRPROV_ENABLED
 
 TEST_F(DmAuditFixture, ScopedAbortHookInstallsAndRemovesTheHook) {
   EXPECT_EQ(dm::audit_hook(), nullptr);

@@ -1,0 +1,162 @@
+// Relocation x in-flight fill edge cases: a region whose asynchronous fill
+// is still pending may be compacted (defragment) or released (free /
+// eviction) -- every such path must join the real memcpy before the bytes
+// move or the storage is reused, and the modeled completion (`ready_at`)
+// must survive the relocation so consumers still stall for exactly the
+// remaining modeled time.  Companion to tests/mem/transfer_edge_test.cpp;
+// runs under ASan and CA_RACE in tools/check.sh.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "dm/data_manager.hpp"
+#include "mem/transfer.hpp"
+#include "sim/platform.hpp"
+#include "util/align.hpp"
+
+namespace ca::dm {
+namespace {
+
+class RelocationFillTest : public ::testing::Test {
+ protected:
+  RelocationFillTest()
+      : platform_(
+            sim::Platform::cascade_lake_scaled(1 * util::MiB, 4 * util::MiB)),
+        dm_(platform_, clock_, counters_) {}
+
+  sim::Platform platform_;
+  sim::Clock clock_;
+  telemetry::TrafficCounters counters_;
+  DataManager dm_;
+};
+
+TEST_F(RelocationFillTest, DefragmentJoinsPendingFillBeforeMoving) {
+  Region* hole = dm_.allocate(sim::kFast, 64 * util::KiB);
+  Region* dst = dm_.allocate(sim::kFast, 64 * util::KiB);
+  Region* src = dm_.allocate(sim::kSlow, 64 * util::KiB);
+  std::memset(src->data(), 0x5C, src->size());
+
+  const double done = dm_.copyto_async(*dst, *src);
+  EXPECT_TRUE(dst->pending_fill().valid());
+  EXPECT_DOUBLE_EQ(dst->ready_at(), done);
+  const std::size_t old_offset = dst->offset();
+
+  dm_.free(hole);               // opens the hole below `dst`
+  dm_.defragment(sim::kFast);   // drains the mover, then slides `dst` down
+
+  EXPECT_LT(dst->offset(), old_offset);
+  EXPECT_EQ(dst->generation(), 1u);
+  // The real memcpy was joined before move_bytes relocated the region, so
+  // the filled bytes traveled with it.
+  ASSERT_TRUE(dst->pending_fill().valid());
+  EXPECT_TRUE(dst->pending_fill().real_done());
+  for (std::size_t i = 0; i < dst->size(); i += 4 * util::KiB) {
+    EXPECT_EQ(dst->data()[i], std::byte{0x5C}) << "at offset " << i;
+  }
+  // The *modeled* completion is a property of the transfer, not of the
+  // address: relocation must not make the data "ready" early.
+  EXPECT_DOUBLE_EQ(dst->ready_at(), done);
+
+  dm_.wait_ready(*dst);
+  EXPECT_GE(clock_.now(), done);
+  EXPECT_DOUBLE_EQ(dst->ready_at(), 0.0);
+  EXPECT_FALSE(dst->pending_fill().valid());
+
+  dm_.free(dst);
+  dm_.free(src);
+}
+
+TEST_F(RelocationFillTest, CompactionNoopKeepsGenerationAndFill) {
+  // No hole: the region already sits at the lowest address, so compaction
+  // must not touch its bytes, its generation, or its pending fill.
+  Region* dst = dm_.allocate(sim::kFast, 64 * util::KiB);
+  Region* src = dm_.allocate(sim::kSlow, 64 * util::KiB);
+  std::memset(src->data(), 0x17, src->size());
+  const double done = dm_.copyto_async(*dst, *src);
+
+  dm_.defragment(sim::kFast);
+
+  EXPECT_EQ(dst->offset(), 0u);
+  EXPECT_EQ(dst->generation(), 0u);
+  ASSERT_TRUE(dst->pending_fill().valid());
+  EXPECT_DOUBLE_EQ(dst->ready_at(), done);
+  dm_.wait_ready(*dst);
+  EXPECT_EQ(dst->data()[0], std::byte{0x17});
+  dm_.free(dst);
+  dm_.free(src);
+}
+
+TEST_F(RelocationFillTest, HeldFillHandleSurvivesRelocation) {
+  // A caller may hold a copy of the pending_fill() handle across a
+  // defragment; the shared transfer state must stay joinable even though
+  // the region it filled has moved.
+  Region* hole = dm_.allocate(sim::kFast, 64 * util::KiB);
+  Region* dst = dm_.allocate(sim::kFast, 64 * util::KiB);
+  Region* src = dm_.allocate(sim::kSlow, 64 * util::KiB);
+  const double done = dm_.copyto_async(*dst, *src);
+  mem::Transfer held = dst->pending_fill();
+
+  dm_.free(hole);
+  dm_.defragment(sim::kFast);
+
+  held.join();
+  EXPECT_TRUE(held.real_done());
+  EXPECT_DOUBLE_EQ(held.done_time(), done);
+  dm_.free(dst);
+  dm_.free(src);
+}
+
+TEST_F(RelocationFillTest, ReleaseOfFillTargetJoinsAndRetires) {
+  // Eviction-style release of a region mid-fill: the storage may not be
+  // reused while the mover still writes it.  release_region joins and
+  // abandons the modeled completion (a prefetch evicted before use is
+  // legitimate), retiring the registry entry.
+  Region* dst = dm_.allocate(sim::kFast, 64 * util::KiB);
+  Region* src = dm_.allocate(sim::kSlow, 64 * util::KiB);
+  dm_.copyto_async(*dst, *src);
+  ASSERT_EQ(dm_.inflight_transfers().size(), 1u);
+
+  dm_.free(dst);  // fill still pending: must join, then drop the entry
+  EXPECT_TRUE(dm_.inflight_transfers().empty());
+  EXPECT_EQ(dm_.async_stats().retired, 1u);
+
+  // The freed storage is immediately reusable -- no mover thread touches it.
+  Region* reuse = dm_.allocate(sim::kFast, 64 * util::KiB);
+  ASSERT_NE(reuse, nullptr);
+  std::memset(reuse->data(), 0x00, reuse->size());
+  dm_.free(reuse);
+  dm_.free(src);
+}
+
+TEST_F(RelocationFillTest, WaitThenRelocateThenRefill) {
+  // Full cycle: fill, consume (wait_ready clears the handle), relocate,
+  // refill at the new address.  Each fill is independent; the relocation in
+  // the middle must not leak modeled state from the first into the second.
+  Region* hole = dm_.allocate(sim::kFast, 64 * util::KiB);
+  Region* dst = dm_.allocate(sim::kFast, 64 * util::KiB);
+  Region* src = dm_.allocate(sim::kSlow, 64 * util::KiB);
+
+  std::memset(src->data(), 0x01, src->size());
+  dm_.copyto_async(*dst, *src);
+  dm_.wait_ready(*dst);
+  EXPECT_FALSE(dst->pending_fill().valid());
+  EXPECT_EQ(dst->data()[0], std::byte{0x01});
+
+  dm_.free(hole);
+  dm_.defragment(sim::kFast);
+  EXPECT_EQ(dst->generation(), 1u);
+  EXPECT_DOUBLE_EQ(dst->ready_at(), 0.0);
+  EXPECT_EQ(dst->data()[0], std::byte{0x01});
+
+  std::memset(src->data(), 0x02, src->size());
+  const double done2 = dm_.copyto_async(*dst, *src);
+  EXPECT_DOUBLE_EQ(dst->ready_at(), done2);
+  dm_.wait_ready(*dst);
+  EXPECT_EQ(dst->data()[0], std::byte{0x02});
+
+  dm_.free(dst);
+  dm_.free(src);
+}
+
+}  // namespace
+}  // namespace ca::dm

@@ -1,0 +1,281 @@
+// Injected pin-discipline hazards under the schedule explorer: the
+// DataManagerTestPeer drops an object's pins while a PinnedSpan is live,
+// then defragment (relocation) or evictfrom (relocate-and-free) moves the
+// bytes underneath it, and these tests assert ca::ptrprov flags the stale
+// dereference in EVERY explored schedule (the checks are program-order
+// evidence -- generation mismatch and free tombstones -- so the findings do
+// not depend on the interleaving), with seed-replayable reports.  The
+// sanctioned accessor paths must come back clean under the same
+// exploration.
+//
+// Requires CA_RACE (the explorer) which implies CA_PTRPROV_ENABLED;
+// self-skips elsewhere.
+#include <gtest/gtest.h>
+
+#if !defined(CA_RACE)
+
+TEST(PtrprovHazards, InstrumentationRequired) {
+  GTEST_SKIP() << "CA_RACE instrumentation not compiled in; configure with "
+                  "-DCA_RACE=ON to run the ptrprov hazard scenarios";
+}
+
+#else  // CA_RACE
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dm/data_manager.hpp"
+#include "dm/pinned_span.hpp"
+#include "ptrprov/ptrprov.hpp"
+#include "ptrprov_test_peer.hpp"
+#include "race/explorer.hpp"
+#include "sim/platform.hpp"
+#include "util/align.hpp"
+
+namespace ca {
+namespace {
+
+using ptrprov::ProvenanceReport;
+
+/// One worker per pool so the explored task set is host-independent
+/// (matches tests/race/race_hazard_test.cpp).
+sim::Platform tiny_platform() {
+  sim::Platform platform =
+      sim::Platform::cascade_lake_scaled(1 * util::MiB, 4 * util::MiB);
+  platform.copy_threads = 1;
+  platform.mover_channels = 1;
+  return platform;
+}
+
+/// Run `scenario` under the explorer and count, per schedule, whether
+/// ptrprov produced at least one report of `kind`.  Reports are drained
+/// inside the scenario (after the workload) so each schedule is scored
+/// independently even though the observed-site ledger persists across them.
+struct HazardSweep {
+  race::ExplorerResult explorer;
+  std::size_t flagged_schedules = 0;
+  std::vector<std::string> first_reports;  ///< rendered, first schedule only
+};
+
+template <class Scenario>
+HazardSweep sweep(std::size_t schedules, ProvenanceReport::Kind kind,
+                  Scenario scenario) {
+  ptrprov::reset_for_testing();
+  HazardSweep out;
+  race::ExplorerOptions opts;
+  opts.schedules = schedules;
+  opts.mix_strategies = false;
+  opts.log_failures = false;
+  out.explorer = race::explore(opts, [&] {
+    scenario();
+    bool flagged = false;
+    for (const auto& report : ptrprov::take_reports()) {
+      if (report.kind != kind) continue;
+      flagged = true;
+      if (out.flagged_schedules == 0) {
+        out.first_reports.push_back(report.to_string());
+      }
+    }
+    if (flagged) ++out.flagged_schedules;
+  });
+  return out;
+}
+
+/// Deliberate defragment-under-access: a live span on `moved`, pins dropped
+/// behind the manager's back, then compaction slides the region into the
+/// hole left by `hole` -- the span's pointer now addresses the wrong bytes.
+/// A live async transfer provides schedule diversity.
+void defrag_scenario() {
+  const sim::Platform platform = tiny_platform();
+  sim::Clock clock;
+  telemetry::TrafficCounters counters;
+  dm::DataManager dm(platform, clock, counters);
+
+  dm::Object* hole = dm.create_object(64 * util::KiB, "hole");
+  dm.setprimary(*hole, *dm.allocate(sim::kFast, 64 * util::KiB));
+  dm::Object* moved = dm.create_object(64 * util::KiB, "moved");
+  dm.setprimary(*moved, *dm.allocate(sim::kFast, 64 * util::KiB));
+  dm::Region* src = dm.allocate(sim::kSlow, 64 * util::KiB);
+  dm::Region* dst = dm.allocate(sim::kFast, 64 * util::KiB);
+  dm.copyto_async(*dst, *src);
+
+  {
+    dm::PinnedSpan span = dm.access(*moved);
+    dm.destroy_object(hole);                       // opens the hole
+    dm::DataManagerTestPeer::force_unpin(*moved);  // the staged bug
+    dm.defragment(sim::kFast);                     // slides `moved` down
+    (void)span.data();                             // use-after-relocate
+    dm::DataManagerTestPeer::set_pin(*moved, 1);   // so ~PinnedSpan is sane
+  }
+  dm.free(dst);
+  dm.free(src);
+  dm.destroy_object(moved);
+}
+
+/// Deliberate evictfrom-under-access: the eviction callback does the
+/// standard relocate-and-free dance (slow copy, re-primary, free the fast
+/// region) while a span still references the old storage -- its pointer now
+/// dangles into freed heap.
+void evict_scenario() {
+  const sim::Platform platform = tiny_platform();
+  sim::Clock clock;
+  telemetry::TrafficCounters counters;
+  dm::DataManager dm(platform, clock, counters);
+
+  dm::Object* victim = dm.create_object(64 * util::KiB, "victim");
+  dm.setprimary(*victim, *dm.allocate(sim::kFast, 64 * util::KiB));
+  dm::Region* src = dm.allocate(sim::kSlow, 64 * util::KiB);
+  dm::Region* dst = dm.allocate(sim::kFast, 64 * util::KiB);
+  dm.copyto_async(*dst, *src);
+
+  {
+    dm::PinnedSpan span = dm.access(*victim);
+    dm::DataManagerTestPeer::force_unpin(*victim);  // the staged bug
+    const bool ok =
+        dm.evictfrom(sim::kFast, 0, 64 * util::KiB, [&](dm::Region& region) {
+          dm::Object* parent = dm.parent(region);
+          if (parent == nullptr || parent->pinned()) return false;
+          dm::Region* spill = dm.allocate(sim::kSlow, region.size());
+          if (spill == nullptr) return false;
+          dm.link(region, *spill);
+          dm.copyto(*spill, region);
+          dm.setprimary(*parent, *spill);
+          dm.free(&region);
+          return true;
+        });
+    EXPECT_TRUE(ok);
+    (void)span.data();                              // use-after-free
+    dm::DataManagerTestPeer::set_pin(*victim, 1);   // so ~PinnedSpan is sane
+  }
+  dm.free(dst);
+  dm.free(src);
+  dm.destroy_object(victim);
+}
+
+/// The fixed paths: spans held across the same defragment and eviction
+/// pressure, but with the pins intact -- compaction must skip the pinned
+/// device's span-holder only after release, eviction must refuse it.
+void sanctioned_scenario() {
+  const sim::Platform platform = tiny_platform();
+  sim::Clock clock;
+  telemetry::TrafficCounters counters;
+  dm::DataManager dm(platform, clock, counters);
+
+  dm::Object* hole = dm.create_object(64 * util::KiB, "hole");
+  dm.setprimary(*hole, *dm.allocate(sim::kFast, 64 * util::KiB));
+  dm::Object* obj = dm.create_object(64 * util::KiB, "worker");
+  dm.setprimary(*obj, *dm.allocate(sim::kFast, 64 * util::KiB));
+  dm::Region* src = dm.allocate(sim::kSlow, 64 * util::KiB);
+  dm::Region* dst = dm.allocate(sim::kFast, 64 * util::KiB);
+  dm.copyto_async(*dst, *src);
+
+  {
+    dm::PinnedSpan span = dm.access(*obj, /*write=*/true);
+    dm.destroy_object(hole);
+    // Eviction pressure while the span is live: the callback refuses every
+    // candidate (the span-holder is pinned; the orphans host a live fill),
+    // exactly as a policy must.
+    (void)dm.evictfrom(sim::kFast, 0, 64 * util::KiB,
+                       [](dm::Region&) { return false; });
+    (void)span.data();
+  }
+  // Span released (pins back to zero): NOW compaction may move the region.
+  dm.defragment(sim::kFast);
+  {
+    dm::PinnedSpan span = dm.access(*obj);
+    (void)span.data();  // fresh span, fresh generation: clean
+  }
+  dm.free(dst);
+  dm.free(src);
+  dm.destroy_object(obj);
+}
+
+TEST(PtrprovHazards, DefragmentUnderAccessFlaggedInEverySchedule) {
+  const auto result =
+      sweep(1100, ProvenanceReport::Kind::kUseAfterRelocate, defrag_scenario);
+  EXPECT_EQ(result.explorer.schedules_run, 1100u);
+  EXPECT_GE(result.explorer.distinct_schedules, 1000u);
+  // The stale dereference is generation evidence: the span recorded gen 0
+  // at acquire, compaction bumped it, so the check fires in 100% of
+  // schedules regardless of interleaving.
+  EXPECT_EQ(result.flagged_schedules, result.explorer.schedules_run);
+  // No vector-clock data race: the hazard is pure pointer provenance; the
+  // detector that catches it must be ptrprov.
+  EXPECT_EQ(result.explorer.failing_schedules, 0u);
+  ASSERT_FALSE(result.first_reports.empty());
+  const std::string& text = result.first_reports.front();
+  EXPECT_NE(text.find("use-after-relocate"), std::string::npos);
+  EXPECT_NE(text.find("moved"), std::string::npos);
+  EXPECT_NE(text.find("defragment"), std::string::npos);
+  EXPECT_NE(text.find("ptrprov_hazard_test.cpp"), std::string::npos);
+  std::fprintf(stderr,
+               "ca::ptrprov: defragment-under-access flagged in %zu/%zu "
+               "schedules (%zu distinct)\n",
+               result.flagged_schedules, result.explorer.schedules_run,
+               result.explorer.distinct_schedules);
+}
+
+TEST(PtrprovHazards, EvictUnderAccessFlaggedInEverySchedule) {
+  const auto result =
+      sweep(1100, ProvenanceReport::Kind::kUseAfterFree, evict_scenario);
+  EXPECT_EQ(result.explorer.schedules_run, 1100u);
+  EXPECT_GE(result.explorer.distinct_schedules, 1000u);
+  // The free tombstone is kept until the address is re-allocated, so the
+  // dangling dereference is flagged in 100% of schedules.
+  EXPECT_EQ(result.flagged_schedules, result.explorer.schedules_run);
+  EXPECT_EQ(result.explorer.failing_schedules, 0u);
+  ASSERT_FALSE(result.first_reports.empty());
+  const std::string& text = result.first_reports.front();
+  EXPECT_NE(text.find("use-after-free"), std::string::npos);
+  EXPECT_NE(text.find("victim"), std::string::npos);
+  EXPECT_NE(text.find("evictfrom"), std::string::npos);
+  EXPECT_NE(text.find("ptrprov_hazard_test.cpp"), std::string::npos);
+  std::fprintf(stderr,
+               "ca::ptrprov: evictfrom-under-access flagged in %zu/%zu "
+               "schedules (%zu distinct)\n",
+               result.flagged_schedules, result.explorer.schedules_run,
+               result.explorer.distinct_schedules);
+}
+
+TEST(PtrprovHazards, PinnedPathsAreCleanAcrossSchedules) {
+  ptrprov::reset_for_testing();
+  race::ExplorerOptions opts;
+  opts.schedules = 300;
+  std::size_t flagged = 0;
+  const auto result = race::explore(opts, [&] {
+    sanctioned_scenario();
+    if (!ptrprov::take_reports().empty()) ++flagged;
+  });
+  EXPECT_EQ(result.schedules_run, 300u);
+  EXPECT_EQ(result.failing_schedules, 0u);
+  EXPECT_EQ(flagged, 0u);
+  // Nothing leaked out of the scenarios either: every span was released.
+  EXPECT_TRUE(ptrprov::active_spans().empty());
+}
+
+TEST(PtrprovHazards, ReportsReplayDeterministicallyFromSeed) {
+  // Replay the same seed twice: the rendered provenance reports -- object,
+  // sites, mutation op, generations, everything -- must match byte for
+  // byte.  Reports carry no raw addresses, so this holds across runs.
+  auto run_once = [](std::uint64_t seed) {
+    ptrprov::reset_for_testing();
+    std::vector<std::string> rendered;
+    (void)race::replay(seed, race::Scheduler::Strategy::kPct, [&] {
+      defrag_scenario();
+      for (const auto& report : ptrprov::take_reports()) {
+        rendered.push_back(report.to_string());
+      }
+    });
+    return rendered;
+  };
+  const auto first = run_once(0x5EED0042u);
+  const auto second = run_once(0x5EED0042u);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace ca
+
+#endif  // CA_RACE

@@ -1,0 +1,231 @@
+// Unit tests of the ca::ptrprov runtime half: the region-generation
+// mirror, the PinnedSpan acquire/access/release lifecycle, and each of the
+// four report kinds, driven through the real DataManager (no mocked
+// registry).  Needs any CA_PTRPROV_ENABLED build (Debug, CA_RACE or
+// -DCA_PTRPROV=ON); self-skips elsewhere.
+#include <gtest/gtest.h>
+
+#include "ptrprov/ptrprov.hpp"
+
+#if !defined(CA_PTRPROV_ENABLED)
+
+TEST(PtrprovRuntime, InstrumentationRequired) {
+  GTEST_SKIP() << "CA_PTRPROV_ENABLED not compiled in; configure with "
+                  "-DCA_PTRPROV=ON (or Debug / -DCA_RACE=ON) to run the "
+                  "provenance runtime tests";
+}
+
+#else  // CA_PTRPROV_ENABLED
+
+#include <string>
+#include <vector>
+
+#include "dm/data_manager.hpp"
+#include "dm/pinned_span.hpp"
+#include "ptrprov_test_peer.hpp"
+#include "sim/platform.hpp"
+#include "telemetry/counters.hpp"
+#include "util/align.hpp"
+
+namespace ca {
+namespace {
+
+using ptrprov::ProvenanceReport;
+
+sim::Platform tiny_platform() {
+  sim::Platform platform =
+      sim::Platform::cascade_lake_scaled(1 * util::MiB, 4 * util::MiB);
+  platform.copy_threads = 1;
+  platform.mover_channels = 1;
+  return platform;
+}
+
+struct Fixture {
+  sim::Platform platform = tiny_platform();
+  sim::Clock clock;
+  telemetry::TrafficCounters counters;
+  dm::DataManager dm{platform, clock, counters};
+
+  Fixture() { ptrprov::reset_for_testing(); }
+
+  dm::Object* make_object(const char* name, sim::DeviceId dev,
+                          std::size_t bytes) {
+    dm::Object* object = dm.create_object(bytes, name);
+    dm::Region* region = dm.allocate(dev, bytes);
+    EXPECT_NE(region, nullptr);
+    dm.setprimary(*object, *region);
+    return object;
+  }
+};
+
+TEST(PtrprovRuntime, CleanSpanLifecycleProducesNoReports) {
+  Fixture f;
+  dm::Object* obj = f.make_object("clean", sim::kFast, 64 * util::KiB);
+  {
+    dm::PinnedSpan span = f.dm.access(*obj, /*write=*/true);
+    ASSERT_TRUE(span.valid());
+    EXPECT_TRUE(obj->pinned());
+    EXPECT_NE(span.data(), nullptr);
+    EXPECT_EQ(span.size_bytes(), 64 * util::KiB);
+    EXPECT_EQ(ptrprov::held_spans().size(), 1u);
+    EXPECT_EQ(ptrprov::active_spans().size(), 1u);
+  }
+  EXPECT_FALSE(obj->pinned());
+  EXPECT_TRUE(ptrprov::held_spans().empty());
+  EXPECT_TRUE(ptrprov::active_spans().empty());
+  EXPECT_EQ(ptrprov::report_count(), 0u);
+}
+
+TEST(PtrprovRuntime, DefragmentBumpsGenerationAndFlagsStaleSpan) {
+  Fixture f;
+  // Two regions; freeing the first opens a hole so compaction moves the
+  // second down.
+  dm::Object* hole = f.make_object("hole", sim::kFast, 64 * util::KiB);
+  dm::Object* moved = f.make_object("moved", sim::kFast, 64 * util::KiB);
+  dm::Region* primary = moved->primary();
+  EXPECT_EQ(primary->generation(), 0u);
+
+  dm::PinnedSpan span = f.dm.access(*moved);
+  f.dm.destroy_object(hole);
+  dm::DataManagerTestPeer::force_unpin(*moved);  // the staged bug
+  f.dm.defragment(sim::kFast);
+  EXPECT_EQ(primary->generation(), 1u);
+  dm::DataManagerTestPeer::set_pin(*moved, 1);
+
+  (void)ptrprov::take_reports();  // drop anything staged above
+  (void)span.data();              // use-after-relocate
+  const auto reports = ptrprov::take_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kind, ProvenanceReport::Kind::kUseAfterRelocate);
+  EXPECT_EQ(reports[0].object, "moved");
+  EXPECT_EQ(reports[0].mutation_op, "defragment");
+  EXPECT_EQ(reports[0].gen_at_acquire, 0u);
+  EXPECT_EQ(reports[0].gen_now, 1u);
+  const std::string text = reports[0].to_string();
+  EXPECT_NE(text.find("use-after-relocate"), std::string::npos);
+  EXPECT_NE(text.find("defragment"), std::string::npos);
+  EXPECT_NE(text.find("ptrprov_runtime_test.cpp"), std::string::npos);
+}
+
+TEST(PtrprovRuntime, FreeTombstoneFlagsUseAfterFree) {
+  Fixture f;
+  dm::Object* obj = f.make_object("freed", sim::kFast, 64 * util::KiB);
+  dm::Region* primary = obj->primary();
+
+  dm::PinnedSpan span = f.dm.access(*obj);
+  dm::DataManagerTestPeer::force_unpin(*obj);
+  f.dm.free(primary);
+  dm::DataManagerTestPeer::set_pin(*obj, 1);
+
+  (void)ptrprov::take_reports();
+  (void)span.data();
+  const auto reports = ptrprov::take_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kind, ProvenanceReport::Kind::kUseAfterFree);
+  EXPECT_EQ(reports[0].mutation_op, "free");
+
+  // Manual cleanup: the span must not unpin through a freed-primary path
+  // in teardown order the test controls anyway; reset explicitly.
+  span.reset();
+}
+
+TEST(PtrprovRuntime, ReallocationAtSameAddressResetsTombstone) {
+  Fixture f;
+  dm::Object* obj = f.make_object("recycled", sim::kFast, 64 * util::KiB);
+  dm::Region* first = obj->primary();
+  dm::DataManagerTestPeer::set_pin(*obj, 0);
+  f.dm.free(first);
+  // The very next allocation of the same size lands on the same offset
+  // (binned free list); a span on it must NOT inherit the tombstone.
+  dm::Region* second = f.dm.allocate(sim::kFast, 64 * util::KiB);
+  ASSERT_NE(second, nullptr);
+  f.dm.setprimary(*obj, *second);
+  dm::PinnedSpan span = f.dm.access(*obj);
+  (void)span.data();
+  EXPECT_EQ(ptrprov::report_count(), 0u);
+}
+
+TEST(PtrprovRuntime, UnpinUnderLiveSpanFlagsUseAfterUnpin) {
+  Fixture f;
+  dm::Object* obj = f.make_object("unpinned", sim::kFast, 64 * util::KiB);
+  dm::PinnedSpan span = f.dm.access(*obj);
+  dm::DataManagerTestPeer::force_unpin(*obj);
+  (void)span.data();
+  dm::DataManagerTestPeer::set_pin(*obj, 1);
+  const auto reports = ptrprov::take_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kind, ProvenanceReport::Kind::kUseAfterUnpin);
+  EXPECT_EQ(reports[0].object, "unpinned");
+}
+
+TEST(PtrprovRuntime, ReleasedSpanIdAccessIsReported) {
+  // The raw-hook contract (what a future accessor must uphold): touching a
+  // span id after on_release names the original acquire site.
+  ptrprov::reset_for_testing();
+  int dummy_object = 0;
+  int dummy_region = 0;
+  const ptrprov::SpanId id = ptrprov::on_acquire(
+      &dummy_object, &dummy_region, /*gen=*/0, /*pin_count=*/1, "raw",
+      std::source_location::current());
+  ptrprov::on_release(id);
+  ptrprov::on_access(id, 1, std::source_location::current());
+  const auto reports = ptrprov::take_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kind, ProvenanceReport::Kind::kUseAfterUnpin);
+  EXPECT_EQ(reports[0].object, "raw");
+  EXPECT_NE(reports[0].acquire_site.find("ptrprov_runtime_test.cpp"),
+            std::string::npos);
+}
+
+TEST(PtrprovRuntime, UnpinnedExtractIsFlaggedAtTheEscape) {
+  Fixture f;
+  dm::Object* obj = f.make_object("escapee", sim::kFast, 64 * util::KiB);
+  ASSERT_FALSE(obj->pinned());
+  (void)dm::DataManagerTestPeer::unpinned_extract(f.dm, *obj);
+  const auto reports = ptrprov::take_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kind, ProvenanceReport::Kind::kUnpinnedExtract);
+  EXPECT_EQ(reports[0].object, "escapee");
+  // The escape hook takes a defaulted source_location, so the report names
+  // the extraction's call site -- this test -- not the accessor internals.
+  EXPECT_NE(reports[0].acquire_site.find("ptrprov_runtime_test.cpp"),
+            std::string::npos);
+}
+
+TEST(PtrprovRuntime, MovedFromSpanIsInertAndMoveKeepsTheRecord) {
+  Fixture f;
+  dm::Object* obj = f.make_object("mover", sim::kFast, 64 * util::KiB);
+  dm::PinnedSpan a = f.dm.access(*obj);
+  const ptrprov::SpanId id = a.span_id();
+  dm::PinnedSpan b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): the contract
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.span_id(), id);
+  (void)b.data();
+  EXPECT_EQ(ptrprov::report_count(), 0u);
+  EXPECT_EQ(obj->pin_count(), 1);  // exactly one pin survived the move
+}
+
+TEST(PtrprovRuntime, DumpListsObservedSitesDeterministically) {
+  Fixture f;
+  dm::Object* obj = f.make_object("dumped", sim::kFast, 64 * util::KiB);
+  for (int i = 0; i < 2; ++i) {  // one source line, two acquisitions
+    dm::PinnedSpan span = f.dm.access(*obj);
+    (void)span.data();
+  }
+  const auto sites = ptrprov::observed_sites();
+  ASSERT_EQ(sites.size(), 1u);  // same acquire site, deduplicated
+  EXPECT_EQ(sites[0].kind, "acquire");
+  EXPECT_EQ(sites[0].count, 2u);
+  const std::string dump = ptrprov::dump_registry_json();
+  EXPECT_NE(dump.find("\"kind\": \"acquire\""), std::string::npos);
+  EXPECT_NE(dump.find("ptrprov_runtime_test.cpp"), std::string::npos);
+  const std::string again = ptrprov::dump_registry_json();
+  EXPECT_EQ(dump, again);
+}
+
+}  // namespace
+}  // namespace ca
+
+#endif  // CA_PTRPROV_ENABLED

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """ca_lint: repository-rule linter for the data-management core.
 
-Six rules that clang-tidy cannot express, enforced over src/:
+Seven rules that clang-tidy cannot express, enforced over src/:
 
   byte-copy-route
       Raw ``memcpy``/``memmove`` and raw ``std::thread`` are confined to
@@ -51,6 +51,16 @@ Six rules that clang-tidy cannot express, enforced over src/:
       (simd::gemm_tile, simd::copy_bytes).  ``__builtin_ia32_pause`` is
       exempt: it lowers to ``pause`` on every x86 and is the sanctioned
       spin-loop hint (util/completion_latch.hpp).
+
+  region-data-route
+      Bare ``Region::data()`` extractions are confined to the files
+      sanctioned by docs/pointer_provenance.json (the manager's own
+      machinery, the PinnedSpan accessor, Runtime::resolve).  Everywhere
+      else reaches bytes through ``dm::PinnedSpan`` so the ``ca::ptrprov``
+      analyzer can prove the pointer never outlives its pin (paper SIII-C
+      pin discipline).  tools/ptrprov_check.py audits the sanctioned files
+      themselves (per-line counts, runtime diff); this rule guards the
+      perimeter.
 
 A finding can be waived on its own line with a trailing
 ``// ca_lint: allow(<rule>)`` comment; use sparingly and say why nearby.
@@ -121,6 +131,23 @@ SIMD_INTRINSICS_ALLOWED_DIRS = ("src/simd",)
 SIMD_INTRINSICS_TOKENS = re.compile(
     r"\b_mm\d{0,3}_\w+\s*\(|\b__m(?:64|128|256|512)[di]?\b"
     r"|\b__builtin_ia32_(?!pause\b)\w+")
+
+
+# Rule `region-data-route`: identifiers bound to a Region (declaration or
+# query result) whose .data()/->data() is then taken, plus chained
+# query->data() calls.  Same two-pass heuristic as tools/ptrprov_check.py;
+# the sanctioned-file set comes from docs/pointer_provenance.json.
+REGION_DATA_MANIFEST = "docs/pointer_provenance.json"
+
+REGION_DATA_DECL = re.compile(
+    r"\bRegion\s*[*&]\s*(?:const\s+)?(?P<name>\w+)\b")
+REGION_DATA_QUERY = re.compile(
+    r"\b(?P<name>\w+)\s*=\s*[\w.>-]*"
+    r"(?:allocate|getprimary|getlinked|region_on|primary)\s*\(")
+REGION_DATA_CALL = re.compile(r"\b(?P<recv>\w+)\s*(?:->|\.)\s*data\s*\(\s*\)")
+REGION_DATA_CHAINED = re.compile(
+    r"\b(?:getprimary|getlinked|region_on|primary)\s*\([^()]*\)\s*"
+    r"(?:->|\.)\s*data\s*\(\s*\)")
 
 
 class Finding:
@@ -320,6 +347,43 @@ def check_simd_intrinsics_route(root: Path) -> list[Finding]:
     return findings
 
 
+def check_region_data_route(root: Path) -> list[Finding]:
+    import json
+    manifest_path = root / REGION_DATA_MANIFEST
+    if not manifest_path.exists():
+        return [Finding(Path(REGION_DATA_MANIFEST), 1, "region-data-route",
+                        "manifest not found")]
+    manifest = json.loads(manifest_path.read_text())
+    sanctioned = {s["file"] for s in manifest.get("raw_data_sites", [])}
+    findings = []
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in (".cpp", ".hpp"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        if rel in sanctioned or rel.startswith("src/ptrprov/"):
+            continue  # audited by tools/ptrprov_check.py / the analyzer itself
+        text = path.read_text()
+        code = strip_comments_and_strings(text)
+        waived = waived_lines(text, "region-data-route")
+        tracked = {m.group("name") for m in REGION_DATA_DECL.finditer(code)}
+        tracked |= {m.group("name")
+                    for m in REGION_DATA_QUERY.finditer(code)}
+        lines = set()
+        for m in REGION_DATA_CALL.finditer(code):
+            if m.group("recv") in tracked:
+                lines.add(code.count("\n", 0, m.start()) + 1)
+        for m in REGION_DATA_CHAINED.finditer(code):
+            lines.add(code.count("\n", 0, m.start()) + 1)
+        for lineno in sorted(lines - waived):
+            findings.append(Finding(
+                Path(rel), lineno, "region-data-route",
+                "bare Region::data() outside the files sanctioned by "
+                "docs/pointer_provenance.json; access bytes through "
+                "dm::PinnedSpan (DataManager::access) so ca::ptrprov can "
+                "track the pointer's provenance"))
+    return findings
+
+
 # --- self-test ---------------------------------------------------------------
 
 SELF_TEST_BAD = """\
@@ -400,6 +464,31 @@ void tick(void* dst, const void* src, unsigned n) {
   auto t0 = std::chrono::steady_clock::now();
   (void)t0;
 }
+"""
+
+
+SELF_TEST_PROV_BAD = """\
+void rogue(Region* r, DataManager& dm, Object& obj) {
+  std::byte* p = r->data();
+  std::byte* q = dm.getprimary(obj)->data();
+  use(p, q);
+}
+"""
+
+SELF_TEST_PROV_GOOD = """\
+void fine(Region* r, std::vector<std::byte>& buf) {
+  // a r->data() mention in a comment is fine
+  const char* kDoc = "and getprimary(o)->data() in a string is fine too";
+  use(buf.data());  // not a Region receiver: untracked identifier
+  std::byte* p = r->data();  // ca_lint: allow(region-data-route)
+  use(p, kDoc);
+}
+"""
+
+SELF_TEST_PROV_MANIFEST = """\
+{"version": 1,
+ "raw_data_sites": [{"file": "src/dm/pinned_span.hpp", "count": 1}],
+ "accessors": []}
 """
 
 
@@ -494,6 +583,32 @@ def self_test() -> int:
                 f"fixtures produced {len(simd_other)} finding(s): "
                 f"{simd_other[0]}")
 
+        # region-data-route: bare extractions outside the manifest's files
+        # are flagged (one per line); extractions in comments/strings, on
+        # non-Region receivers, on waived lines, or inside a sanctioned
+        # file are not.
+        (root / "docs").mkdir()
+        (root / "docs" / "pointer_provenance.json").write_text(
+            SELF_TEST_PROV_MANIFEST)
+        (root / "src" / "policy" / "rogue.cpp").write_text(SELF_TEST_PROV_BAD)
+        (root / "src" / "policy" / "fine.cpp").write_text(SELF_TEST_PROV_GOOD)
+        (root / "src" / "dm" / "pinned_span.hpp").write_text(
+            SELF_TEST_PROV_BAD)
+        prov_findings = check_region_data_route(root)
+        prov_bad = [f for f in prov_findings
+                    if f.path.as_posix().endswith("rogue.cpp")]
+        prov_other = [f for f in prov_findings
+                      if not f.path.as_posix().endswith("rogue.cpp")]
+        if len(prov_bad) != 2:
+            failures.append(
+                f"region-data-route: expected 2 findings in the bad "
+                f"fixture, got {len(prov_bad)}")
+        if prov_other:
+            failures.append(
+                f"region-data-route: comment/string/waiver/sanctioned "
+                f"fixtures produced {len(prov_other)} finding(s): "
+                f"{prov_other[0]}")
+
     for f in failures:
         print(f"ca_lint --self-test: {f}", file=sys.stderr)
     if failures:
@@ -522,7 +637,9 @@ def main(argv: list[str]) -> int:
 
     findings = (check_byte_copy_route(root) + check_wall_clock(root) +
                 check_dm_audit(root) + check_kernel_scratch_route(root) +
-                check_intrusive_links(root) + check_simd_intrinsics_route(root))
+                check_intrusive_links(root) +
+                check_simd_intrinsics_route(root) +
+                check_region_data_route(root))
     if args.json:
         import json
         print(json.dumps({"tool": "ca_lint",
@@ -536,7 +653,8 @@ def main(argv: list[str]) -> int:
         return 1
     if not args.json:
         print("ca_lint: clean (byte-copy-route, wall-clock, dm-audit, "
-              "kernel-scratch-route, intrusive-links, simd-intrinsics-route)")
+              "kernel-scratch-route, intrusive-links, simd-intrinsics-route, "
+              "region-data-route)")
     return 0
 
 

@@ -21,6 +21,13 @@
 #            the CA_LOCKDEP_DUMP emitted by the graph test), and the
 #            generated lock table in docs/CONCURRENCY.md
 #            (tools/gen_lock_table.py --check).
+#   ptrprov  pointer-provenance gate: the ca::ptrprov suite on the CA_RACE
+#            build (ctest -R ptrprov — runtime, hazard-explorer, and
+#            sanctioned-route tests), the checker self-tests, the manifest
+#            vs source vs runtime-observed-site diffs
+#            (tools/ptrprov_check.py with the CA_PTRPROV_DUMP emitted by
+#            the route test), and the generated provenance table in
+#            docs/CONCURRENCY.md (tools/gen_prov_table.py --check).
 #   kparity  kernel-parity: the fast compute-kernel tier vs the scalar
 #            reference kernels (ctest -R kparity) under BOTH the ASan build
 #            and the CA_RACE build, so the blocked GEMM / im2col / parallel
@@ -53,8 +60,8 @@
 #
 # Usage: tools/check.sh [--jobs N] [--require-all]
 #                       [--skip-tsan] [--skip-race] [--skip-lockdep]
-#                       [--skip-kparity] [--skip-simd] [--skip-bench]
-#                       [--skip-tidy] [--skip-lint]
+#                       [--skip-ptrprov] [--skip-kparity] [--skip-simd]
+#                       [--skip-bench] [--skip-tidy] [--skip-lint]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -62,6 +69,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 RUN_TSAN=1
 RUN_RACE=1
 RUN_LOCKDEP=1
+RUN_PTRPROV=1
 RUN_KPARITY=1
 RUN_SIMD=1
 RUN_BENCH=1
@@ -75,6 +83,7 @@ while [[ $# -gt 0 ]]; do
     --skip-tsan) RUN_TSAN=0; shift ;;
     --skip-race) RUN_RACE=0; shift ;;
     --skip-lockdep) RUN_LOCKDEP=0; shift ;;
+    --skip-ptrprov) RUN_PTRPROV=0; shift ;;
     --skip-kparity) RUN_KPARITY=0; shift ;;
     --skip-simd) RUN_SIMD=0; shift ;;
     --skip-bench) RUN_BENCH=0; shift ;;
@@ -174,6 +183,41 @@ else
   skip lockdep "--skip-lockdep"
 fi
 
+# --- ptrprov: pointer-provenance & pin-discipline gate ------------------------
+if [[ "$RUN_PTRPROV" -eq 1 ]]; then
+  if command -v python3 > /dev/null 2>&1; then
+    note "ptrprov: ca::ptrprov suite on the CA_RACE build (ctest -R ptrprov)"
+    # Self-contained under --skip-race (CI runs ptrprov as its own job);
+    # CA_RACE implies CA_PTRPROV_ENABLED and arms the schedule explorer
+    # the hazard scenarios need.
+    cmake -B build-race -S . -DCA_RACE=ON -DCA_WERROR=OFF > /dev/null
+    cmake --build build-race -j "$JOBS" --target test_ptrprov
+    ( cd build-race && ctest -R 'ptrprov\.' --output-on-failure )
+
+    note "ptrprov: checker self-tests + manifest vs source vs runtime sites"
+    if ! python3 tools/ptrprov_check.py --self-test; then
+      fail=1
+    fi
+    # The route test re-runs the sanctioned workloads and dumps the
+    # observed accessor/escape sites; the checker then diffs manifest <->
+    # source scan and manifest <-> runtime sites, both directions.
+    PTRPROV_DUMP="$(pwd)/build-race/prov_sites.json"
+    ( cd build-race && CA_PTRPROV_DUMP="$PTRPROV_DUMP" \
+        ctest -R 'ptrprov\.PtrprovRoutes\.DumpObservedSitesWhenRequested' \
+        --output-on-failure )
+    if ! python3 tools/ptrprov_check.py --runtime "$PTRPROV_DUMP" | annotate; then
+      fail=1
+    fi
+    if ! python3 tools/gen_prov_table.py --check; then
+      fail=1
+    fi
+  else
+    skip ptrprov "python3 not installed"
+  fi
+else
+  skip ptrprov "--skip-ptrprov"
+fi
+
 # --- kparity: fast kernel tier vs the scalar reference ------------------------
 if [[ "$RUN_KPARITY" -eq 1 ]]; then
   note "kparity: kernel parity suite under ASan (ctest -R kparity)"
@@ -219,7 +263,7 @@ if [[ "$RUN_BENCH" -eq 1 ]]; then
   note "bench: every bench entry point on tiny shapes"
   cmake --build build-asan -j "$JOBS" \
     --target ablation_async micro_kernels micro_async_mover micro_allocator \
-             micro_copy_engine
+             micro_copy_engine micro_ptrprov
   ( cd build-asan && ctest -L bench-smoke --output-on-failure )
 else
   skip bench "--skip-bench"
