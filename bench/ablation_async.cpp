@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
                "Serialized (1-channel) vs multi-channel background mover vs "
                "synchronous copies vs the Fig. 7 projection.");
 
-  std::vector<BenchRecord> records;
+  BenchReport report("ablation_async");
   bool ordering_holds = true;
 
   // --- Large-model shape (the paper's headline configuration) --------------
@@ -95,9 +95,8 @@ int main(int argc, char** argv) {
                           "s",
                       util::format_fixed(o.steady.async_overlap_seconds, 1) +
                           "s"});
-      records.push_back({std::string(spec.name) + "/" + label,
-                         o.steady.seconds, o.wall_seconds,
-                         moved_bytes(o.steady)});
+      report.add(std::string(spec.name) + "/" + label, o.steady.seconds,
+                 o.wall_seconds, moved_bytes(o.steady));
     };
     row("sync", sync);
     row("serialized", serial);
@@ -148,14 +147,14 @@ int main(int argc, char** argv) {
                       util::format_fixed(multi.steady.seconds, 1) + "s",
                       util::format_fixed(projection, 1) + "s",
                       util::format_fixed(100.0 * recovered, 0) + "%"});
-      records.push_back({spec.name + "/" + std::to_string(dram) + "MiB/multi",
-                         multi.steady.seconds, multi.wall_seconds,
-                         moved_bytes(multi.steady)});
+      report.add(spec.name + "/" + std::to_string(dram) + "MiB/multi",
+                 multi.steady.seconds, multi.wall_seconds,
+                 moved_bytes(multi.steady));
     }
     std::fputs(util::render_table(rows).c_str(), stdout);
     std::printf("\n");
   }
 
-  write_bench_json(argc, argv, "ablation_async", records);
+  report.write(argc, argv);
   return ordering_holds ? 0 : 1;
 }

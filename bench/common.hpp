@@ -7,9 +7,11 @@
 // Optane hardware).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dnn/models.hpp"
@@ -202,5 +204,74 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
   }
   return false;
 }
+
+/// Nearest-rank percentile of `samples` (p in [0, 1]); sorts in place.
+/// Every bench reporting a latency tail uses this one definition so p99
+/// means the same thing in every BENCH_*.json.
+inline double percentile(std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1));
+  return samples[idx];
+}
+
+/// Accumulates one bench's machine-readable output -- the BENCH_<name>.json
+/// records and the mirrored CSV table -- behind a single interface, so all
+/// benches share one emitter and one label convention instead of each
+/// hand-maintaining parallel vectors:
+///   * add()        -- a timed result row (simulated + wall seconds, bytes);
+///   * add_metric() -- a derived value (rate, latency, ratio): the
+///                     `wall_seconds` JSON field carries the value and the
+///                     label names the unit;
+///   * add_speedup()-- the acceptance-record shape "speedup: <what>" with
+///                     the ratio in `wall_seconds`, so CI greps one label
+///                     shape across every bench.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void add(std::string label, double simulated_seconds, double wall_seconds,
+           std::uint64_t bytes_moved = 0) {
+    records_.push_back({std::move(label), simulated_seconds, wall_seconds,
+                        bytes_moved});
+  }
+
+  void add_metric(const std::string& label, double value,
+                  std::uint64_t bytes = 0) {
+    records_.push_back({label, 0.0, value, bytes});
+  }
+
+  void add_speedup(const std::string& what, double ratio,
+                   std::uint64_t bytes = 0) {
+    add_metric("speedup: " + what, ratio, bytes);
+  }
+
+  void csv_header(std::vector<std::string> columns) {
+    table_.insert(table_.begin(), std::move(columns));
+  }
+
+  void csv_row(std::vector<std::string> columns) {
+    table_.push_back(std::move(columns));
+  }
+
+  /// Emit BENCH_<name>.json (always) and, when a CSV file name was given
+  /// and rows were added, <csv_name> via maybe_write_csv.
+  void write(int argc, char** argv, const char* csv_name = nullptr) const {
+    if (csv_name != nullptr && !table_.empty()) {
+      maybe_write_csv(argc, argv, csv_name, table_);
+    }
+    write_bench_json(argc, argv, name_.c_str(), records_);
+  }
+
+  [[nodiscard]] const std::vector<BenchRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<BenchRecord> records_;
+  std::vector<std::vector<std::string>> table_;
+};
 
 }  // namespace ca::bench

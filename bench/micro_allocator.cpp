@@ -222,12 +222,7 @@ ReplayResult replay_trace(const std::vector<TraceOp>& ops,
   r.total_seconds =
       std::chrono::duration<double>(clock::now() - run0).count();
   r.ops = ops.size();
-  std::sort(alloc_s.begin(), alloc_s.end());
-  if (!alloc_s.empty()) {
-    const auto idx = static_cast<std::size_t>(
-        0.99 * static_cast<double>(alloc_s.size() - 1));
-    r.p99_alloc_seconds = alloc_s[idx];
-  }
+  r.p99_alloc_seconds = percentile(alloc_s, 0.99);
   return r;
 }
 
@@ -261,10 +256,9 @@ int run_trace(int argc, char** argv, bool smoke) {
   std::printf("%-10s %-16s %12s %12s %10s\n", "fit", "allocator", "ops/sec",
               "p99 alloc", "speedup");
 
-  std::vector<BenchRecord> records;
-  std::vector<std::vector<std::string>> table;
-  table.push_back({"fit", "allocator", "ops_per_sec", "p99_alloc_us",
-                   "total_seconds"});
+  BenchReport report("allocator");
+  report.csv_header({"fit", "allocator", "ops_per_sec", "p99_alloc_us",
+                     "total_seconds"});
   double firstfit_speedup = 0.0;
   for (const auto fit : {FreeListAllocator::Fit::kFirstFit,
                          FreeListAllocator::Fit::kBestFit}) {
@@ -289,25 +283,20 @@ int run_trace(int argc, char** argv, bool smoke) {
       const auto& r = side[0] == 'o' ? oldr : newr;
       const std::string label =
           std::string("trace ") + fit_name(fit) + " " + side;
-      records.push_back(
-          {label, 0.0, r.total_seconds, r.bytes_allocated});
-      // Derived metrics: wall_seconds carries the value (rate / latency),
-      // mirroring the micro_kernels "speedup:" convention.
-      records.push_back({"ops/sec: " + label, 0.0, r.ops_per_sec(), 0});
-      records.push_back(
-          {"p99 alloc s: " + label, 0.0, r.p99_alloc_seconds, 0});
-      table.push_back({fit_name(fit), side,
-                       util::format_fixed(r.ops_per_sec(), 0),
-                       util::format_fixed(r.p99_alloc_seconds * 1e6, 3),
-                       util::format_fixed(r.total_seconds, 6)});
+      report.add(label, 0.0, r.total_seconds, r.bytes_allocated);
+      report.add_metric("ops/sec: " + label, r.ops_per_sec());
+      report.add_metric("p99 alloc s: " + label, r.p99_alloc_seconds);
+      report.csv_row({fit_name(fit), side,
+                      util::format_fixed(r.ops_per_sec(), 0),
+                      util::format_fixed(r.p99_alloc_seconds * 1e6, 3),
+                      util::format_fixed(r.total_seconds, 6)});
     }
-    records.push_back({std::string("speedup: DNN trace alloc/free, ") +
+    report.add_speedup(std::string("DNN trace alloc/free, ") +
                            fit_name(fit) + " old vs new",
-                       0.0, speedup, 0});
+                       speedup);
   }
 
-  maybe_write_csv(argc, argv, "allocator_trace.csv", table);
-  write_bench_json(argc, argv, "allocator", records);
+  report.write(argc, argv, "allocator_trace.csv");
 
   if (!smoke && firstfit_speedup < 5.0) {
     std::printf(

@@ -84,9 +84,8 @@ int main(int argc, char** argv) {
       simd::kNtThreshold / 1024, rig.platform.copy_chunk / 1024, reps,
       smoke ? "  [smoke sizes]" : "");
 
-  std::vector<BenchRecord> records;
-  std::vector<std::vector<std::string>> table;
-  table.push_back({"label", "seconds", "GiB/s"});
+  BenchReport report("copy_engine");
+  report.csv_header({"label", "seconds", "GiB/s"});
 
   // --- per-level writeback copy sweep ---------------------------------------
   const std::size_t sizes[] = {64 * util::KiB, 1 * util::MiB, big};
@@ -101,9 +100,9 @@ int main(int argc, char** argv) {
                                 util::format_bytes(bytes);
       std::printf("%-34s %12.4f %9.2f\n", label.c_str(), t,
                   gibps(bytes, reps, t));
-      records.push_back({label, 0.0, t, bytes});
-      table.push_back({label, util::format_fixed(t, 4),
-                       util::format_fixed(gibps(bytes, reps, t), 2)});
+      report.add(label, 0.0, t, bytes);
+      report.csv_row({label, util::format_fixed(t, 4),
+                      util::format_fixed(gibps(bytes, reps, t), 2)});
     }
   }
   std::printf("\n");
@@ -125,14 +124,13 @@ int main(int argc, char** argv) {
               util::format_bytes(big).c_str(), nt_reps,
               simd::level_name(simd::active_level()), t_nt, t_tmp, wall_ratio,
               m_nt, m_tmp, modeled_ratio);
-  records.push_back({"speedup: nt writeback vs temporal, wall", 0.0,
-                     wall_ratio, big});
-  records.push_back({"speedup: nt writeback vs temporal, modeled", m_tmp - m_nt,
-                     modeled_ratio, big});
-  table.push_back({"nt vs temporal wall ratio",
-                   util::format_fixed(wall_ratio, 2), ""});
-  table.push_back({"nt vs temporal modeled ratio",
-                   util::format_fixed(modeled_ratio, 2), ""});
+  report.add_speedup("nt writeback vs temporal, wall", wall_ratio, big);
+  report.add("speedup: nt writeback vs temporal, modeled", m_tmp - m_nt,
+             modeled_ratio, big);
+  report.csv_row({"nt vs temporal wall ratio",
+                  util::format_fixed(wall_ratio, 2), ""});
+  report.csv_row({"nt vs temporal modeled ratio",
+                  util::format_fixed(modeled_ratio, 2), ""});
 
   // --- fill_zero (always writeback-hinted) ----------------------------------
   double t_fill = 0.0;
@@ -145,9 +143,9 @@ int main(int argc, char** argv) {
   }
   std::printf("%-34s %12.4f %9.2f\n\n", "fill_zero (writeback)", t_fill,
               gibps(big, reps, t_fill));
-  records.push_back({"fill_zero writeback", 0.0, t_fill, big});
-  table.push_back({"fill_zero writeback", util::format_fixed(t_fill, 4),
-                   util::format_fixed(gibps(big, reps, t_fill), 2)});
+  report.add("fill_zero writeback", 0.0, t_fill, big);
+  report.csv_row({"fill_zero writeback", util::format_fixed(t_fill, 4),
+                  util::format_fixed(gibps(big, reps, t_fill), 2)});
 
   // --- telemetry ------------------------------------------------------------
   std::printf("%s\n", telemetry::format_simd_report(
@@ -162,7 +160,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(rig.engine.stats().nt_bytes));
 
   simd::set_level(entry);
-  maybe_write_csv(argc, argv, "micro_copy_engine.csv", table);
-  write_bench_json(argc, argv, "copy_engine", records);
+  report.write(argc, argv, "micro_copy_engine.csv");
   return 0;
 }

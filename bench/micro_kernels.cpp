@@ -187,9 +187,8 @@ int main(int argc, char** argv) {
       "layers.\nHost wall seconds; %d rep(s) per row.%s\n\n",
       kThreads, reps, smoke ? "  [smoke shapes]" : "");
 
-  std::vector<BenchRecord> records;
-  std::vector<std::vector<std::string>> table;
-  table.push_back({"kernel", "scalar_s", "fast_s", "speedup"});
+  BenchReport report("kernels");
+  report.csv_header({"kernel", "scalar_s", "fast_s", "speedup"});
 
   // --- conv: the headline numbers -------------------------------------------
   double conv_scalar_total = 0.0, conv_fast_total = 0.0;
@@ -207,21 +206,17 @@ int main(int argc, char** argv) {
     std::printf("%-26s %12.4f %12.4f %8.1fx %10.1f\n",
                 conv_label(d).c_str(), scalar.total(), fastt.total(), speedup,
                 delta.gemm_gflops());
-    records.push_back(
-        {conv_label(d) + " scalar", 0.0, scalar.total(), 0});
-    records.push_back({conv_label(d) + " fast", 0.0, fastt.total(), 0});
-    table.push_back({conv_label(d), util::format_fixed(scalar.total(), 4),
-                     util::format_fixed(fastt.total(), 4),
-                     util::format_fixed(speedup, 1)});
+    report.add(conv_label(d) + " scalar", 0.0, scalar.total());
+    report.add(conv_label(d) + " fast", 0.0, fastt.total());
+    report.csv_row({conv_label(d), util::format_fixed(scalar.total(), 4),
+                    util::format_fixed(fastt.total(), 4),
+                    util::format_fixed(speedup, 1)});
   }
   const double conv_speedup =
       conv_fast_total > 0.0 ? conv_scalar_total / conv_fast_total : 0.0;
   std::printf("%-26s %12.4f %12.4f %8.1fx\n\n", "all conv layers",
               conv_scalar_total, conv_fast_total, conv_speedup);
-  // The acceptance record: wall_seconds holds the speedup RATIO, not a time
-  // (the JSON schema is shared across benches; the label says so).
-  records.push_back({"speedup: conv3x3 fwd+bwd, 8 threads vs scalar", 0.0,
-                     conv_speedup, 0});
+  report.add_speedup("conv3x3 fwd+bwd, 8 threads vs scalar", conv_speedup);
 
   // --- gemm: the im2col matrix shapes ---------------------------------------
   std::printf("%-26s %12s %12s %9s\n", "gemm m*n*k", "naive [s]", "fast [s]",
@@ -243,11 +238,11 @@ int main(int argc, char** argv) {
                               std::to_string(g.n) + "x" + std::to_string(g.k);
     std::printf("%-26s %12.4f %12.4f %8.1fx\n", label.c_str(), naive, fastt,
                 speedup);
-    records.push_back({label + " naive", 0.0, naive, 0});
-    records.push_back({label + " fast", 0.0, fastt, 0});
-    table.push_back({label, util::format_fixed(naive, 4),
-                     util::format_fixed(fastt, 4),
-                     util::format_fixed(speedup, 1)});
+    report.add(label + " naive", 0.0, naive);
+    report.add(label + " fast", 0.0, fastt);
+    report.csv_row({label, util::format_fixed(naive, 4),
+                    util::format_fixed(fastt, 4),
+                    util::format_fixed(speedup, 1)});
   }
   std::printf("\n");
 
@@ -277,17 +272,16 @@ int main(int argc, char** argv) {
                                 std::to_string(tile.mr) + "x" +
                                 std::to_string(tile.nr) + ")";
       std::printf("%-26s %12.4f %8.1fx\n", label.c_str(), t, vs);
-      records.push_back({label, 0.0, t, 0});
-      table.push_back({label, "", util::format_fixed(t, 4),
-                       util::format_fixed(vs, 1)});
+      report.add(label, 0.0, t);
+      report.csv_row({label, "", util::format_fixed(t, 4),
+                      util::format_fixed(vs, 1)});
     }
     simd::set_level(entry);
     const double dispatch_speedup = best_s > 0.0 ? scalar_s / best_s : 0.0;
     std::printf("%-26s %12s %8.1fx\n\n", "dispatched vs 4x8 scalar", "",
                 dispatch_speedup);
-    records.push_back(
-        {"speedup: dispatched gemm vs 4x8 scalar tile (CA_NATIVE=OFF)", 0.0,
-         dispatch_speedup, 0});
+    report.add_speedup("dispatched gemm vs 4x8 scalar tile (CA_NATIVE=OFF)",
+                       dispatch_speedup);
   }
 
   // --- eltwise: stage-0 activation-sized buffers ----------------------------
@@ -298,12 +292,12 @@ int main(int argc, char** argv) {
   const std::string elt_label = "eltwise " + std::to_string(elt_n) + " floats";
   std::printf("%-26s %12.4f %12.4f %8.1fx\n\n", elt_label.c_str(), elt_scalar,
               elt_fast, elt_fast > 0.0 ? elt_scalar / elt_fast : 0.0);
-  records.push_back({elt_label + " scalar", 0.0, elt_scalar, 0});
-  records.push_back({elt_label + " fast", 0.0, elt_fast, 0});
-  table.push_back({elt_label, util::format_fixed(elt_scalar, 4),
-                   util::format_fixed(elt_fast, 4),
-                   util::format_fixed(
-                       elt_fast > 0.0 ? elt_scalar / elt_fast : 0.0, 1)});
+  report.add(elt_label + " scalar", 0.0, elt_scalar);
+  report.add(elt_label + " fast", 0.0, elt_fast);
+  report.csv_row({elt_label, util::format_fixed(elt_scalar, 4),
+                  util::format_fixed(elt_fast, 4),
+                  util::format_fixed(
+                      elt_fast > 0.0 ? elt_scalar / elt_fast : 0.0, 1)});
 
   // --- parallel_for rendezvous: the latch wakeup tail -----------------------
   // Each round is one tiny fan-out/fan-in through the pool: the cost is
@@ -324,18 +318,16 @@ int main(int argc, char** argv) {
           /*min_grain=*/1);
       lat[static_cast<std::size_t>(i)] = t.seconds();
     }
-    std::sort(lat.begin(), lat.end());
-    const double p50 = lat[lat.size() / 2];
-    const double p99 = lat[static_cast<std::size_t>(
-        0.99 * static_cast<double>(lat.size() - 1))];
+    const double p50 = percentile(lat, 0.5);
+    const double p99 = percentile(lat, 0.99);
     std::printf("parallel_for rendezvous (%d rounds, n=%zu): "
                 "p50 %.2fus, p99 %.2fus wakeup tail\n\n",
                 rounds, buf.size(), p50 * 1e6, p99 * 1e6);
-    records.push_back({"parallel_for rendezvous p50 s", 0.0, p50, 0});
-    records.push_back({"parallel_for rendezvous p99 s", 0.0, p99, 0});
-    table.push_back({"parallel_for rendezvous p50/p99 us",
-                     util::format_fixed(p50 * 1e6, 2),
-                     util::format_fixed(p99 * 1e6, 2), ""});
+    report.add_metric("parallel_for rendezvous p50 s", p50);
+    report.add_metric("parallel_for rendezvous p99 s", p99);
+    report.csv_row({"parallel_for rendezvous p50/p99 us",
+                    util::format_fixed(p50 * 1e6, 2),
+                    util::format_fixed(p99 * 1e6, 2), ""});
   }
 
   std::printf("Totals: %zu gemm calls, %.1f achieved GFLOP/s, "
@@ -354,7 +346,6 @@ int main(int argc, char** argv) {
                 conv_speedup);
   }
 
-  maybe_write_csv(argc, argv, "micro_kernels.csv", table);
-  write_bench_json(argc, argv, "kernels", records);
+  report.write(argc, argv, "micro_kernels.csv");
   return 0;
 }

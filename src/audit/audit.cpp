@@ -1,6 +1,7 @@
 #include "audit/audit.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -332,6 +333,11 @@ AuditReport verify(const dm::DataManager& dm) {
   // align-rounded size.  Together with the block count equality this makes
   // the region<->block mapping a bijection.
   std::size_t live_regions = 0;
+  // Per-tenant, per-device resident-byte recomputation for dm.tenant.*
+  // below (heap-aligned sizes, matching what allocate charged).
+  std::array<std::array<std::size_t, dm::TenantStats::kMaxDevices>,
+             dm::kMaxTenants>
+      tenant_resident{};
   dm.for_each_region([&](const dm::Region& region) {
     ++live_regions;
     const std::size_t d = region.device().value;
@@ -339,6 +345,14 @@ AuditReport verify(const dm::DataManager& dm) {
       report.add("dm.region-roundtrip",
                  region_label(region) + ": device id out of range");
       return;
+    }
+    if (region.tenant().value >= dm::kMaxTenants) {
+      report.add("dm.tenant.resident",
+                 region_label(region) + ": tenant id " +
+                     std::to_string(region.tenant().value) + " out of range");
+    } else if (d < dm::TenantStats::kMaxDevices) {
+      tenant_resident[region.tenant().value][d] += util::align_up(
+          region.size(), dm.allocator(region.device()).alignment());
     }
     const auto& blocks = dev_blocks[d];
     const auto it = std::lower_bound(
@@ -414,6 +428,39 @@ AuditReport verify(const dm::DataManager& dm) {
     if (t.transfer.channel() >= dm.engine().channel_count()) {
       report.add("dm.inflight", "in-flight transfer on unknown channel " +
                                     std::to_string(t.transfer.channel()));
+    }
+  }
+
+  // dm.tenant.resident -- each tenant's accounted resident bytes per device
+  // must equal the heap-aligned sum of its live regions there (so the
+  // per-tenant accounting partitions the device's allocated bytes exactly),
+  // and dm.tenant.quota -- accounted residency never exceeds a non-zero
+  // quota (the QoS knob is an admission bound, not advisory).
+  for (std::size_t t = 0; t < dm::kMaxTenants; ++t) {
+    const auto stats = dm.tenant_stats(dm::TenantId{
+        static_cast<std::uint32_t>(t)});
+    for (std::size_t d = 0;
+         d < std::min<std::size_t>(devices, dm::TenantStats::kMaxDevices);
+         ++d) {
+      const auto id = sim::DeviceId{static_cast<std::uint32_t>(d)};
+      if (stats.resident[d] != tenant_resident[t][d]) {
+        report.add("dm.tenant.resident",
+                   "tenant " + std::to_string(t) + " device " +
+                       std::to_string(d) + ": accounts " +
+                       std::to_string(stats.resident[d]) +
+                       " resident bytes but its live regions hold " +
+                       std::to_string(tenant_resident[t][d]));
+      }
+      const std::size_t quota =
+          dm.tenant_quota(dm::TenantId{static_cast<std::uint32_t>(t)}, id);
+      if (quota != 0 && stats.resident[d] > quota) {
+        report.add("dm.tenant.quota",
+                   "tenant " + std::to_string(t) + " device " +
+                       std::to_string(d) + ": " +
+                       std::to_string(stats.resident[d]) +
+                       " resident bytes exceed the " + std::to_string(quota) +
+                       "-byte quota");
+      }
     }
   }
 

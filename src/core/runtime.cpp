@@ -14,6 +14,7 @@ Runtime::Runtime(sim::Platform platform, const PolicyFactory& make_policy,
   dm_ = std::make_unique<dm::DataManager>(platform_, clock_, counters_);
   policy_ = make_policy(*dm_);
   CA_CHECK(policy_ != nullptr, "policy factory returned null");
+  policy_->set_tenant(options_.tenant);
   policy_->set_pressure_handler([this] {
     ++gc_.pressure_triggers;
     return gc_collect() > 0;
@@ -23,7 +24,8 @@ Runtime::Runtime(sim::Platform platform, const PolicyFactory& make_policy,
 
 dm::Object& Runtime::new_object(std::size_t bytes, std::string name) {
   maybe_trigger_gc();
-  dm::Object* object = dm_->create_object(bytes, std::move(name));
+  dm::Object* object =
+      dm_->create_object(bytes, std::move(name), options_.tenant);
   try {
     policy_->place_new(*object);
   } catch (...) {

@@ -27,6 +27,12 @@
 namespace ca::core {
 
 struct RuntimeOptions {
+  /// Tenant this runtime's objects and allocations are charged to when the
+  /// DataManager is shared between clients.  Propagated to every
+  /// create_object and to the policy (which threads it through allocate /
+  /// evictfrom).  Default 0: the single-client tenant.
+  dm::TenantId tenant{};
+
   /// Run a collection when resident bytes exceed this fraction of total
   /// heap capacity (checked at allocation).  <= 0 disables the trigger;
   /// pressure-driven collection on allocation failure always remains.

@@ -14,7 +14,9 @@
 #include <cstdint>
 #include <string>
 
+#include "dm/tenant.hpp"
 #include "mem/transfer.hpp"
+#include "race/sync.hpp"
 #include "sim/device.hpp"
 
 namespace ca::dm {
@@ -63,9 +65,16 @@ class Region {
     return generation_;
   }
 
+  /// Tenant whose quota this region's bytes are charged against: the
+  /// allocating tenant, fixed for the region's lifetime.  link/setprimary
+  /// require it to match the object's tenant (a tenant may only attach its
+  /// own storage).
+  [[nodiscard]] TenantId tenant() const noexcept { return tenant_; }
+
  private:
   friend class DataManager;
   friend struct DataManagerTestPeer;
+  friend struct RaceTestPeer;
 
   sim::DeviceId device_{};
   std::size_t offset_ = 0;
@@ -76,6 +85,12 @@ class Region {
   double ready_at_ = 0.0;
   mem::Transfer fill_;
   std::uint64_t generation_ = 0;
+  TenantId tenant_{};
+  /// Two-phase release claim (guarded by the manager's objects_mu_): set
+  /// when a release path has committed to freeing this region, so a
+  /// concurrent second free is diagnosed as a usage error instead of
+  /// corrupting the heap.
+  bool releasing_ = false;
 };
 
 /// The logical data entity.  Holds up to one region per device; the primary
@@ -103,9 +118,15 @@ class Object {
   }
 
   /// While pinned (a kernel is executing against the primary's pointer) the
-  /// primary region must not change (paper §III-C, Data Access).
-  [[nodiscard]] bool pinned() const noexcept { return pin_count_ > 0; }
-  [[nodiscard]] int pin_count() const noexcept { return pin_count_; }
+  /// primary region must not change (paper §III-C, Data Access).  The
+  /// counter is a lock-free atomic: cross-tenant machinery (evictfrom
+  /// candidate checks, audits) reads it without the object-table lock.
+  [[nodiscard]] bool pinned() const noexcept { return pin_count_.load() > 0; }
+  [[nodiscard]] int pin_count() const noexcept { return pin_count_.load(); }
+
+  /// Owning tenant (set at creation; regions allocated for this object
+  /// default to the same tenant).
+  [[nodiscard]] TenantId tenant() const noexcept { return tenant_; }
 
  private:
   friend class DataManager;
@@ -116,7 +137,8 @@ class Object {
   std::string name_;
   Region* primary_ = nullptr;
   std::array<Region*, kMaxDevices> regions_{};
-  int pin_count_ = 0;
+  mutable sync::atomic<int> pin_count_{0};
+  TenantId tenant_{};
 };
 
 }  // namespace ca::dm

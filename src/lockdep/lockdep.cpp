@@ -202,6 +202,13 @@ void on_acquire(const void* mu, const ClassInfo* cls,
   const Site site{loc.file_name(), loc.line()};
   const Held* top = t_held.empty() ? nullptr : &t_held.back();
 
+  if (cls != nullptr) {
+    // The exercise counter reads are off the registry lock (dump/reset take
+    // it); relaxed is fine for a pure count.
+    const_cast<ClassInfo*>(cls)->acquires.fetch_add(1,
+                                                    std::memory_order_relaxed);
+  }
+
   // Recursive-class check: the same class twice on one stack deadlocks
   // self-sufficiently (our mutexes are non-recursive).
   const ClassInfo* recursive = nullptr;
@@ -340,7 +347,8 @@ std::string dump_graph_json() {
     out << ", \"file\": ";
     json_escape(out, cls->file);
     out << ", \"line\": " << cls->line << ", \"waive_blocking\": "
-        << (cls->waive_blocking ? "true" : "false") << "}";
+        << (cls->waive_blocking ? "true" : "false") << ", \"acquires\": "
+        << cls->acquires.load(std::memory_order_relaxed) << "}";
     first = false;
   }
   // Re-derive the sorted views locked (edges()/blocking_edges() would
@@ -399,6 +407,12 @@ void reset_for_testing() {
   r.graph.clear();
   r.blocking.clear();
   r.reports.clear();
+  // Exercise counts restart with the graph: the sanctioned-workload dump
+  // must prove each class was acquired by *that* workload, not by whatever
+  // ran before the reset.
+  for (const auto& cls : r.classes) {
+    cls->acquires.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace ca::lockdep

@@ -48,6 +48,7 @@ struct ClassInfo;
 
 #if defined(CA_LOCKDEP_ENABLED)
 
+#include <atomic>
 #include <cstdint>
 #include <source_location>
 #include <string>
@@ -60,6 +61,12 @@ struct ClassInfo {
   std::string file;  ///< declaration site (registration call)
   unsigned line = 0;
   bool waive_blocking = false;  ///< may legitimately be held across blocking
+  /// Acquisitions observed since the last reset_for_testing().  A class
+  /// that is merely *registered* (its CA_LOCK_CLASS static ran) but never
+  /// acquired by the sanctioned workload gives lockdep zero ordering
+  /// evidence -- tools/lockdep_check.py fails such classes as unexercised,
+  /// so coverage claims rest on acquisitions, not on registration.
+  std::atomic<std::uint64_t> acquires{0};
 };
 
 /// One frame of a lock chain in a report: the class plus the acquire site.

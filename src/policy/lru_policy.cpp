@@ -228,7 +228,7 @@ bool LruPolicy::prefetch_impl(dm::Object& object, bool force, bool async) {
   // the hint arrives too late to act on.
   if (object.pinned()) return false;
 
-  dm::Region* y = dm_.allocate(config_.fast, object.size());
+  dm::Region* y = dm_.allocate(config_.fast, object.size(), tenant_);
   if (y == nullptr) {
     if (!force) return false;
     y = allocate_fast_forced(object.size());
@@ -264,7 +264,7 @@ bool LruPolicy::try_displace(dm::Region& region) {
 
 dm::Region* LruPolicy::allocate_fast_forced(std::size_t size) {
   if (size > dm_.capacity(config_.fast)) return nullptr;
-  if (dm::Region* r = dm_.allocate(config_.fast, size)) return r;
+  if (dm::Region* r = dm_.allocate(config_.fast, size, tenant_)) return r;
 
   // Fast memory is under pressure.  Pick a starting point at the coldest
   // *evictable* resident object (the paper's "some heuristic like LRU",
@@ -281,26 +281,27 @@ dm::Region* LruPolicy::allocate_fast_forced(std::size_t size) {
   }
   ++stats_.forced_reclaims;
   if (!dm_.evictfrom(config_.fast, start, size,
-                     [this](dm::Region& r) { return try_displace(r); })) {
+                     [this](dm::Region& r) { return try_displace(r); },
+                     tenant_)) {
     return nullptr;
   }
-  dm::Region* r = dm_.allocate(config_.fast, size);
+  dm::Region* r = dm_.allocate(config_.fast, size, tenant_);
   CA_CHECK(r != nullptr, "evictfrom succeeded but allocation still failed");
   return r;
 }
 
 dm::Region& LruPolicy::allocate_slow_checked(std::size_t size) {
-  if (dm::Region* r = dm_.allocate(config_.slow, size)) return *r;
+  if (dm::Region* r = dm_.allocate(config_.slow, size, tenant_)) return *r;
   // Memory pressure: ask the runtime to collect dead objects, then retry.
   if (pressure_) {
     ++stats_.gc_pressure_calls;
     if (pressure_()) {
-      if (dm::Region* r = dm_.allocate(config_.slow, size)) return *r;
+      if (dm::Region* r = dm_.allocate(config_.slow, size, tenant_)) return *r;
     }
   }
   // Last resort: compaction (the heap may merely be fragmented).
   dm_.defragment(config_.slow);
-  if (dm::Region* r = dm_.allocate(config_.slow, size)) return *r;
+  if (dm::Region* r = dm_.allocate(config_.slow, size, tenant_)) return *r;
   throw OutOfMemoryError("slow memory exhausted allocating " +
                          std::to_string(size) + " bytes");
 }

@@ -25,6 +25,14 @@ class Policy {
  public:
   virtual ~Policy() = default;
 
+  /// The tenant this policy instance drives.  A policy belongs to exactly
+  /// one client of the (possibly shared) DataManager: every allocate /
+  /// evictfrom it issues is charged to -- and quota-checked against -- this
+  /// id.  Set once by the runtime before the first placement; defaults to
+  /// the single-client tenant 0.
+  void set_tenant(dm::TenantId tenant) noexcept { tenant_ = tenant; }
+  [[nodiscard]] dm::TenantId tenant() const noexcept { return tenant_; }
+
   /// A new object needs its first region.  Returns the region chosen as
   /// primary (already attached via setprimary).  Must succeed or throw
   /// OutOfMemoryError.
@@ -68,6 +76,9 @@ class Policy {
   /// true if any memory was reclaimed.
   using PressureHandler = std::function<bool()>;
   virtual void set_pressure_handler(PressureHandler handler) = 0;
+
+ protected:
+  dm::TenantId tenant_{};
 };
 
 }  // namespace ca::policy

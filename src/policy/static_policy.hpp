@@ -20,12 +20,12 @@ class PinnedDevicePolicy final : public Policy {
       : dm_(dm), device_(device), eager_retire_(eager_retire) {}
 
   dm::Region& place_new(dm::Object& object) override {
-    if (dm::Region* r = dm_.allocate(device_, object.size())) {
+    if (dm::Region* r = dm_.allocate(device_, object.size(), tenant_)) {
       dm_.setprimary(object, *r);
       return *r;
     }
     if (pressure_ && pressure_()) {
-      if (dm::Region* r = dm_.allocate(device_, object.size())) {
+      if (dm::Region* r = dm_.allocate(device_, object.size(), tenant_)) {
         dm_.setprimary(object, *r);
         return *r;
       }
@@ -35,7 +35,7 @@ class PinnedDevicePolicy final : public Policy {
     } catch (const UsageError&) {
       // A pinned region blocks compaction; fall through to OOM.
     }
-    if (dm::Region* r = dm_.allocate(device_, object.size())) {
+    if (dm::Region* r = dm_.allocate(device_, object.size(), tenant_)) {
       dm_.setprimary(object, *r);
       return *r;
     }

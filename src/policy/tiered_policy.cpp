@@ -50,15 +50,15 @@ void TieredLruPolicy::set_pressure_handler(PressureHandler handler) {
 dm::Region* TieredLruPolicy::allocate_on(std::size_t tier, std::size_t size) {
   const sim::DeviceId dev = config_.tiers[tier];
   if (size > dm_.capacity(dev)) return nullptr;
-  if (dm::Region* r = dm_.allocate(dev, size)) return r;
+  if (dm::Region* r = dm_.allocate(dev, size, tenant_)) return r;
 
   if (tier + 1 == config_.tiers.size()) {
     // Bottom tier: nothing to displace into.  GC then compact.
     if (pressure_ && pressure_()) {
-      if (dm::Region* r = dm_.allocate(dev, size)) return r;
+      if (dm::Region* r = dm_.allocate(dev, size, tenant_)) return r;
     }
     dm_.defragment(dev);
-    return dm_.allocate(dev, size);
+    return dm_.allocate(dev, size, tenant_);
   }
 
   // Reclaim a window by cascading the coldest residents down one tier.
@@ -72,12 +72,13 @@ dm::Region* TieredLruPolicy::allocate_on(std::size_t tier, std::size_t size) {
       start = vr->offset();
     }
   }
-  if (!dm_.evictfrom(dev, start, size, [this, tier](dm::Region& r) {
-        return try_displace(tier, r);
-      })) {
+  if (!dm_.evictfrom(
+          dev, start, size,
+          [this, tier](dm::Region& r) { return try_displace(tier, r); },
+          tenant_)) {
     return nullptr;
   }
-  return dm_.allocate(dev, size);
+  return dm_.allocate(dev, size, tenant_);
 }
 
 bool TieredLruPolicy::try_displace(std::size_t tier, dm::Region& region) {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 
 #include "util/error.hpp"
@@ -30,33 +31,42 @@ enum class TimeCategory : std::size_t {
 
 constexpr std::size_t kTimeCategoryCount = 4;
 
+// Thread-safe: multiple tenants of one shared DataManager advance the
+// clock concurrently (each charging its own stalls/copies), so the
+// accumulators are lock-free atomics.  Plain std::atomic, not the
+// ca::sync shims -- sim sits below the race layer, and the clock is an
+// accounting sink with no ordering contract beyond the sums themselves.
 class Clock {
  public:
   Clock() = default;
 
   /// Current simulated time in seconds since construction/reset.
-  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] double now() const noexcept {
+    return now_.load(std::memory_order_relaxed);
+  }
 
   /// Advance the clock, attributing the interval to `category`.
   void advance(double seconds, TimeCategory category) {
     CA_CHECK(seconds >= 0.0, "cannot advance the clock backwards");
-    now_ += seconds;
-    by_category_[static_cast<std::size_t>(category)] += seconds;
+    now_.fetch_add(seconds, std::memory_order_relaxed);
+    by_category_[static_cast<std::size_t>(category)].fetch_add(
+        seconds, std::memory_order_relaxed);
   }
 
   /// Total simulated time attributed to `category`.
   [[nodiscard]] double spent(TimeCategory category) const noexcept {
-    return by_category_[static_cast<std::size_t>(category)];
+    return by_category_[static_cast<std::size_t>(category)].load(
+        std::memory_order_relaxed);
   }
 
   void reset() noexcept {
-    now_ = 0.0;
-    by_category_.fill(0.0);
+    now_.store(0.0, std::memory_order_relaxed);
+    for (auto& c : by_category_) c.store(0.0, std::memory_order_relaxed);
   }
 
  private:
-  double now_ = 0.0;
-  std::array<double, kTimeCategoryCount> by_category_{};
+  std::atomic<double> now_{0.0};
+  std::array<std::atomic<double>, kTimeCategoryCount> by_category_{};
 };
 
 }  // namespace ca::sim

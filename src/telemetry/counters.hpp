@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -149,36 +150,50 @@ class OpHistogram {
 };
 
 /// Per-device traffic accounting.  Devices are addressed by sim::DeviceId.
+///
+/// Thread-safe: the counters are recorded from mover threads (CopyEngine)
+/// and from every tenant thread of a shared DataManager, so the storage is
+/// lock-free relaxed atomics (pure accounting sums -- no ordering contract)
+/// and `device()` returns a plain DeviceTraffic snapshot by value.
 class TrafficCounters {
  public:
   static constexpr std::size_t kMaxDevices = 8;
 
   void record_read(sim::DeviceId dev, std::uint64_t bytes) {
     auto& t = traffic_.at(dev.value);
-    t.bytes_read += bytes;
-    ++t.read_ops;
+    t.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+    t.read_ops.fetch_add(1, std::memory_order_relaxed);
   }
 
   void record_write(sim::DeviceId dev, std::uint64_t bytes) {
     auto& t = traffic_.at(dev.value);
-    t.bytes_written += bytes;
-    ++t.write_ops;
+    t.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+    t.write_ops.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Attribute `bytes` of an already-recorded write to the NT-store
   /// regime.  Call after record_write; never increases bytes_written.
   void record_nt_write(sim::DeviceId dev, std::uint64_t bytes) {
-    traffic_.at(dev.value).bytes_written_nt += bytes;
+    traffic_.at(dev.value).bytes_written_nt.fetch_add(
+        bytes, std::memory_order_relaxed);
   }
 
-  [[nodiscard]] const DeviceTraffic& device(sim::DeviceId dev) const {
-    return traffic_.at(dev.value);
+  [[nodiscard]] DeviceTraffic device(sim::DeviceId dev) const {
+    const auto& t = traffic_.at(dev.value);
+    DeviceTraffic snap;
+    snap.bytes_read = t.bytes_read.load(std::memory_order_relaxed);
+    snap.bytes_written = t.bytes_written.load(std::memory_order_relaxed);
+    snap.bytes_written_nt =
+        t.bytes_written_nt.load(std::memory_order_relaxed);
+    snap.read_ops = t.read_ops.load(std::memory_order_relaxed);
+    snap.write_ops = t.write_ops.load(std::memory_order_relaxed);
+    return snap;
   }
 
   /// Difference since a snapshot -- used to report per-iteration traffic.
   [[nodiscard]] DeviceTraffic delta(sim::DeviceId dev,
                                     const DeviceTraffic& snapshot) const {
-    const auto& now = traffic_.at(dev.value);
+    const DeviceTraffic now = device(dev);
     DeviceTraffic d;
     d.bytes_read = now.bytes_read - snapshot.bytes_read;
     d.bytes_written = now.bytes_written - snapshot.bytes_written;
@@ -188,10 +203,28 @@ class TrafficCounters {
     return d;
   }
 
-  void reset() noexcept { traffic_.fill(DeviceTraffic{}); }
+  void reset() noexcept {
+    for (auto& t : traffic_) {
+      t.bytes_read.store(0, std::memory_order_relaxed);
+      t.bytes_written.store(0, std::memory_order_relaxed);
+      t.bytes_written_nt.store(0, std::memory_order_relaxed);
+      t.read_ops.store(0, std::memory_order_relaxed);
+      t.write_ops.store(0, std::memory_order_relaxed);
+    }
+  }
 
  private:
-  std::array<DeviceTraffic, kMaxDevices> traffic_{};
+  /// Atomic mirror of DeviceTraffic (the snapshot struct stays plain so
+  /// existing callers keep value semantics).
+  struct AtomicTraffic {
+    std::atomic<std::uint64_t> bytes_read{0};
+    std::atomic<std::uint64_t> bytes_written{0};
+    std::atomic<std::uint64_t> bytes_written_nt{0};
+    std::atomic<std::uint64_t> read_ops{0};
+    std::atomic<std::uint64_t> write_ops{0};
+  };
+
+  std::array<AtomicTraffic, kMaxDevices> traffic_{};
 };
 
 }  // namespace ca::telemetry

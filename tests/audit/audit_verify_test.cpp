@@ -203,7 +203,7 @@ struct DataManagerTestPeer {
   }
 
   static void set_pin(Object& object, int count) {
-    object.pin_count_ = count;
+    object.pin_count_.store(count);
   }
 
   /// Point the object's primary somewhere else (a bogus or freed region);
@@ -223,7 +223,32 @@ struct DataManagerTestPeer {
 
   /// Pretend device `dev` is mid-compaction (-1 to clear).
   static void set_defragmenting(DataManager& dm, int dev) {
-    dm.defragmenting_ = dev;
+    dm.defragmenting_.store(dev, std::memory_order_relaxed);
+  }
+
+  /// Skew tenant `t`'s resident-byte counter on `dev` by `delta` without
+  /// touching any region -- the accounting drift dm.tenant.resident exists
+  /// to catch (a lost rollback or double charge would look exactly like
+  /// this).  Signed so tests can restore the counter afterwards.
+  static void skew_tenant_resident(DataManager& dm, TenantId t,
+                                   sim::DeviceId dev, std::ptrdiff_t delta) {
+    auto& counter = dm.tenants_[t.value].resident[dev.value];
+    if (delta >= 0) {
+      counter.fetch_add(static_cast<std::size_t>(delta),
+                        std::memory_order_relaxed);
+    } else {
+      counter.fetch_sub(static_cast<std::size_t>(-delta),
+                        std::memory_order_relaxed);
+    }
+  }
+
+  /// Drop the quota below what is already resident, bypassing the
+  /// admission check -- the overrun state dm.tenant.quota exists to catch
+  /// (a racy quota write or a missed reserve would leave exactly this).
+  static void force_tenant_quota(DataManager& dm, TenantId t,
+                                 sim::DeviceId dev, std::size_t bytes) {
+    dm.tenants_[t.value].quota[dev.value].store(bytes,
+                                                std::memory_order_relaxed);
   }
 };
 
@@ -583,6 +608,73 @@ TEST_F(DmAuditFixture, PinnedObjectOnDefragmentingDeviceIsNamed) {
   EXPECT_TRUE(audit::verify(dm_).ok());
   dm_.unpin(*obj);
   dm_.destroy_object(obj);
+}
+
+// --- dm.tenant.* invariants -------------------------------------------------
+
+TEST_F(DmAuditFixture, SkewedTenantResidentIsNamed) {
+  const dm::TenantId t = dm_.register_tenant("audited");
+  dm::Region* r = dm_.allocate(sim::kFast, 4096, t);
+  ASSERT_NE(r, nullptr);
+  ASSERT_TRUE(audit::verify(dm_).ok());
+  // Corruption: the counter drifts from the live-region sum, as a lost
+  // quota rollback or a double charge would leave it.
+  dm::DataManagerTestPeer::skew_tenant_resident(dm_, t, sim::kFast, 4096);
+  const auto report = audit::verify(dm_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("dm.tenant.resident")) << report.to_string();
+  // Restored, the books balance again.
+  dm::DataManagerTestPeer::skew_tenant_resident(dm_, t, sim::kFast, -4096);
+  EXPECT_TRUE(audit::verify(dm_).ok());
+  dm_.free(r);
+  EXPECT_TRUE(audit::verify(dm_).ok());
+}
+
+TEST_F(DmAuditFixture, UnderchargedTenantResidentIsNamed) {
+  const dm::TenantId t = dm_.register_tenant("undercharged");
+  dm::Region* r = dm_.allocate(sim::kFast, 4096, t);
+  ASSERT_NE(r, nullptr);
+  // The opposite drift: bytes resident on the device that the tenant's
+  // counter does not account for (a missed charge).
+  dm::DataManagerTestPeer::skew_tenant_resident(dm_, t, sim::kFast, -4096);
+  const auto report = audit::verify(dm_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("dm.tenant.resident")) << report.to_string();
+  dm::DataManagerTestPeer::skew_tenant_resident(dm_, t, sim::kFast, 4096);
+  EXPECT_TRUE(audit::verify(dm_).ok());
+  dm_.free(r);
+}
+
+TEST_F(DmAuditFixture, TenantQuotaOverrunIsNamed) {
+  const dm::TenantId t = dm_.register_tenant("capped");
+  dm::Region* r = dm_.allocate(sim::kFast, 8192, t);
+  ASSERT_NE(r, nullptr);
+  // The sanctioned setter refuses a quota below current residency...
+  EXPECT_THROW(dm_.set_tenant_quota(t, sim::kFast, 4096), InternalError);
+  EXPECT_TRUE(audit::verify(dm_).ok());
+  // ...so bypass it: the overrun state a racy quota write or a missed
+  // admission reserve would leave behind.
+  dm::DataManagerTestPeer::force_tenant_quota(dm_, t, sim::kFast, 4096);
+  const auto report = audit::verify(dm_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("dm.tenant.quota")) << report.to_string();
+  dm::DataManagerTestPeer::force_tenant_quota(dm_, t, sim::kFast, 0);
+  EXPECT_TRUE(audit::verify(dm_).ok());
+  dm_.free(r);
+}
+
+TEST_F(DmAuditFixture, QuotaDenialLeavesBooksBalanced) {
+  const dm::TenantId t = dm_.register_tenant("denied");
+  dm_.set_tenant_quota(t, sim::kFast, 8192);
+  dm::Region* r = dm_.allocate(sim::kFast, 8192, t);
+  ASSERT_NE(r, nullptr);
+  // Over quota: refused, counted, and -- the audit point -- the reserve is
+  // rolled back so the accounting still matches the live regions.
+  EXPECT_EQ(dm_.allocate(sim::kFast, 4096, t), nullptr);
+  EXPECT_EQ(dm_.tenant_stats(t).quota_denials, 1u);
+  EXPECT_TRUE(audit::verify(dm_).ok());
+  dm_.free(r);
+  EXPECT_TRUE(audit::verify(dm_).ok());
 }
 
 #if defined(CA_PTRPROV_ENABLED)

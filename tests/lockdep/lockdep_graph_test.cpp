@@ -1,9 +1,10 @@
 // Sanctioned-workload graph test: drives the real code paths -- sync and
-// async copies, modeled retirement, parallel_for rendezvous, kernel scratch
-// leases -- so every production lock class registers and every sanctioned
+// async copies, modeled retirement, tenant registration, eviction,
+// parallel_for rendezvous, kernel scratch leases -- so every production
+// lock class is *acquired* (not merely registered) and every sanctioned
 // acquisition pattern feeds the order graph, then asserts the graph matches
-// the declared hierarchy in docs/lock_hierarchy.json: all leaves, zero
-// ordering edges, zero held-across-blocking occurrences.
+// the declared hierarchy in docs/lock_hierarchy.json: exactly one ordering
+// edge (objects_mu_ -> heap_mu_), zero held-across-blocking occurrences.
 //
 // When CA_LOCKDEP_DUMP names a file, the observed graph is serialized there
 // for tools/lockdep_check.py --graph, which diffs it against the manifest
@@ -23,6 +24,7 @@ TEST(LockdepGraph, InstrumentationRequired) {
 
 #else  // CA_LOCKDEP_ENABLED
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <string>
@@ -42,9 +44,11 @@ namespace {
 /// docs/lock_hierarchy.json (tools/lockdep_check.py enforces the manifest
 /// against the annotations and against this test's dump).
 const char* const kProductionClasses[] = {
-    "dm::DataManager::inflight_mu_", "dnn::ScratchPool::mu_",
-    "mem::CopyEngine::mu_",          "mem::Transfer::State::mu",
-    "util::CompletionLatch::mu_",    "util::ThreadPool::mu_",
+    "dm::DataManager::heap_mu_",     "dm::DataManager::inflight_mu_",
+    "dm::DataManager::objects_mu_",  "dm::DataManager::tenants_mu_",
+    "dnn::ScratchPool::mu_",         "mem::CopyEngine::mu_",
+    "mem::Transfer::State::mu",      "util::CompletionLatch::mu_",
+    "util::ThreadPool::mu_",
 };
 
 /// The sanctioned workload: touches every subsystem that owns a lock.
@@ -55,19 +59,39 @@ void run_sanctioned_workload() {
   telemetry::TrafficCounters counters;
   dm::DataManager dm(platform, clock, counters);
 
-  // Sync copy: CopyEngine::mu_, ThreadPool::mu_, CompletionLatch::mu_
-  // (the chunked copy's parallel_for rendezvous).
-  dm::Region* a = dm.allocate(sim::kSlow, 256 * util::KiB);
-  dm::Region* b = dm.allocate(sim::kFast, 256 * util::KiB);
+  // Tenant registration: tenants_mu_.  Allocation below charges this
+  // tenant, so the quota/accounting paths run too.
+  const dm::TenantId tenant = dm.register_tenant("lockdep-workload");
+  dm.set_tenant_quota(tenant, sim::kFast, 8 * util::MiB);
+
+  // Allocate / free: objects_mu_ -> heap_mu_, the one sanctioned ordering
+  // edge (the tables and the device heap move together so block cookies
+  // always name live entries).  Sync copy: CopyEngine::mu_,
+  // ThreadPool::mu_, CompletionLatch::mu_ (the chunked copy's
+  // parallel_for rendezvous).
+  dm::Region* a = dm.allocate(sim::kSlow, 256 * util::KiB, tenant);
+  dm::Region* b = dm.allocate(sim::kFast, 256 * util::KiB, tenant);
   dm.copyto(*b, *a);
 
   // Async transfers: Transfer::State::mu, DataManager::inflight_mu_, and
   // the join discipline in retire_transfers / sync_region_real.
   const double done = dm.copyto_async(*a, *b);
-  for (int i = 0; i < 4; ++i) (void)dm.async_stats();
+  for (int i = 0; i < 4; ++i) (void)dm.inflight_transfers();
   clock.advance(done - clock.now() + 1e-9, sim::TimeCategory::kOther);
   dm.retire_transfers();
-  dm.free(b);
+
+  // Eviction: the candidate scan under heap_mu_ plus the lock-free
+  // callback discipline (the callback frees through the normal path, so
+  // it re-enters objects_mu_ -> heap_mu_ without holding either).
+  ASSERT_TRUE(dm.evictfrom(
+      sim::kFast, 0, 64 * util::KiB,
+      [&](dm::Region& victim) {
+        dm.free(&victim);
+        b = nullptr;
+        return true;
+      },
+      tenant));
+  if (b != nullptr) dm.free(b);
   dm.free(a);
 
   // Kernel scratch leases: ScratchPool::mu_.
@@ -94,26 +118,40 @@ void run_sanctioned_workload() {
   ASSERT_EQ(covered.load(), 64u);
 }
 
-TEST(LockdepGraph, SanctionedWorkloadYieldsFlatHierarchy) {
+TEST(LockdepGraph, SanctionedWorkloadMatchesDeclaredHierarchy) {
   lockdep::reset_for_testing();
   run_sanctioned_workload();
 
   // Every declared class registered (the dump below would otherwise pass
-  // trivially by never exercising a subsystem).
+  // trivially by never exercising a subsystem).  tools/lockdep_check.py
+  // additionally requires each class's dumped `acquires` count to be
+  // non-zero -- registration alone is not coverage.
   const std::string dump = lockdep::dump_graph_json();
   for (const char* cls : kProductionClasses) {
     EXPECT_NE(dump.find(std::string("\"") + cls + "\""), std::string::npos)
         << "lock class never registered by the workload: " << cls;
   }
 
-  // The sanctioned hierarchy is flat: no lock is ever acquired while
-  // another named lock is held, and none is held across a blocking op.
+  // The sanctioned hierarchy has exactly one ordering edge -- the
+  // DataManager acquires heap_mu_ under objects_mu_ on allocate/release/
+  // defragment -- and no lock is held across a blocking op.
   const auto edges = lockdep::edges();
   for (const auto& edge : edges) {
+    if (edge.from == "dm::DataManager::objects_mu_" &&
+        edge.to == "dm::DataManager::heap_mu_") {
+      continue;
+    }
     ADD_FAILURE() << "undeclared ordering edge observed: " << edge.from
                   << " -> " << edge.to << " (acquired at " << edge.site
                   << ")";
   }
+  EXPECT_TRUE(std::any_of(edges.begin(), edges.end(),
+                          [](const lockdep::EdgeInfo& e) {
+                            return e.from == "dm::DataManager::objects_mu_" &&
+                                   e.to == "dm::DataManager::heap_mu_";
+                          }))
+      << "the sanctioned objects_mu_ -> heap_mu_ edge was never observed "
+         "(allocate should exercise it)";
   const auto blocking = lockdep::blocking_edges();
   for (const auto& b : blocking) {
     ADD_FAILURE() << "lock held across blocking op: " << b.cls << " across "

@@ -17,12 +17,12 @@ struct DataManagerTestPeer {
   /// The §III-C bug itself: drop the object's pins while raw pointers (or
   /// live spans) still reference its primary.  From here evictfrom and
   /// defragment are free to relocate the bytes underneath them.
-  static void force_unpin(Object& object) { object.pin_count_ = 0; }
+  static void force_unpin(Object& object) { object.pin_count_.store(0); }
 
   /// Restore a sane pin count (so span destructors and audits after the
   /// staged hazard do not underflow).
   static void set_pin(Object& object, int count) {
-    object.pin_count_ = count;
+    object.pin_count_.store(count);
   }
 
   /// The unpinned raw escape: what a kernel that skipped the
@@ -59,7 +59,7 @@ struct DataManagerTestPeer {
   /// Corruption injector for the "no pinned object on a defragmenting
   /// device" invariant: pretend `dev` is mid-compaction (or -1 to clear).
   static void set_defragmenting(DataManager& dm, int dev) {
-    dm.defragmenting_ = dev;
+    dm.defragmenting_.store(dev, std::memory_order_relaxed);
   }
 };
 

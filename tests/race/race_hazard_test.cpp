@@ -43,7 +43,7 @@ sim::Platform tiny_platform() {
 /// A few registry-lock round-trips while the mover is in flight: contested
 /// schedule points that widen the interleaving space the explorer can reach.
 void poke_registry(const dm::DataManager& dm) {
-  for (int i = 0; i < 8; ++i) (void)dm.async_stats();
+  for (int i = 0; i < 8; ++i) (void)dm.inflight_transfers();
 }
 
 /// Hazard 1 -- free while in flight.  The buggy path frees the transfer's

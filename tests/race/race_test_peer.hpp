@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 
 #include "dm/data_manager.hpp"
 #include "race/access.hpp"
@@ -19,13 +20,17 @@ struct RaceTestPeer {
   /// scrubbed so the modeled state stays consistent; only the join is
   /// skipped.
   static void free_without_join(DataManager& dm, Region* region) {
-    if (region->parent() != nullptr) dm.detach(*region);
+    {
+      sync::lock lock(dm.objects_mu_);
+      if (region->parent() != nullptr) dm.detach(*region);
+      region->releasing_ = true;
+    }
     {
       sync::lock lock(dm.inflight_mu_);
       std::size_t kept = 0;
       for (auto& t : dm.inflight_) {
         if (t.dst == region || t.src == region) {
-          ++dm.async_stats_.retired;
+          dm.async_counters_.retired.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
         if (&dm.inflight_[kept] != &t) dm.inflight_[kept] = std::move(t);
@@ -35,6 +40,8 @@ struct RaceTestPeer {
     }
     CA_RACE_FREE(region->data(), region->size(),
                  "RaceTestPeer::free_without_join");
+    sync::lock lock(dm.objects_mu_);
+    sync::lock heap_lock(dm.heap_mu_);
     auto& h = dm.heap(region->device());
     h.alloc->free(region->offset());
     dm.regions_.erase(region);
@@ -53,7 +60,9 @@ struct RaceTestPeer {
     }
     {
       sync::lock lock(dm.engine_.mu_);
-      (void)dm.async_stats();  // mem::CopyEngine::mu_ -> inflight_mu_: cycle
+      // mem::CopyEngine::mu_ -> inflight_mu_: the cycle.  (async_stats() is
+      // lock-free now; the registry snapshot still takes inflight_mu_.)
+      (void)dm.inflight_transfers();
     }
   }
 
@@ -69,6 +78,31 @@ struct RaceTestPeer {
     for (auto& t : dm.inflight_) t.transfer.join();
   }
 
+  /// Hazard 5 -- "cross-tenant evict": run an evictfrom-style candidate
+  /// scan WITHOUT the tenant-isolation check and hand the first victim on
+  /// `dev` to the callback even when it belongs to another tenant -- the
+  /// bug the `victim == requester` refusal in DataManager::evictfrom
+  /// fixes.  The owner may be touching the region's bytes concurrently, so
+  /// the callback's free is unordered with those accesses and the detector
+  /// must flag it in every schedule.
+  static bool evict_ignoring_tenant(
+      DataManager& dm, sim::DeviceId dev,
+      const std::function<bool(Region&)>& evict) {
+    Region* victim = nullptr;
+    {
+      sync::lock heap_lock(dm.heap_mu_);
+      auto& h = dm.heap(dev);
+      h.alloc->for_blocks_from(
+          0, [&](const mem::FreeListAllocator::BlockView& b) {
+            if (!b.allocated) return true;
+            victim = static_cast<Region*>(h.alloc->cookie(b.offset));
+            return false;
+          });
+    }
+    if (victim == nullptr) return false;
+    return evict(*victim);  // no tenant check: the bug
+  }
+
   /// Hazard 2 -- "retire before join": drop registry entries whose modeled
   /// completion has passed WITHOUT joining their real copies (the bug
   /// `retire_transfers` fixes by joining every retiree before returning).
@@ -80,7 +114,7 @@ struct RaceTestPeer {
     std::size_t kept = 0;
     for (auto& t : dm.inflight_) {
       if (t.transfer.done_time() <= now) {
-        ++dm.async_stats_.retired;
+        dm.async_counters_.retired.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       if (&dm.inflight_[kept] != &t) dm.inflight_[kept] = std::move(t);

@@ -28,6 +28,13 @@
 #            (tools/ptrprov_check.py with the CA_PTRPROV_DUMP emitted by
 #            the route test), and the generated provenance table in
 #            docs/CONCURRENCY.md (tools/gen_prov_table.py --check).
+#   multitenant  shared-manager concurrency gate: the multi-tenant suite
+#            (semantics + per-tenant accounting + plain-thread concurrency,
+#            tests/dm/multitenant_test.cpp) under the ASan build and the
+#            TSan build, the cross-tenant hazard scenarios under the
+#            CA_RACE schedule explorer (flagged-then-fixed across >=1000
+#            distinct schedules), and the K=4 shared-manager bench on its
+#            smoke shape (bench-smoke.micro_multitenant).
 #   kparity  kernel-parity: the fast compute-kernel tier vs the scalar
 #            reference kernels (ctest -R kparity) under BOTH the ASan build
 #            and the CA_RACE build, so the blocked GEMM / im2col / parallel
@@ -60,7 +67,8 @@
 #
 # Usage: tools/check.sh [--jobs N] [--require-all]
 #                       [--skip-tsan] [--skip-race] [--skip-lockdep]
-#                       [--skip-ptrprov] [--skip-kparity] [--skip-simd]
+#                       [--skip-ptrprov] [--skip-multitenant]
+#                       [--skip-kparity] [--skip-simd]
 #                       [--skip-bench] [--skip-tidy] [--skip-lint]
 set -euo pipefail
 
@@ -70,6 +78,7 @@ RUN_TSAN=1
 RUN_RACE=1
 RUN_LOCKDEP=1
 RUN_PTRPROV=1
+RUN_MULTITENANT=1
 RUN_KPARITY=1
 RUN_SIMD=1
 RUN_BENCH=1
@@ -84,6 +93,7 @@ while [[ $# -gt 0 ]]; do
     --skip-race) RUN_RACE=0; shift ;;
     --skip-lockdep) RUN_LOCKDEP=0; shift ;;
     --skip-ptrprov) RUN_PTRPROV=0; shift ;;
+    --skip-multitenant) RUN_MULTITENANT=0; shift ;;
     --skip-kparity) RUN_KPARITY=0; shift ;;
     --skip-simd) RUN_SIMD=0; shift ;;
     --skip-bench) RUN_BENCH=0; shift ;;
@@ -218,6 +228,36 @@ else
   skip ptrprov "--skip-ptrprov"
 fi
 
+# --- multitenant: shared-manager concurrency gate -----------------------------
+if [[ "$RUN_MULTITENANT" -eq 1 ]]; then
+  note "multitenant: suite under ASan (semantics + plain-thread concurrency)"
+  cmake --build build-asan -j "$JOBS" --target test_multitenant
+  ( cd build-asan && ctest -R 'multitenant\.' --output-on-failure )
+
+  note "multitenant: suite under TSan"
+  # Self-contained under --skip-tsan (CI runs multitenant as its own job).
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCA_SANITIZE=thread \
+    -DCA_WERROR=OFF > /dev/null
+  cmake --build build-tsan -j "$JOBS" --target test_multitenant
+  ( cd build-tsan && ctest -R 'multitenant\.' --output-on-failure )
+
+  note "multitenant: cross-tenant hazards under the CA_RACE schedule explorer"
+  # Self-contained under --skip-race; CA_RACE arms the explorer the
+  # flagged-then-fixed hazard scenarios need (>=1000 distinct schedules).
+  cmake -B build-race -S . -DCA_RACE=ON -DCA_WERROR=OFF > /dev/null
+  cmake --build build-race -j "$JOBS" --target test_multitenant
+  ( cd build-race && ctest -R 'multitenant\.' --output-on-failure )
+
+  note "multitenant: K=4 shared-manager bench on the smoke shape"
+  cmake --build build-asan -j "$JOBS" --target micro_multitenant
+  ( cd build-asan && ctest -R 'bench-smoke\.micro_multitenant' \
+      --output-on-failure )
+else
+  skip multitenant "--skip-multitenant"
+fi
+
 # --- kparity: fast kernel tier vs the scalar reference ------------------------
 if [[ "$RUN_KPARITY" -eq 1 ]]; then
   note "kparity: kernel parity suite under ASan (ctest -R kparity)"
@@ -263,7 +303,7 @@ if [[ "$RUN_BENCH" -eq 1 ]]; then
   note "bench: every bench entry point on tiny shapes"
   cmake --build build-asan -j "$JOBS" \
     --target ablation_async micro_kernels micro_async_mover micro_allocator \
-             micro_copy_engine micro_ptrprov
+             micro_copy_engine micro_multitenant micro_ptrprov
   ( cd build-asan && ctest -L bench-smoke --output-on-failure )
 else
   skip bench "--skip-bench"

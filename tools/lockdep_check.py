@@ -22,7 +22,10 @@ The single source of truth is docs/lock_hierarchy.json.  Two checks:
       ordering edge fails (the CI-red case), and so does a
       declared-but-never-observed one (dead hierarchy = stale manifest).
       Blocking occurrences fail unless the class is waived, and every
-      manifest class must have been exercised by the workload.
+      manifest class must have been *acquired* by the workload: the dump
+      carries a per-class acquisition count, and a class whose
+      CA_LOCK_CLASS static merely ran (registration) without any lock()
+      gives lockdep zero ordering evidence, so it counts as unexercised.
 
 Usage: tools/lockdep_check.py [--root DIR] [--manifest FILE]
                               [--graph DUMP] [--json] [--self-test]
@@ -223,7 +226,14 @@ def check_manifest_vs_graph(manifest: dict, manifest_rel: str,
     findings: list[Finding] = []
     declared_classes = {c["name"]: c for c in manifest["classes"]}
     declared_edges = {(e["from"], e["to"]) for e in manifest["edges"]}
-    observed_classes = {c["name"] for c in dump.get("classes", [])}
+    observed = {c["name"]: c for c in dump.get("classes", [])}
+    observed_classes = set(observed)
+    # Registration alone (the CA_LOCK_CLASS static running) proves nothing
+    # about coverage: only classes the workload actually *locked* carry
+    # ordering evidence.  Dumps predating the counter have no "acquires"
+    # key; treat those classes as acquired so old dumps stay comparable.
+    acquired_classes = {name for name, c in observed.items()
+                        if c.get("acquires", 1) > 0}
     observed_edges = {(e["from"], e["to"]): e for e in dump.get("edges", [])}
 
     # Direction 1: everything observed at runtime must be sanctioned.
@@ -248,11 +258,18 @@ def check_manifest_vs_graph(manifest: dict, manifest_rel: str,
             manifest_rel, 1, "unobserved-edge",
             f"manifest declares `{src}` -> `{dst}` but the sanctioned "
             "workload never exercised it (stale manifest?)"))
-    for name in sorted(set(declared_classes) - observed_classes):
-        findings.append(Finding(
-            manifest_rel, 1, "unexercised-class",
-            f"manifest class `{name}` never registered at runtime -- the "
-            "graph workload does not cover its subsystem"))
+    for name in sorted(set(declared_classes) - acquired_classes):
+        if name in observed_classes:
+            findings.append(Finding(
+                manifest_rel, 1, "unexercised-class",
+                f"manifest class `{name}` registered at runtime but was "
+                "never acquired -- the graph workload does not lock it, so "
+                "its declared ordering is untested"))
+        else:
+            findings.append(Finding(
+                manifest_rel, 1, "unexercised-class",
+                f"manifest class `{name}` never registered at runtime -- "
+                "the graph workload does not cover its subsystem"))
 
     # Classes observed at runtime that look like production locks (the
     # test suites register `test::` classes; `<unnamed>` is the shared
@@ -295,7 +312,19 @@ SELF_TEST_MANIFEST = {
 }
 
 SELF_TEST_DUMP_CLEAN = {
-    "classes": [{"name": "test::Pool::mu_"}, {"name": "test::Pool::outer_"}],
+    "classes": [{"name": "test::Pool::mu_", "acquires": 12},
+                {"name": "test::Pool::outer_", "acquires": 3}],
+    "edges": [{"from": "test::Pool::outer_", "to": "test::Pool::mu_",
+               "site": "pool.cpp:10"}],
+    "blocking": [],
+}
+
+# Registered (the CA_LOCK_CLASS static ran) but never locked: the edge is
+# still observed -- from an earlier, unsanctioned schedule say -- yet the
+# sanctioned workload holds zero acquisitions of outer_.
+SELF_TEST_DUMP_UNACQUIRED = {
+    "classes": [{"name": "test::Pool::mu_", "acquires": 12},
+                {"name": "test::Pool::outer_", "acquires": 0}],
     "edges": [{"from": "test::Pool::outer_", "to": "test::Pool::mu_",
                "site": "pool.cpp:10"}],
     "blocking": [],
@@ -384,6 +413,16 @@ def self_test() -> int:
         if "held-across-blocking" not in bad_rules:
             failures.append("unwaived blocking occurrence not flagged "
                             f"(rules={sorted(bad_rules)})")
+
+        # A class that registered but was never locked must count as
+        # unexercised even though it appears in the dump's class list.
+        unacq = check_manifest_vs_graph(
+            SELF_TEST_MANIFEST, "manifest.json", SELF_TEST_DUMP_UNACQUIRED,
+            "dump.json")
+        if not any(f.rule == "unexercised-class" and "never acquired"
+                   in f.message for f in unacq):
+            failures.append("registered-but-never-acquired class not "
+                            f"flagged: {[str(f) for f in unacq]}")
 
     for f in failures:
         print(f"lockdep_check --self-test: {f}", file=sys.stderr)
