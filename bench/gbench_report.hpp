@@ -1,0 +1,83 @@
+// Adapter between google-benchmark and the shared BenchReport emitter:
+// mirrors every finished run into BENCH_<name>.json so the micro benches
+// (micro_dm_ops, micro_async_mover, micro_policy, micro_ptrprov) produce
+// the same machine-readable shape as the figure and subsystem benches.
+//
+// Usage, replacing BENCHMARK_MAIN():
+//
+//   int main(int argc, char** argv) {
+//     return ca::bench::run_gbench_with_report(argc, argv, "dm_ops");
+//   }
+//
+// The console table is unchanged (the adapter subclasses ConsoleReporter);
+// the JSON lands in the directory given as the first non-flag argument, or
+// the current directory -- the write_bench_json convention every bench
+// already follows.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+
+namespace ca::bench {
+
+/// ConsoleReporter that also records each per-iteration run as one
+/// BenchRecord: label is the full benchmark name (with args), wall_seconds
+/// is the real time per iteration, bytes_moved is reconstructed from the
+/// finalized bytes_per_second rate.  Remaining user counters become
+/// add_metric rows ("<name> [<counter>]") so nothing the bench reports on
+/// the console is missing from the JSON.
+class GBenchJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit GBenchJsonReporter(std::string name) : report_(std::move(name)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      const double per_iter_s = run.real_accumulated_time / iters;
+      const std::string label = run.benchmark_name();
+      std::uint64_t bytes = 0;
+      const auto bps = run.counters.find("bytes_per_second");
+      if (bps != run.counters.end() && per_iter_s > 0.0) {
+        bytes = static_cast<std::uint64_t>(
+            static_cast<double>(bps->second) * per_iter_s + 0.5);
+      }
+      report_.add(label, /*simulated_seconds=*/0.0, per_iter_s, bytes);
+      for (const auto& [cname, counter] : run.counters) {
+        if (cname == "bytes_per_second" || cname == "items_per_second") {
+          continue;  // already carried by the record / derivable from it
+        }
+        report_.add_metric(label + " [" + cname + "]",
+                           static_cast<double>(counter));
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const BenchReport& report() const { return report_; }
+
+ private:
+  BenchReport report_;
+};
+
+/// The shared main body: initialize (google-benchmark strips its own
+/// --benchmark_* flags, the output directory stays behind for
+/// write_bench_json), run everything through the recording reporter, emit
+/// BENCH_<name>.json.
+inline int run_gbench_with_report(int argc, char** argv, const char* name) {
+  benchmark::Initialize(&argc, argv);
+  GBenchJsonReporter reporter(name);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  reporter.report().write(argc, argv);
+  return 0;
+}
+
+}  // namespace ca::bench

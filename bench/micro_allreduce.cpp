@@ -1,0 +1,234 @@
+// Data-parallel bucketed-allreduce bench (the DESIGN.md §3.6 headline):
+// K VGG-416-shaped replicas training over ONE shared heterogeneous-memory
+// heap, gradients coalesced into fixed-capacity kGradient buckets and
+// allreduced over the modeled interconnect -- serialized (every bucket
+// launched after backward, chained) vs bucketed-overlapped (each bucket
+// launched at the simulated second its last gradient became ready, hiding
+// comm behind the rest of backward).
+//
+// Three phases:
+//
+//  1. Overlap headline, K in {2, 4, 8}.  Both modes run the same model,
+//     seed and bucket layout; steady-state steps (the first step builds
+//     the bucket layout) are averaged.  Reported per mode: modeled step
+//     seconds, aggregate samples per SIMULATED second (the repo's
+//     measurement currency -- host-independent; wall seconds recorded
+//     alongside), comm busy/exposed/overlapped split, wire bytes.  The
+//     acceptance records are the K=4 ratios: aggregate samples/sim-s
+//     (target >= 1.4x) and comm-exposed seconds (target >= 3x reduction).
+//
+//  2. Ring-vs-tree crossover.  The cost model in comm/allreduce.hpp:
+//     ring moves 2(K-1) chunks of B/K (bandwidth-optimal, per-message
+//     latency paid 2(K-1) times), the binomial tree moves whole-B messages
+//     2*ceil(log2 K) times (latency-optimal).  The sweep records both
+//     costs across message sizes plus the solved crossover_bytes(link, K)
+//     -- the per-bucket size-based pick the engine applies.
+//
+//  3. Pick audit: per-K ring/tree picks the trainer's buckets actually
+//     got, so the JSON ties the crossover model to the engine's decisions.
+//
+// `--smoke` shrinks the matrix (K=2, fewer convs, one measured step) for
+// the bench-smoke ctest label.
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "comm/allreduce.hpp"
+#include "common.hpp"
+#include "dnn/dp_trainer.hpp"
+#include "dnn/models.hpp"
+#include "util/align.hpp"
+#include "util/format.hpp"
+
+using namespace ca;
+using namespace ca::bench;
+
+namespace {
+
+double wall_now() {
+  using clk = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clk::now().time_since_epoch())
+      .count();
+}
+
+// VGG 416 shape (5 stages of {64,64,96,96,96} convs -- the paper's
+// extended-VGG) with channels/batch scaled so K=8 replicas, their
+// gradients and their buckets share one scaled heap.  Parameter volume
+// (what allreduce moves) is batch-independent.
+dnn::ModelSpec dp_model(bool smoke) {
+  dnn::ModelSpec spec = dnn::ModelSpec::vgg416_large();
+  spec.name = smoke ? "VGG-416-shaped (smoke)" : "VGG-416-shaped (dp)";
+  spec.base_channels = 4;
+  spec.batch = 4;
+  if (smoke) spec.stages = {8, 8, 12, 12, 12};
+  return spec;
+}
+
+struct ModeResult {
+  dp::StepMetrics m;         // steady-state average
+  double wall_seconds = 0.0;
+  std::uint64_t wire_bytes = 0;  // per step
+  std::uint64_t ring_picks = 0;
+  std::uint64_t tree_picks = 0;
+};
+
+ModeResult run_mode(const dp::TrainerConfig& cfg, int warmup, int iters) {
+  dp::Trainer trainer(cfg);
+  for (int i = 0; i < warmup; ++i) trainer.step();
+  const telemetry::CommCounters c0 = trainer.comm_counters();
+  const double w0 = wall_now();
+  dp::StepMetrics sum;
+  for (int i = 0; i < iters; ++i) {
+    const dp::StepMetrics m = trainer.step();
+    sum.step_seconds += m.step_seconds;
+    sum.compute_seconds += m.compute_seconds;
+    sum.optimizer_seconds += m.optimizer_seconds;
+    sum.comm_busy_seconds += m.comm_busy_seconds;
+    sum.comm_exposed_seconds += m.comm_exposed_seconds;
+    sum.comm_overlapped_seconds += m.comm_overlapped_seconds;
+    sum.buckets = m.buckets;
+  }
+  ModeResult r;
+  r.wall_seconds = wall_now() - w0;
+  const double inv = 1.0 / iters;
+  r.m.step_seconds = sum.step_seconds * inv;
+  r.m.compute_seconds = sum.compute_seconds * inv;
+  r.m.optimizer_seconds = sum.optimizer_seconds * inv;
+  r.m.comm_busy_seconds = sum.comm_busy_seconds * inv;
+  r.m.comm_exposed_seconds = sum.comm_exposed_seconds * inv;
+  r.m.comm_overlapped_seconds = sum.comm_overlapped_seconds * inv;
+  r.m.buckets = sum.buckets;
+  r.m.samples_per_second =
+      r.m.step_seconds > 0.0
+          ? static_cast<double>(cfg.workers * cfg.model.batch) /
+                r.m.step_seconds
+          : 0.0;
+  const telemetry::CommCounters dc = trainer.comm_counters().delta(c0);
+  r.wire_bytes = dc.bytes_on_wire / iters;
+  r.ring_picks = dc.ring_picks;
+  r.tree_picks = dc.tree_picks;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = has_flag(argc, argv, "--smoke");
+  BenchReport report("allreduce");
+  report.csv_header({"config", "step_sim_s", "samples_per_sim_s",
+                     "comm_busy_s", "comm_exposed_s", "comm_overlapped_s",
+                     "buckets", "wire_bytes", "wall_s"});
+
+  const dnn::ModelSpec spec = dp_model(smoke);
+  const std::vector<std::size_t> worker_counts =
+      smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 4, 8};
+  const int warmup = 1;
+  const int iters = smoke ? 1 : 2;
+
+  dp::TrainerConfig base;
+  base.model = spec;
+  base.bucket_bytes = util::MiB;
+  // The commodity 25GbE-class fabric: gradient exchange lands at roughly
+  // 0.9x backward compute, the regime where hiding it behind backward is
+  // worth an algorithm (on the default 100GbE link this model is
+  // compute-bound and overlap is a rounding error).
+  base.link = comm::LinkModel::ethernet_25g_scaled();
+
+  std::printf("=== micro_allreduce ===\n");
+  std::printf("model %s  bucket capacity %s  link %s peak, %.1fms/msg\n\n",
+              spec.name.c_str(), util::format_bytes(base.bucket_bytes).c_str(),
+              util::format_bytes(
+                  static_cast<std::uint64_t>(base.link.curve.peak()))
+                  .c_str(),
+              base.link.latency_s * 1e3);
+
+  for (const std::size_t k : worker_counts) {
+    ModeResult res[2];  // [0]=serialized, [1]=overlapped
+    for (int overlap = 0; overlap < 2; ++overlap) {
+      dp::TrainerConfig cfg = base;
+      cfg.workers = k;
+      cfg.overlap = overlap == 1;
+      res[overlap] = run_mode(cfg, warmup, iters);
+    }
+    for (int overlap = 0; overlap < 2; ++overlap) {
+      const ModeResult& r = res[overlap];
+      const std::string label = "K=" + std::to_string(k) +
+                                (overlap ? " overlapped" : " serialized");
+      std::printf(
+          "%-16s step %8.4fs  %7.1f samples/sim-s  comm busy %7.4fs "
+          "exposed %7.4fs hidden %7.4fs  %2zu buckets  wire %s\n",
+          label.c_str(), r.m.step_seconds, r.m.samples_per_second,
+          r.m.comm_busy_seconds, r.m.comm_exposed_seconds,
+          r.m.comm_overlapped_seconds, r.m.buckets,
+          util::format_bytes(r.wire_bytes).c_str());
+      report.add(label, r.m.step_seconds, r.wall_seconds, r.wire_bytes);
+      report.add_metric("samples/sim-s: " + label, r.m.samples_per_second);
+      report.add_metric("comm exposed s: " + label,
+                        r.m.comm_exposed_seconds);
+      report.add_metric("comm overlapped s: " + label,
+                        r.m.comm_overlapped_seconds);
+      report.csv_row({label, util::format_fixed(r.m.step_seconds, 4),
+                      util::format_fixed(r.m.samples_per_second, 1),
+                      util::format_fixed(r.m.comm_busy_seconds, 4),
+                      util::format_fixed(r.m.comm_exposed_seconds, 4),
+                      util::format_fixed(r.m.comm_overlapped_seconds, 4),
+                      std::to_string(r.m.buckets),
+                      std::to_string(r.wire_bytes),
+                      util::format_fixed(r.wall_seconds, 3)});
+    }
+    const double thr_gain =
+        res[0].m.samples_per_second > 0.0
+            ? res[1].m.samples_per_second / res[0].m.samples_per_second
+            : 0.0;
+    const double exposed_gain =
+        res[1].m.comm_exposed_seconds > 0.0
+            ? res[0].m.comm_exposed_seconds / res[1].m.comm_exposed_seconds
+            : 0.0;
+    std::printf(
+        "  -> K=%zu overlap: %.2fx aggregate samples/sim-s, %.2fx less "
+        "exposed comm\n\n",
+        k, thr_gain, exposed_gain);
+    const std::string kt = "K=" + std::to_string(k);
+    report.add_speedup(
+        "aggregate samples/sim-s, " + kt + " overlapped vs serialized",
+        thr_gain);
+    report.add_speedup(
+        "comm-exposed seconds, " + kt + " serialized vs overlapped",
+        exposed_gain);
+    report.add_metric("ring picks: " + kt,
+                      static_cast<double>(res[1].ring_picks));
+    report.add_metric("tree picks: " + kt,
+                      static_cast<double>(res[1].tree_picks));
+  }
+
+  // --- ring-vs-tree crossover (pure cost model, the per-bucket pick) ------
+  std::printf("ring-vs-tree crossover (link cost model):\n");
+  for (const std::size_t k : worker_counts) {
+    if (k < 2) continue;
+    const std::size_t xover = comm::crossover_bytes(base.link, k);
+    std::printf("  K=%zu  crossover %s (tree wins below, ring above)\n", k,
+                xover == 0 ? "none (ring always)"
+                           : util::format_bytes(xover).c_str());
+    report.add_metric("crossover bytes (tree->ring): K=" + std::to_string(k),
+                      static_cast<double>(xover));
+    for (std::size_t bytes = 16 * util::KiB; bytes <= 4 * util::MiB;
+         bytes *= 4) {
+      const double ring_s = comm::ring_seconds(base.link, k, bytes);
+      const double tree_s = comm::tree_seconds(base.link, k, bytes);
+      const comm::Algorithm pick = comm::pick_algorithm(base.link, k, bytes);
+      const std::string tag = "K=" + std::to_string(k) + " " +
+                              util::format_bytes(bytes);
+      report.add_metric("ring s: " + tag, ring_s, bytes);
+      report.add_metric("tree s: " + tag, tree_s, bytes);
+      std::printf("    %-14s ring %8.4fs  tree %8.4fs  -> %s\n", tag.c_str(),
+                  ring_s, tree_s, std::string(comm::to_string(pick)).c_str());
+    }
+  }
+
+  report.write(argc, argv, "micro_allreduce.csv");
+  std::printf("\nwrote BENCH_allreduce.json\n");
+  return 0;
+}

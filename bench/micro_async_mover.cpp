@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dm/data_manager.hpp"
+#include "gbench_report.hpp"
 #include "util/align.hpp"
 
 using namespace ca;
@@ -125,4 +126,6 @@ BENCHMARK(BM_ChannelOverlapModel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ca::bench::run_gbench_with_report(argc, argv, "async_mover");
+}

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "dm/data_manager.hpp"
+#include "gbench_report.hpp"
 #include "util/align.hpp"
 
 using namespace ca;
@@ -131,4 +132,6 @@ BENCHMARK(BM_Defragment);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ca::bench::run_gbench_with_report(argc, argv, "dm_ops");
+}

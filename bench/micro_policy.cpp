@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "dm/data_manager.hpp"
+#include "gbench_report.hpp"
 #include "policy/lru_policy.hpp"
 #include "util/align.hpp"
 
@@ -108,4 +109,6 @@ BENCHMARK(BM_KernelStagingBracket);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ca::bench::run_gbench_with_report(argc, argv, "policy");
+}

@@ -24,6 +24,7 @@
 
 #include "dm/data_manager.hpp"
 #include "dm/pinned_span.hpp"
+#include "gbench_report.hpp"
 #include "ptrprov/ptrprov.hpp"
 #include "util/align.hpp"
 
@@ -149,9 +150,5 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--assert-noop") return assert_noop();
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return ca::bench::run_gbench_with_report(argc, argv, "ptrprov");
 }

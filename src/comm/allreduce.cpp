@@ -1,0 +1,206 @@
+#include "comm/allreduce.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ca::comm {
+
+namespace {
+
+// Scale factor matching sim::Platform: paper GB/s == model MiB/s.
+constexpr double kGBs = 1024.0 * 1024.0;
+
+[[nodiscard]] std::size_t ceil_log2(std::size_t n) {
+  std::size_t r = 0;
+  while ((std::size_t{1} << r) < n) ++r;
+  return r;
+}
+
+[[nodiscard]] std::size_t ring_chunk(std::size_t workers, std::size_t bytes) {
+  return (bytes + workers - 1) / workers;
+}
+
+/// One synchronized step: which egress/ingress ports participate and how
+/// many bytes each moving link carries.
+struct StepPlan {
+  std::vector<std::size_t> senders;
+  std::vector<std::size_t> receivers;
+  std::size_t bytes = 0;
+};
+
+[[nodiscard]] std::vector<StepPlan> plan_steps(Algorithm algo,
+                                               std::size_t workers,
+                                               std::size_t bytes) {
+  std::vector<StepPlan> plan;
+  std::vector<std::size_t> all(workers);
+  for (std::size_t w = 0; w < workers; ++w) all[w] = w;
+
+  if (algo == Algorithm::kRing) {
+    // Reduce-scatter then allgather: every step is all-links-active, each
+    // worker forwarding one B/K chunk around the ring.
+    const std::size_t chunk = ring_chunk(workers, bytes);
+    for (std::size_t s = 0; s < 2 * (workers - 1); ++s) {
+      plan.push_back({all, all, chunk});
+    }
+    return plan;
+  }
+
+  // Binomial tree.  Reduce round r pairs receiver w (w % 2^(r+1) == 0)
+  // with sender w + 2^r; broadcast replays the rounds in reverse with the
+  // roles swapped.
+  const std::size_t rounds = ceil_log2(workers);
+  std::vector<StepPlan> reduce;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    StepPlan step;
+    step.bytes = bytes;
+    const std::size_t span = std::size_t{1} << r;
+    for (std::size_t w = 0; w + span < workers; w += 2 * span) {
+      step.receivers.push_back(w);
+      step.senders.push_back(w + span);
+    }
+    reduce.push_back(std::move(step));
+  }
+  plan = reduce;
+  for (auto it = reduce.rbegin(); it != reduce.rend(); ++it) {
+    StepPlan down;
+    down.bytes = bytes;
+    down.senders = it->receivers;    // parents now send ...
+    down.receivers = it->senders;    // ... back down the same pairs
+    plan.push_back(std::move(down));
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::string_view to_string(Algorithm algo) noexcept {
+  switch (algo) {
+    case Algorithm::kRing:
+      return "ring";
+    case Algorithm::kTree:
+      return "tree";
+  }
+  return "?";
+}
+
+double ring_seconds(const LinkModel& link, std::size_t workers,
+                    std::size_t bytes) {
+  if (workers < 2 || bytes == 0) return 0.0;
+  return static_cast<double>(2 * (workers - 1)) *
+         link.seconds(ring_chunk(workers, bytes));
+}
+
+double tree_seconds(const LinkModel& link, std::size_t workers,
+                    std::size_t bytes) {
+  if (workers < 2 || bytes == 0) return 0.0;
+  return static_cast<double>(2 * ceil_log2(workers)) * link.seconds(bytes);
+}
+
+Algorithm pick_algorithm(const LinkModel& link, std::size_t workers,
+                         std::size_t bytes) {
+  return ring_seconds(link, workers, bytes) <=
+                 tree_seconds(link, workers, bytes)
+             ? Algorithm::kRing
+             : Algorithm::kTree;
+}
+
+std::size_t crossover_bytes(const LinkModel& link, std::size_t workers) {
+  if (pick_algorithm(link, workers, 1) == Algorithm::kRing) return 0;
+  // Cost difference is monotone in bytes (ring's bandwidth slope is the
+  // smaller one), so binary-search the smallest size where ring wins.
+  std::size_t lo = 1;                        // tree wins here
+  std::size_t hi = std::size_t{1} << 40;     // ring certainly wins here
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (pick_algorithm(link, workers, mid) == Algorithm::kRing) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+std::uint64_t wire_bytes(Algorithm algo, std::size_t workers,
+                         std::size_t bytes) {
+  if (workers < 2 || bytes == 0) return 0;
+  if (algo == Algorithm::kRing) {
+    return std::uint64_t{workers} * 2 * (workers - 1) *
+           ring_chunk(workers, bytes);
+  }
+  return std::uint64_t{2} * (workers - 1) * bytes;
+}
+
+LinkModel LinkModel::ethernet_scaled() {
+  LinkModel link;
+  link.latency_s = 4e-3;
+  link.curve = sim::BandwidthCurve{{1, 12.5 * kGBs},
+                                   {2, 6.8 * kGBs},
+                                   {4, 3.6 * kGBs},
+                                   {8, 1.9 * kGBs}};
+  return link;
+}
+
+LinkModel LinkModel::ethernet_25g_scaled() {
+  LinkModel link;
+  link.latency_s = 4e-3;
+  link.curve = sim::BandwidthCurve{{1, 3.125 * kGBs},
+                                   {2, 1.7 * kGBs},
+                                   {4, 0.9 * kGBs},
+                                   {8, 0.475 * kGBs}};
+  return link;
+}
+
+Interconnect::Interconnect(std::size_t workers, LinkModel link)
+    : workers_(workers), link_(std::move(link)) {
+  CA_CHECK(workers_ >= 1, "an interconnect needs at least one worker");
+  CA_CHECK(!link_.curve.empty(), "link model needs a bandwidth curve");
+  egress_.resize(workers_);
+  ingress_.resize(workers_);
+}
+
+std::size_t Interconnect::overlap(const Port& port, double start,
+                                  double done) {
+  std::size_t n = 0;
+  for (const Interval& iv : port) {
+    if (iv.start < done && start < iv.done) ++n;
+  }
+  return n;
+}
+
+Interconnect::Timeline Interconnect::schedule_allreduce(Algorithm algo,
+                                                        std::size_t bytes,
+                                                        double earliest) {
+  Timeline tl;
+  tl.start = earliest;
+  tl.done = earliest;
+  if (workers_ < 2 || bytes == 0) return tl;
+
+  double t = earliest;
+  const auto plan = plan_steps(algo, workers_, bytes);
+  for (const StepPlan& step : plan) {
+    // Contention probe: count collectives already holding any participating
+    // port during the window this step would occupy on an idle network.
+    // Deterministic one-pass approximation -- earlier collectives are never
+    // re-timed by later arrivals (causal, like CopyEngine channel claims).
+    const double probe = link_.seconds(step.bytes, 1);
+    std::size_t streams = 1;
+    for (std::size_t s : step.senders) {
+      streams = std::max(streams, 1 + overlap(egress_[s], t, t + probe));
+    }
+    for (std::size_t r : step.receivers) {
+      streams = std::max(streams, 1 + overlap(ingress_[r], t, t + probe));
+    }
+    const double dur = link_.seconds(step.bytes, streams);
+    for (std::size_t s : step.senders) egress_[s].push_back({t, t + dur});
+    for (std::size_t r : step.receivers) ingress_[r].push_back({t, t + dur});
+    tl.max_streams = std::max(tl.max_streams, streams);
+    t += dur;
+  }
+  tl.done = t;
+  tl.steps = plan.size();
+  return tl;
+}
+
+}  // namespace ca::comm

@@ -1,0 +1,110 @@
+// Allreduce algorithms over the simulated interconnect.
+//
+// Two classic schedules, selected per bucket by modeled cost:
+//
+//   * ring (bandwidth-optimal): 2(K-1) synchronized steps, each moving a
+//     B/K chunk per link, so every worker sends/receives 2(K-1)/K * B total
+//     -- within 2/K of the lower bound -- at the price of 2(K-1) latency
+//     terms.
+//   * binomial tree (latency-optimal): ceil(log2 K) reduce rounds up plus
+//     ceil(log2 K) broadcast rounds down, each moving the whole buffer B
+//     over the active links: only 2*ceil(log2 K) latency terms, but K-1
+//     full-buffer transfers per phase.
+//
+// Small buckets are latency-bound (tree wins); large buckets are
+// bandwidth-bound (ring wins).  pick_algorithm compares the idle-network
+// cost models; crossover_bytes locates the boundary the bench sweep
+// records in BENCH_allreduce.json.
+//
+// The Interconnect tracks per-worker, per-direction port schedules so that
+// *overlapping* collectives (buckets reduced while later layers are still
+// in backward) contend: a step that shares a port with n in-flight
+// collectives runs at curve.at(n+1) per-stream bandwidth.  All schedules
+// are computed at submit time on the submitting thread, so modeled times
+// are deterministic regardless of host thread timing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "comm/link_model.hpp"
+
+namespace ca::comm {
+
+enum class Algorithm : std::uint8_t {
+  kRing = 0,  ///< bandwidth-optimal: 2(K-1) steps of B/K per link
+  kTree = 1,  ///< latency-optimal: 2*ceil(log2 K) rounds of B per link
+};
+
+[[nodiscard]] std::string_view to_string(Algorithm algo) noexcept;
+
+/// Idle-network cost of a K-worker allreduce of `bytes` (zero when K < 2).
+[[nodiscard]] double ring_seconds(const LinkModel& link, std::size_t workers,
+                                  std::size_t bytes);
+[[nodiscard]] double tree_seconds(const LinkModel& link, std::size_t workers,
+                                  std::size_t bytes);
+
+/// The cheaper algorithm for this bucket size on an idle network (ties go
+/// to ring, the bandwidth-optimal choice).
+[[nodiscard]] Algorithm pick_algorithm(const LinkModel& link,
+                                       std::size_t workers,
+                                       std::size_t bytes);
+
+/// Smallest bucket size (bytes) at which ring becomes no worse than tree,
+/// i.e. the latency-bound/bandwidth-bound boundary.  Returns 0 when ring
+/// wins at every size (e.g. K == 2).
+[[nodiscard]] std::size_t crossover_bytes(const LinkModel& link,
+                                          std::size_t workers);
+
+/// Total bytes that cross links during one allreduce (the wire-traffic
+/// number CommStats accumulates): ring moves K * 2(K-1) * ceil(B/K), tree
+/// moves 2(K-1) * B.
+[[nodiscard]] std::uint64_t wire_bytes(Algorithm algo, std::size_t workers,
+                                       std::size_t bytes);
+
+/// The simulated interconnect: K workers, each with one egress and one
+/// ingress port.  Not internally synchronized -- CommEngine serializes
+/// access under its own mutex.
+class Interconnect {
+ public:
+  struct Timeline {
+    double start = 0.0;        ///< first step's begin (== earliest)
+    double done = 0.0;         ///< last step's end
+    std::size_t steps = 0;     ///< synchronized steps/rounds executed
+    std::size_t max_streams = 1;  ///< worst port contention seen
+  };
+
+  Interconnect(std::size_t workers, LinkModel link);
+
+  /// Reserve a full allreduce starting no earlier than `earliest`; every
+  /// step begins when the previous one ends, and runs at the per-stream
+  /// bandwidth its port contention allows.  Port occupancy is recorded so
+  /// later collectives see this one as contention.
+  Timeline schedule_allreduce(Algorithm algo, std::size_t bytes,
+                              double earliest);
+
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+  [[nodiscard]] const LinkModel& link() const noexcept { return link_; }
+
+ private:
+  struct Interval {
+    double start = 0.0;
+    double done = 0.0;
+  };
+  /// One direction of one worker's port: the modeled windows during which
+  /// a collective step occupies it.
+  using Port = std::vector<Interval>;
+
+  /// Collectives already overlapping [start, done) on the port.
+  [[nodiscard]] static std::size_t overlap(const Port& port, double start,
+                                           double done);
+
+  std::size_t workers_;
+  LinkModel link_;
+  std::vector<Port> egress_;
+  std::vector<Port> ingress_;
+};
+
+}  // namespace ca::comm

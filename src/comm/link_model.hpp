@@ -1,0 +1,56 @@
+// comm::LinkModel: the cost model for one direction of one worker's
+// interconnect port.
+//
+// The data-parallel extension (DESIGN.md §3.6) runs K training workers as
+// tenants of one DataManager and reduces their gradients over a simulated
+// interconnect.  Like every other device in this repository the link is
+// described by a sim::BandwidthCurve -- here the x-axis is *concurrent
+// streams sharing the port* rather than copy threads, so contention between
+// overlapping collectives degrades per-stream bandwidth exactly the way
+// copy parallelism degrades NVRAM write bandwidth (paper §V-d machinery,
+// reused unchanged).
+//
+// Times follow the standard alpha-beta model: a transfer of B bytes at
+// stream count s costs latency_s + B / curve.at(s).  The latency term is
+// dominated by per-message software injection overhead (same reasoning as
+// sim::DeviceSpec::op_latency_s), which is what gives small buckets a
+// latency-bound regime where tree allreduce beats ring.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/bandwidth.hpp"
+
+namespace ca::comm {
+
+struct LinkModel {
+  /// Fixed per-message cost (injection, progress-engine overhead).  At the
+  /// 1:1000 reproduction scale this is the term that makes the ring/tree
+  /// crossover land at realistic bucket sizes (tens of KiB).
+  double latency_s = 4e-3;
+
+  /// Per-stream bandwidth as a function of concurrent streams on the port,
+  /// in model bytes/sec (paper GB/s == model MiB/s, as in sim::Platform).
+  sim::BandwidthCurve curve;
+
+  /// Seconds for one point-to-point message of `bytes` when `streams`
+  /// transfers share the port.
+  [[nodiscard]] double seconds(std::size_t bytes,
+                               std::size_t streams = 1) const {
+    const double bw = curve.at(streams);
+    return latency_s +
+           (bw > 0.0 ? static_cast<double>(bytes) / bw : 0.0);
+  }
+
+  /// A 100GbE-class full-duplex port at the repository's 1:1000 scale:
+  /// 12.5 paper-GB/s peak, fair-shared (slightly better than 1/n thanks to
+  /// pipelining) as streams pile onto the port.
+  static LinkModel ethernet_scaled();
+
+  /// A 25GbE-class port (3.125 paper-GB/s peak, same latency and sharing
+  /// shape): the commodity-cluster fabric where gradient exchange is
+  /// genuinely compute-scale and overlap pays for itself.
+  static LinkModel ethernet_25g_scaled();
+};
+
+}  // namespace ca::comm

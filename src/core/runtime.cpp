@@ -9,9 +9,15 @@ namespace ca::core {
 
 Runtime::Runtime(sim::Platform platform, const PolicyFactory& make_policy,
                  RuntimeOptions options)
-    : platform_(std::move(platform)), options_(options) {
+    : Runtime(std::make_shared<SharedHeap>(std::move(platform)), make_policy,
+              options) {}
+
+Runtime::Runtime(std::shared_ptr<SharedHeap> heap,
+                 const PolicyFactory& make_policy, RuntimeOptions options)
+    : heap_(std::move(heap)), options_(options) {
+  CA_CHECK(heap_ != nullptr, "a shared heap is required");
   CA_CHECK(make_policy != nullptr, "a policy factory is required");
-  dm_ = std::make_unique<dm::DataManager>(platform_, clock_, counters_);
+  dm_ = &heap_->manager;
   policy_ = make_policy(*dm_);
   CA_CHECK(policy_ != nullptr, "policy factory returned null");
   policy_->set_tenant(options_.tenant);
@@ -19,13 +25,16 @@ Runtime::Runtime(sim::Platform platform, const PolicyFactory& make_policy,
     ++gc_.pressure_triggers;
     return gc_collect() > 0;
   });
-  for (const auto& spec : platform_.devices) total_capacity_ += spec.capacity;
+  for (const auto& spec : heap_->platform.devices) {
+    total_capacity_ += spec.capacity;
+  }
 }
 
-dm::Object& Runtime::new_object(std::size_t bytes, std::string name) {
+dm::Object& Runtime::new_object(std::size_t bytes, std::string name,
+                                dm::ObjectClass cls) {
   maybe_trigger_gc();
   dm::Object* object =
-      dm_->create_object(bytes, std::move(name), options_.tenant);
+      dm_->create_object(bytes, std::move(name), options_.tenant, cls);
   try {
     policy_->place_new(*object);
   } catch (...) {
@@ -99,9 +108,10 @@ std::size_t Runtime::gc_collect() {
   ++gc_.collections;
   gc_.objects_collected += n;
   gc_.bytes_collected += bytes;
-  clock_.advance(options_.gc_base_seconds +
-                     options_.gc_per_object_seconds * static_cast<double>(n),
-                 sim::TimeCategory::kGc);
+  heap_->clock.advance(
+      options_.gc_base_seconds +
+          options_.gc_per_object_seconds * static_cast<double>(n),
+      sim::TimeCategory::kGc);
   return bytes;
 }
 
@@ -115,7 +125,7 @@ void Runtime::maybe_trigger_gc() {
 }
 
 void Runtime::defragment_all() {
-  for (std::uint32_t d = 0; d < platform_.devices.size(); ++d) {
+  for (std::uint32_t d = 0; d < heap_->platform.devices.size(); ++d) {
     dm_->defragment(sim::DeviceId{d});
   }
 }

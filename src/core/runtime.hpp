@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/shared_heap.hpp"
 #include "dm/data_manager.hpp"
 #include "dm/pinned_span.hpp"
 #include "policy/policy.hpp"
@@ -56,7 +57,17 @@ class Runtime {
   using PolicyFactory =
       std::function<std::unique_ptr<policy::Policy>(dm::DataManager&)>;
 
+  /// Single-client construction: the runtime owns a private SharedHeap
+  /// built from `platform`.
   Runtime(sim::Platform platform, const PolicyFactory& make_policy,
+          RuntimeOptions options = {});
+
+  /// Multi-tenant construction: attach to an existing SharedHeap as one of
+  /// its clients.  Each attached runtime gets its own policy instance but
+  /// shares the platform, clock, counters and DataManager; set
+  /// `options.tenant` (from SharedHeap::manager.register_tenant) so this
+  /// runtime's objects and allocations are charged to its own slot.
+  Runtime(std::shared_ptr<SharedHeap> heap, const PolicyFactory& make_policy,
           RuntimeOptions options = {});
 
   Runtime(const Runtime&) = delete;
@@ -65,7 +76,8 @@ class Runtime {
   // --- object lifecycle (used by CachedArray) ---------------------------
 
   /// Create an object and let the policy place its first region.
-  dm::Object& new_object(std::size_t bytes, std::string name = {});
+  dm::Object& new_object(std::size_t bytes, std::string name = {},
+                         dm::ObjectClass cls = dm::ObjectClass::kGeneric);
 
   /// Last handle dropped: the object is garbage.  It stays allocated until
   /// the next collection (Julia semantics).
@@ -123,15 +135,29 @@ class Runtime {
 
   // --- plumbing ------------------------------------------------------------
 
-  [[nodiscard]] sim::Clock& clock() noexcept { return clock_; }
-  [[nodiscard]] const sim::Clock& clock() const noexcept { return clock_; }
+  [[nodiscard]] sim::Clock& clock() noexcept { return heap_->clock; }
+  [[nodiscard]] const sim::Clock& clock() const noexcept {
+    return heap_->clock;
+  }
   [[nodiscard]] telemetry::TrafficCounters& counters() noexcept {
-    return counters_;
+    return heap_->counters;
   }
   [[nodiscard]] dm::DataManager& manager() noexcept { return *dm_; }
   [[nodiscard]] policy::Policy& policy() noexcept { return *policy_; }
   [[nodiscard]] const sim::Platform& platform() const noexcept {
-    return platform_;
+    return heap_->platform;
+  }
+
+  /// The shared system state this runtime is attached to (its own private
+  /// one in the single-client case).
+  [[nodiscard]] const std::shared_ptr<SharedHeap>& shared_heap()
+      const noexcept {
+    return heap_;
+  }
+
+  /// Tenant this runtime's objects are charged to.
+  [[nodiscard]] dm::TenantId tenant() const noexcept {
+    return options_.tenant;
   }
 
   /// Compact all device heaps (between training iterations, §IV-A).
@@ -146,10 +172,8 @@ class Runtime {
   void destroy_now(dm::Object& object);
   void maybe_trigger_gc();
 
-  sim::Platform platform_;
-  sim::Clock clock_;
-  telemetry::TrafficCounters counters_;
-  std::unique_ptr<dm::DataManager> dm_;
+  std::shared_ptr<SharedHeap> heap_;
+  dm::DataManager* dm_ = nullptr;  ///< &heap_->manager
   std::unique_ptr<policy::Policy> policy_;
   RuntimeOptions options_;
   std::vector<dm::Object*> dead_;

@@ -1,0 +1,34 @@
+// SharedHeap: the platform-wide state K runtimes share when they act as
+// tenants of one DataManager (the dp::Trainer setting: K workers over one
+// Platform's DRAM+NVRAM, each charged to its own TenantId).
+//
+// A single-client Runtime constructs its own private SharedHeap, so the
+// original `Runtime(platform, ...)` constructor keeps its behaviour; the
+// multi-tenant path constructs one SharedHeap up front and hands the same
+// shared_ptr to every worker's Runtime.  Member order matters: the
+// DataManager holds references to all three of platform/clock/counters.
+#pragma once
+
+#include <memory>
+
+#include "dm/data_manager.hpp"
+#include "sim/clock.hpp"
+#include "sim/platform.hpp"
+#include "telemetry/counters.hpp"
+
+namespace ca::core {
+
+struct SharedHeap {
+  explicit SharedHeap(sim::Platform p)
+      : platform(std::move(p)), manager(platform, clock, counters) {}
+
+  SharedHeap(const SharedHeap&) = delete;
+  SharedHeap& operator=(const SharedHeap&) = delete;
+
+  sim::Platform platform;
+  sim::Clock clock;
+  telemetry::TrafficCounters counters;
+  dm::DataManager manager;
+};
+
+}  // namespace ca::core

@@ -79,7 +79,7 @@ DataManager::TenantSlot& DataManager::tenant_slot(TenantId tenant) const {
 // --- Object functions -----------------------------------------------------
 
 Object* DataManager::create_object(std::size_t size, std::string name,
-                                   TenantId tenant) {
+                                   TenantId tenant, ObjectClass cls) {
   if (size == 0) throw UsageError("objects must have a positive size");
   (void)tenant_slot(tenant);  // bounds-check the id up front
   auto owned = std::make_unique<Object>();
@@ -87,6 +87,7 @@ Object* DataManager::create_object(std::size_t size, std::string name,
   object->size_ = size;
   object->name_ = std::move(name);
   object->tenant_ = tenant;
+  object->class_ = cls;
   {
     sync::lock lock(objects_mu_);
     object->id_ = next_object_id_++;
@@ -555,10 +556,15 @@ bool DataManager::evictfrom(sim::DeviceId dev, std::size_t start_offset,
       // own operations are serial with this call.
       const ScopedReleaseOp op("evictfrom");
       relocated = evict(*region);
+    } else {
+      // Tenant isolation -- a foreign tenant's live storage is never
+      // handed to the callback (the owner could be using it concurrently,
+      // and only its own policy may displace it).  Treated as a refusal,
+      // and counted: a tenant whose reclaim scans keep bouncing off
+      // foreign storage is starving, and the counter is what makes that
+      // visible (tenant_stats().evictions_refused).
+      slot.evictions_refused.fetch_add(1, std::memory_order_relaxed);
     }
-    // else: tenant isolation -- a foreign tenant's live storage is never
-    // handed to the callback (the owner could be using it concurrently,
-    // and only its own policy may displace it).  Treated as a refusal.
 
     if (relocated) {
       // The callback claims the region was relocated and freed; verify so a
@@ -642,6 +648,8 @@ TenantStats DataManager::tenant_stats(TenantId tenant) const {
       slot.evictions_caused.load(std::memory_order_relaxed);
   s.evictions_suffered =
       slot.evictions_suffered.load(std::memory_order_relaxed);
+  s.evictions_refused =
+      slot.evictions_refused.load(std::memory_order_relaxed);
   s.quota_denials = slot.quota_denials.load(std::memory_order_relaxed);
   s.stalls = slot.stalls.load(std::memory_order_relaxed);
   s.stall_seconds = slot.stall_seconds.load(std::memory_order_relaxed);

@@ -106,9 +106,12 @@ class DataManager {
   // --- Object functions -------------------------------------------------
 
   /// Create a logical object of `size` bytes for `tenant`.  No storage is
-  /// attached yet; the policy decides where the first region goes.
+  /// attached yet; the policy decides where the first region goes.  `cls`
+  /// tags the object's semantic class (gradient buckets etc.) for
+  /// class-aware policies; the manager never branches on it.
   Object* create_object(std::size_t size, std::string name = {},
-                        TenantId tenant = {});
+                        TenantId tenant = {},
+                        ObjectClass cls = ObjectClass::kGeneric);
 
   /// Destroy an object and free all its regions.  Must not be pinned.
   void destroy_object(Object* object);
@@ -405,6 +408,7 @@ class DataManager {
     std::atomic<std::uint64_t> frees{0};
     std::atomic<std::uint64_t> evictions_caused{0};
     std::atomic<std::uint64_t> evictions_suffered{0};
+    std::atomic<std::uint64_t> evictions_refused{0};
     std::atomic<std::uint64_t> quota_denials{0};
     std::atomic<std::uint64_t> stalls{0};
     std::atomic<double> stall_seconds{0.0};

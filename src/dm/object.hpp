@@ -25,6 +25,27 @@ class Object;
 
 using ObjectId = std::uint64_t;
 
+/// Semantic class of an object, set at creation.  The data manager itself
+/// is class-agnostic; the tag exists so a semantic policy can key lifetime
+/// rules off it (DESIGN.md §3.6).  `kGradient` marks write-once
+/// read-by-peers gradient buckets: allocated hot at backward start,
+/// archived/retired the instant the reduced result is applied, so the
+/// policy may demote them off DRAM between steps while plain LRU cannot.
+enum class ObjectClass : std::uint8_t {
+  kGeneric = 0,
+  kGradient = 1,
+};
+
+[[nodiscard]] constexpr const char* to_string(ObjectClass cls) noexcept {
+  switch (cls) {
+    case ObjectClass::kGeneric:
+      return "generic";
+    case ObjectClass::kGradient:
+      return "gradient";
+  }
+  return "?";
+}
+
 /// A contiguous slice of one device's heap.  Regions are created and owned
 /// by the DataManager; all pointers here are non-owning views into its
 /// state.
@@ -128,6 +149,10 @@ class Object {
   /// default to the same tenant).
   [[nodiscard]] TenantId tenant() const noexcept { return tenant_; }
 
+  /// Semantic class (set at creation, immutable).  Policies key lifetime
+  /// rules off it; the manager itself never branches on it.
+  [[nodiscard]] ObjectClass object_class() const noexcept { return class_; }
+
  private:
   friend class DataManager;
   friend struct DataManagerTestPeer;
@@ -139,6 +164,7 @@ class Object {
   std::array<Region*, kMaxDevices> regions_{};
   mutable sync::atomic<int> pin_count_{0};
   TenantId tenant_{};
+  ObjectClass class_ = ObjectClass::kGeneric;
 };
 
 }  // namespace ca::dm

@@ -33,8 +33,10 @@ struct TenantId {
 };
 
 /// Fixed tenant-slot count: accounting lives in flat per-slot atomic
-/// blocks (no map, no lock on the hot path).
-inline constexpr std::size_t kMaxTenants = 8;
+/// blocks (no map, no lock on the hot path).  16 slots cover the default
+/// tenant plus the widest data-parallel trainer fleet (dp::Trainer at
+/// K = 8) with headroom.
+inline constexpr std::size_t kMaxTenants = 16;
 
 /// Snapshot of one tenant's accounting (returned by value from
 /// DataManager::tenant_stats; internally these are lock-free atomics).
@@ -52,6 +54,9 @@ struct TenantStats {
                                        ///< that displaced another tenant
   std::uint64_t evictions_suffered = 0;  ///< regions this tenant lost to
                                          ///< another tenant's evictfrom
+  std::uint64_t evictions_refused = 0;  ///< foreign victims this tenant's
+                                        ///< evictfrom scans skipped (tenant
+                                        ///< isolation refusals)
   std::uint64_t quota_denials = 0;  ///< allocations refused by the QoS quota
   std::uint64_t stalls = 0;         ///< wait_ready calls that had to stall
   double stall_seconds = 0.0;       ///< simulated seconds spent stalling

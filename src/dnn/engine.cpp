@@ -732,6 +732,21 @@ void Engine::backward() {
     }
   }
 
+  // Pending accumulation counts per parameter: once the reverse walk has
+  // passed every entry that reads a parameter, its gradient can no longer
+  // change and the grad-ready hook may fire for it.
+  std::unordered_map<const void*, std::pair<Tensor, int>> param_pending;
+  if (grad_ready_hook_) {
+    for (const auto& e : tape_) {
+      for (const auto& t : e.inputs) {
+        if (!t.valid() || !t.is_parameter()) continue;
+        auto& slot = param_pending[t.array().identity()];
+        slot.first = t;
+        ++slot.second;
+      }
+    }
+  }
+
   for (auto it = tape_.rbegin(); it != tape_.rend(); ++it) {
     TapeEntry& e = *it;
 
@@ -757,6 +772,22 @@ void Engine::backward() {
     grad_out.clear();
     // The gradients of this entry's outputs are complete and consumed.
     for (const auto& o : e.outputs) drop_grad(o.array().identity());
+
+    if (grad_ready_hook_) {
+      for (const auto& t : e.inputs) {
+        if (!t.valid() || !t.is_parameter()) continue;
+        const auto pit = param_pending.find(t.array().identity());
+        if (pit == param_pending.end()) continue;
+        if (--pit->second.second == 0) {
+          // This was the parameter's last (reverse-order) use; hand the
+          // finished gradient to the hook (if any gradient flowed at all).
+          if (Tensor g = grad(t); g.valid()) {
+            grad_ready_hook_(pit->second.first, g);
+          }
+          param_pending.erase(pit);
+        }
+      }
+    }
 
     // Last-use retirement (FILO activation lifetimes, §III-E).
     if (config_.issue_retire) {

@@ -172,6 +172,17 @@ class Engine {
     kernel_hook_ = std::move(hook);
   }
 
+  /// Hook invoked during backward() the moment one parameter's gradient is
+  /// complete -- no remaining tape entry can accumulate into it.  This is
+  /// the bucketed-allreduce launch point (dp::Trainer): a gradient bucket
+  /// whose last parameter became ready can go on the wire while earlier
+  /// layers are still running their backward kernels.
+  using GradReadyHook =
+      std::function<void(const Tensor& param, const Tensor& grad)>;
+  void set_grad_ready_hook(GradReadyHook hook) {
+    grad_ready_hook_ = std::move(hook);
+  }
+
  private:
   struct TapeEntry {
     std::string name;
@@ -232,6 +243,7 @@ class Engine {
   std::vector<Tensor> params_;
   EngineStats stats_;
   std::function<void()> kernel_hook_;
+  GradReadyHook grad_ready_hook_;
   bool loss_recorded_ = false;
 };
 

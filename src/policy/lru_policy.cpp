@@ -31,12 +31,17 @@ void LruPolicy::set_pressure_handler(PressureHandler handler) {
 // --- placement --------------------------------------------------------------
 
 dm::Region& LruPolicy::place_new(dm::Object& object) {
-  if (config_.local_alloc || object.size() < config_.min_migratable) {
+  const bool gradient =
+      config_.gradient_aware &&
+      object.object_class() == dm::ObjectClass::kGradient;
+  if (config_.local_alloc || gradient ||
+      object.size() < config_.min_migratable) {
     // L: unlinked regions directly in fast memory -- no compulsory NVRAM
     // birth, no initial copy (paper requirement 1, §III-A).
     if (dm::Region* r = allocate_fast_forced(object.size())) {
       dm_.setprimary(object, *r);
       lru_.push_front(node(object));
+      if (gradient) ++stats_.gradient_hot_allocs;
       return *r;
     }
   }
@@ -96,6 +101,20 @@ void LruPolicy::will_write(dm::Object& object) {
 }
 
 void LruPolicy::archive(dm::Object& object) {
+  if (config_.gradient_aware &&
+      object.object_class() == dm::ObjectClass::kGradient &&
+      !object.pinned()) {
+    // A gradient bucket archived after its reduced result was applied is
+    // dead until the next backward pass: demote it off the fast tier now
+    // rather than letting it squat in DRAM at the cold end of the list.
+    // This is the class-aware lifetime rule plain LRU cannot express.
+    dm::Region* primary = dm_.getprimary(object);
+    if (primary != nullptr && dm_.in(*primary, config_.fast)) {
+      evict(object);
+      ++stats_.gradient_demotes;
+      return;
+    }
+  }
   // "Will not be used for some time": never evict eagerly (if everything
   // fits in fast memory there must be no downside, §III-E) -- just make the
   // object the preferred victim under future pressure.

@@ -78,6 +78,13 @@ struct LruPolicyConfig {
   /// reverse, so the objects archived just before the current one are
   /// needed next.  0 disables look-ahead.
   std::size_t prefetch_distance = 0;
+
+  /// Class-aware gradient-bucket lifetime (DESIGN.md §3.6): objects tagged
+  /// ObjectClass::kGradient are born hot (fast-direct, even in modes where
+  /// generic objects are born in slow memory) and demoted off the fast tier
+  /// the moment they are archived -- a gradient bucket is dead the instant
+  /// its reduced result is applied, which a recency list cannot know.
+  bool gradient_aware = true;
 };
 
 class LruPolicy final : public Policy {
@@ -95,6 +102,8 @@ class LruPolicy final : public Policy {
     std::uint64_t async_writebacks = 0;       ///< write-behind evictions
     std::uint64_t prefetch_ahead = 0;         ///< look-ahead prefetches issued
     std::uint64_t prefetch_ahead_bytes = 0;
+    std::uint64_t gradient_hot_allocs = 0;  ///< gradient buckets born fast
+    std::uint64_t gradient_demotes = 0;  ///< archived gradients evicted eagerly
   };
 
   LruPolicy(dm::DataManager& dm, LruPolicyConfig config);

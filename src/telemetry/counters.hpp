@@ -93,6 +93,34 @@ struct AllocatorCounters {
   }
 };
 
+/// Data-parallel communication accounting (DESIGN.md §3.6).  Counts come
+/// from comm::CommEngine (wire bytes, per-algorithm picks); the seconds
+/// split comes from dp::Trainer's overlap timeline: of the modeled
+/// interconnect occupancy, how much hid behind backward compute
+/// (overlapped) and how much extended the step (exposed).  All seconds are
+/// simulated -- nothing here reads a wall clock.
+struct CommCounters {
+  std::uint64_t reductions = 0;
+  std::uint64_t bytes_on_wire = 0;
+  std::uint64_t ring_picks = 0;
+  std::uint64_t tree_picks = 0;
+  double comm_seconds = 0.0;        ///< modeled collective occupancy, summed
+  double exposed_seconds = 0.0;     ///< comm time the step stalled on
+  double overlapped_seconds = 0.0;  ///< comm time hidden behind compute
+
+  [[nodiscard]] CommCounters delta(const CommCounters& snap) const {
+    CommCounters d;
+    d.reductions = reductions - snap.reductions;
+    d.bytes_on_wire = bytes_on_wire - snap.bytes_on_wire;
+    d.ring_picks = ring_picks - snap.ring_picks;
+    d.tree_picks = tree_picks - snap.tree_picks;
+    d.comm_seconds = comm_seconds - snap.comm_seconds;
+    d.exposed_seconds = exposed_seconds - snap.exposed_seconds;
+    d.overlapped_seconds = overlapped_seconds - snap.overlapped_seconds;
+    return d;
+  }
+};
+
 /// Accounting for one kernel op type (e.g. "conv2d_bwd_weights").  Seconds
 /// are *simulated* roofline seconds -- max(memory, compute) as charged to
 /// sim::Clock -- so the histogram attributes the modeled iteration time.

@@ -155,6 +155,36 @@ TEST_F(MultitenantFixture, EvictfromRefusesForeignVictimsWithoutCallback) {
   EXPECT_EQ(dm_.tenant_stats(owner).evictions_suffered, 1u);
 }
 
+TEST_F(MultitenantFixture, ForeignVictimRefusalsAreCountedOnTheRequester) {
+  const dm::TenantId owner = dm_.register_tenant("owner");
+  const dm::TenantId raider = dm_.register_tenant("raider");
+  dm::Region* held = dm_.allocate(sim::kFast, 64 * util::KiB, owner);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(dm_.tenant_stats(raider).evictions_refused, 0u);
+  // The raider's scan bounces off the owner's live block: one refusal,
+  // charged to the raider (the starving side -- the observability this
+  // counter exists for), none to the owner.
+  EXPECT_TRUE(dm_.evictfrom(
+      sim::kFast, 0, 64 * util::KiB, [](dm::Region&) { return true; },
+      raider));
+  EXPECT_EQ(dm_.tenant_stats(raider).evictions_refused, 1u);
+  EXPECT_EQ(dm_.tenant_stats(owner).evictions_refused, 0u);
+  // Self-reclaim is isolation-clean: no refusal lands on the owner.
+  EXPECT_TRUE(dm_.evictfrom(
+      sim::kFast, 0, 64 * util::KiB,
+      [&](dm::Region& r) {
+        dm_.free(&r);
+        return true;
+      },
+      owner));
+  EXPECT_EQ(dm_.tenant_stats(owner).evictions_refused, 0u);
+  // With the window drained, another raider scan adds nothing.
+  EXPECT_TRUE(dm_.evictfrom(
+      sim::kFast, 0, 64 * util::KiB, [](dm::Region&) { return true; },
+      raider));
+  EXPECT_EQ(dm_.tenant_stats(raider).evictions_refused, 1u);
+}
+
 TEST_F(MultitenantFixture, StallTimeIsChargedToTheStallingTenant) {
   const dm::TenantId t = dm_.register_tenant("staller");
   dm::Region* src = dm_.allocate(sim::kSlow, 256 * util::KiB, t);
@@ -251,6 +281,9 @@ TEST_F(MultitenantFixture, ConcurrentTenantsKeepTheBooksBalanced) {
 
 TEST_F(MultitenantFixture, ConcurrentRegistrationStaysWithinTheCap) {
   constexpr std::size_t kThreads = 4;
+  // Enough attempts per thread to oversubscribe the cap no matter its
+  // value (the fixture's own tenant already holds one slot).
+  constexpr std::size_t kAttempts = dm::kMaxTenants / kThreads + 2;
   const std::size_t mark = sync::adoption_mark();
   std::vector<std::thread> threads;
   std::vector<sync::spawn_token> tokens;
@@ -261,7 +294,7 @@ TEST_F(MultitenantFixture, ConcurrentRegistrationStaysWithinTheCap) {
     tokens.push_back(token);
     threads.emplace_back([this, &registered, &refused, token] {
       sync::task_scope scope(token);
-      for (int i = 0; i < 3; ++i) {
+      for (std::size_t i = 0; i < kAttempts; ++i) {
         try {
           (void)dm_.register_tenant("racer");
           registered.fetch_add(1);
@@ -275,9 +308,10 @@ TEST_F(MultitenantFixture, ConcurrentRegistrationStaysWithinTheCap) {
   for (std::size_t t = 0; t < threads.size(); ++t) {
     sync::join_thread(threads[t], tokens[t]);
   }
-  // 12 attempts against 7 free slots: exactly the cap's worth register.
+  // More attempts than free slots: exactly the cap's worth register, the
+  // rest are refused.
   EXPECT_EQ(registered.load(), dm::kMaxTenants - 1);
-  EXPECT_EQ(refused.load(), kThreads * 3 - (dm::kMaxTenants - 1));
+  EXPECT_EQ(refused.load(), kThreads * kAttempts - (dm::kMaxTenants - 1));
   EXPECT_EQ(dm_.tenant_count(), dm::kMaxTenants);
 }
 

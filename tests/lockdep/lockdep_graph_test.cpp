@@ -30,7 +30,9 @@ TEST(LockdepGraph, InstrumentationRequired) {
 #include <string>
 #include <vector>
 
+#include "comm/comm_engine.hpp"
 #include "dm/data_manager.hpp"
+#include "dm/pinned_span.hpp"
 #include "dnn/scratch.hpp"
 #include "lockdep/lockdep.hpp"
 #include "sim/platform.hpp"
@@ -44,6 +46,7 @@ namespace {
 /// docs/lock_hierarchy.json (tools/lockdep_check.py enforces the manifest
 /// against the annotations and against this test's dump).
 const char* const kProductionClasses[] = {
+    "comm::CommEngine::mu_",         "comm::Reduction::State::mu",
     "dm::DataManager::heap_mu_",     "dm::DataManager::inflight_mu_",
     "dm::DataManager::objects_mu_",  "dm::DataManager::tenants_mu_",
     "dnn::ScratchPool::mu_",         "mem::CopyEngine::mu_",
@@ -93,6 +96,34 @@ void run_sanctioned_workload() {
       tenant));
   if (b != nullptr) dm.free(b);
   dm.free(a);
+
+  // Allreduce: CommEngine::mu_ (interconnect scheduling, stats polling)
+  // and Reduction::State::mu (the real-completion handshake in join()).
+  // The spans travel into the engine and are reset on the pool thread
+  // BEFORE State::mu is taken -- no pin is ever dropped under a lock.
+  {
+    comm::CommEngine comm_eng(
+        comm::CommConfig{2, comm::LinkModel::ethernet_scaled(), 1, {}});
+    dm::Object* g0 = dm.create_object(4 * util::KiB, "lockdep:g0", tenant,
+                                      dm::ObjectClass::kGradient);
+    dm::Object* g1 = dm.create_object(4 * util::KiB, "lockdep:g1", tenant,
+                                      dm::ObjectClass::kGradient);
+    for (dm::Object* g : {g0, g1}) {
+      dm::Region* r = dm.allocate(sim::kFast, 4 * util::KiB, tenant);
+      ASSERT_NE(r, nullptr);
+      dm.setprimary(*g, *r);
+    }
+    std::vector<dm::PinnedSpan> parts;
+    parts.push_back(dm.access(*g0, /*write=*/true));
+    parts.push_back(dm.access(*g1, /*write=*/true));
+    comm::Reduction red =
+        comm_eng.allreduce_async(std::move(parts), /*earliest_start=*/0.0);
+    red.join();
+    (void)comm_eng.stats();
+    comm_eng.drain();
+    dm.destroy_object(g0);
+    dm.destroy_object(g1);
+  }
 
   // Kernel scratch leases: ScratchPool::mu_.
   dnn::real::ScratchPool scratch;

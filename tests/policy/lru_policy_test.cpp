@@ -138,6 +138,63 @@ TEST_F(LruPolicyFixture, ArchiveDoesNotEagerlyEvict) {
   dm_.destroy_object(obj);
 }
 
+TEST_F(LruPolicyFixture, GradientObjectsAreBornFastEvenWithoutLocalAlloc) {
+  LruPolicyConfig cfg;
+  cfg.local_alloc = false;  // generic objects are born slow in this mode
+  cfg.gradient_aware = true;
+  auto p = make(cfg);
+  dm::Object* g = dm_.create_object(64 * util::KiB, "grad", {},
+                                    dm::ObjectClass::kGradient);
+  p.place_new(*g);
+  EXPECT_EQ(device_of(*g), sim::kFast);
+  EXPECT_EQ(p.op_stats().gradient_hot_allocs, 1u);
+  // With the class rule off the tag is inert: gradients follow the
+  // generic placement.
+  cfg.gradient_aware = false;
+  auto q = make(cfg);
+  dm::Object* h = dm_.create_object(64 * util::KiB, "grad-inert", {},
+                                    dm::ObjectClass::kGradient);
+  q.place_new(*h);
+  EXPECT_EQ(device_of(*h), sim::kSlow);
+  EXPECT_EQ(q.op_stats().gradient_hot_allocs, 0u);
+  dm_.destroy_object(g);
+  dm_.destroy_object(h);
+}
+
+TEST_F(LruPolicyFixture, ArchivedGradientsAreDemotedEagerly) {
+  LruPolicyConfig cfg;
+  cfg.local_alloc = true;
+  cfg.gradient_aware = true;
+  auto p = make(cfg);
+  dm::Object* g = dm_.create_object(64 * util::KiB, "grad", {},
+                                    dm::ObjectClass::kGradient);
+  p.place_new(*g);
+  ASSERT_EQ(device_of(*g), sim::kFast);
+  // Applied-and-archived gradients leave the fast tier immediately (the
+  // class-aware lifetime rule; contrast ArchiveDoesNotEagerlyEvict for
+  // generic objects).
+  p.archive(*g);
+  EXPECT_EQ(device_of(*g), sim::kSlow);
+  EXPECT_EQ(p.op_stats().gradient_demotes, 1u);
+  dm_.destroy_object(g);
+}
+
+TEST_F(LruPolicyFixture, PinnedGradientsAreNotDemotedOnArchive) {
+  LruPolicyConfig cfg;
+  cfg.local_alloc = true;
+  cfg.gradient_aware = true;
+  auto p = make(cfg);
+  dm::Object* g = dm_.create_object(64 * util::KiB, "grad", {},
+                                    dm::ObjectClass::kGradient);
+  p.place_new(*g);
+  dm_.pin(*g);
+  p.archive(*g);  // on the wire: must stay put
+  EXPECT_EQ(device_of(*g), sim::kFast);
+  EXPECT_EQ(p.op_stats().gradient_demotes, 0u);
+  dm_.unpin(*g);
+  dm_.destroy_object(g);
+}
+
 TEST_F(LruPolicyFixture, RetireWithMReleasesImmediately) {
   auto p = make({.eager_retire = true});
   dm::Object* obj = new_object(p);

@@ -1,0 +1,96 @@
+// CommTestPeer: reintroduces, behind a test-only friend, the two gradient
+// allreduce lifecycle bugs the comm engine's pin-and-join discipline
+// exists to prevent.  The hazard regression tests drive these through the
+// schedule explorer and assert ca::race flags them; the same scenarios on
+// the real (fixed) paths must come back clean.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "comm/comm_engine.hpp"
+#include "dm/data_manager.hpp"
+#include "dm/pinned_span.hpp"
+#include "race/access.hpp"
+#include "race/sync.hpp"
+#include "util/bytes.hpp"
+
+namespace ca::comm {
+
+class CommTestPeer {
+ public:
+  /// Hazard 1 -- "bucket reuse before reduce complete": write the next
+  /// step's gradients into a bucket WITHOUT joining the reduction that is
+  /// still on the wire (the bug dp::Trainer's join-before-unpack
+  /// discipline prevents).  The worker still holds its packing pin (the
+  /// span stays alive in the caller) and reuses the bucket through the
+  /// byte pointer it cached while packing, so the only thing that could
+  /// order the write after the wire task's accesses is the join handshake
+  /// the buggy path skips.  (Going back through `access()`/`data()` here
+  /// instead would take `objects_mu_` and the ptrprov registry lock after
+  /// the task released them, gifting the detector an accidental
+  /// lock-induced happens-before edge in most schedules.)
+  static void reuse_bucket(std::byte* cached, std::size_t bytes) {
+    std::vector<std::byte> next(bytes, std::byte{0x5a});
+    util::copy_bytes(cached, next.data(), next.size(),
+                     "CommTestPeer::reuse_bucket");
+  }
+
+  /// Hazard 2 -- "free while on wire": submit the real reduction with the
+  /// pins DROPPED at submit time (raw pointers captured first), the buggy
+  /// engine this API's span ownership makes impossible.  The caller can
+  /// then destroy a bucket while the wire task still reads and writes its
+  /// bytes; nothing orders the free against the task.  The modeled
+  /// schedule is computed exactly like the real path, so only the pin
+  /// discipline differs.
+  static Reduction submit_unpinned(CommEngine& eng,
+                                   std::vector<dm::PinnedSpan> parts,
+                                   double earliest) {
+    auto state = std::make_shared<Reduction::State>();
+    state->bytes = parts.front().size_bytes();
+    state->algo = eng.pick(state->bytes);
+    std::vector<std::byte*> raw;
+    raw.reserve(parts.size());
+    for (dm::PinnedSpan& p : parts) raw.push_back(p.data());
+    for (dm::PinnedSpan& p : parts) p.reset();  // the bug: pins gone
+    {
+      sync::lock lock(eng.mu_);
+      const Interconnect::Timeline tl =
+          eng.net_.schedule_allreduce(state->algo, state->bytes, earliest);
+      state->start = tl.start;
+      state->done = tl.done;
+      state->steps = tl.steps;
+    }
+    eng.pool_.submit([state, raw] { reduce_raw(*state, raw); });
+    return Reduction(state);
+  }
+
+ private:
+  /// The real path's math over unpinned raw pointers (same canonical
+  /// order, same copy_bytes funnels, so the detector's view of the access
+  /// pattern matches reduce_now exactly -- minus the pins).
+  static void reduce_raw(Reduction::State& state,
+                         const std::vector<std::byte*>& raw) {
+    const std::size_t bytes = state.bytes;
+    const std::size_t n = bytes / sizeof(float);
+    std::vector<float> acc(n);
+    util::copy_bytes(acc.data(), raw[0], bytes,
+                     "CommTestPeer::reduce_raw:gather");
+    for (std::size_t w = 1; w < raw.size(); ++w) {
+      const auto* src = reinterpret_cast<const float*>(raw[w]);
+      CA_RACE_READ(src, bytes, "CommTestPeer::reduce_raw:sum");
+      for (std::size_t i = 0; i < n; ++i) acc[i] += src[i];
+    }
+    for (std::byte* dst : raw) {
+      util::copy_bytes(dst, acc.data(), bytes,
+                       "CommTestPeer::reduce_raw:scatter");
+    }
+    {
+      sync::lock lock(state.mu);
+      state.real_done.store(true, std::memory_order_release);
+    }
+    state.cv.notify_all();
+  }
+};
+
+}  // namespace ca::comm

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """ca_lint: repository-rule linter for the data-management core.
 
-Seven rules that clang-tidy cannot express, enforced over src/:
+Eight rules that clang-tidy cannot express, enforced over src/:
 
   byte-copy-route
       Raw ``memcpy``/``memmove`` and raw ``std::thread`` are confined to
@@ -51,6 +51,16 @@ Seven rules that clang-tidy cannot express, enforced over src/:
       (simd::gemm_tile, simd::copy_bytes).  ``__builtin_ia32_pause`` is
       exempt: it lowers to ``pause`` on every x86 and is the sanctioned
       spin-loop hint (util/completion_latch.hpp).
+
+  comm-route
+      Wire-byte movement inside src/comm (the allreduce gather/sum/scatter
+      and any future collective) is confined to ``util::copy_bytes``: raw
+      ``memcpy``/``memmove``, ``std::copy*`` and the NT-store
+      ``simd::copy_bytes`` path are all forbidden there.  The comm engine's
+      reductions run on pool threads against pinned gradient buckets; only
+      the instrumented funnel gives the race detector (and TSan) the full
+      access pattern, and the NT path's fence semantics are owned by the
+      copy engine, not the comm layer.
 
   region-data-route
       Bare ``Region::data()`` extractions are confined to the files
@@ -131,6 +141,17 @@ SIMD_INTRINSICS_ALLOWED_DIRS = ("src/simd",)
 SIMD_INTRINSICS_TOKENS = re.compile(
     r"\b_mm\d{0,3}_\w+\s*\(|\b__m(?:64|128|256|512)[di]?\b"
     r"|\b__builtin_ia32_(?!pause\b)\w+")
+
+
+# Rule `comm-route`: the comm subsystem's one sanctioned byte funnel is
+# util::copy_bytes; every raw or alternate copy primitive is forbidden
+# there (memcpy/memmove are also caught by byte-copy-route -- this rule
+# additionally closes the std::copy* and simd::copy_bytes routes).
+COMM_ROUTE_DIRS = ("src/comm",)
+
+COMM_ROUTE_TOKENS = re.compile(
+    r"\bsimd::copy_bytes\s*\(|\bstd::copy(?:_n|_backward)?\s*\("
+    r"|\b(?:std::)?(?:memcpy|memmove)\s*\(")
 
 
 # Rule `region-data-route`: identifiers bound to a Region (declaration or
@@ -347,6 +368,27 @@ def check_simd_intrinsics_route(root: Path) -> list[Finding]:
     return findings
 
 
+def check_comm_route(root: Path) -> list[Finding]:
+    findings = []
+    for d in COMM_ROUTE_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue  # the comm layer may not exist yet in partial trees
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".cpp", ".hpp"):
+                continue
+            rel = path.relative_to(root).as_posix()
+            text = path.read_text()
+            code = strip_comments_and_strings(text)
+            findings += scan_tokens(
+                path, rel, text, code, "comm-route", COMM_ROUTE_TOKENS,
+                "wire-byte movement in src/comm must route through "
+                "util::copy_bytes (the race-instrumented funnel); raw "
+                "copies and the NT simd path hide the reduction's "
+                "gather/sum/scatter accesses from the detector")
+    return findings
+
+
 def check_region_data_route(root: Path) -> list[Finding]:
     import json
     manifest_path = root / REGION_DATA_MANIFEST
@@ -491,6 +533,25 @@ SELF_TEST_PROV_MANIFEST = """\
  "accessors": []}
 """
 
+SELF_TEST_COMM_BAD = """\
+void reduce(std::byte* dst, const std::byte* src, unsigned n) {
+  simd::copy_bytes(dst, src, n);
+  std::copy_n(src, n, dst);
+  memcpy(dst, src, n);
+}
+"""
+
+SELF_TEST_COMM_GOOD = """\
+#include "util/bytes.hpp"
+void reduce(std::byte* dst, const std::byte* src, unsigned n) {
+  // a memcpy( or simd::copy_bytes( mention in a comment is fine
+  const char* kDoc = "and std::copy( in a string is fine too";
+  util::copy_bytes(dst, src, n, "comm::reduce");
+  memcpy(dst, src, n);  // ca_lint: allow(comm-route)
+  use(kDoc);
+}
+"""
+
 
 def self_test() -> int:
     """Negative-test the rules against in-memory fixtures: the bad snippet
@@ -609,6 +670,27 @@ def self_test() -> int:
                 f"fixtures produced {len(prov_other)} finding(s): "
                 f"{prov_other[0]}")
 
+        # comm-route: live copy primitives inside src/comm are flagged (one
+        # per line); the util::copy_bytes funnel, comment/string mentions,
+        # and waived lines are not.
+        comm_dir = root / "src" / "comm"
+        comm_dir.mkdir(parents=True)
+        (comm_dir / "bad_engine.cpp").write_text(SELF_TEST_COMM_BAD)
+        (comm_dir / "good_engine.cpp").write_text(SELF_TEST_COMM_GOOD)
+        comm_findings = check_comm_route(root)
+        comm_bad = [f for f in comm_findings
+                    if f.path.as_posix().endswith("bad_engine.cpp")]
+        comm_other = [f for f in comm_findings
+                      if not f.path.as_posix().endswith("bad_engine.cpp")]
+        if len(comm_bad) != 3:
+            failures.append(
+                f"comm-route: expected 3 findings in the bad fixture, got "
+                f"{len(comm_bad)}")
+        if comm_other:
+            failures.append(
+                f"comm-route: funnel/comment/string/waiver fixtures "
+                f"produced {len(comm_other)} finding(s): {comm_other[0]}")
+
     for f in failures:
         print(f"ca_lint --self-test: {f}", file=sys.stderr)
     if failures:
@@ -639,6 +721,7 @@ def main(argv: list[str]) -> int:
                 check_dm_audit(root) + check_kernel_scratch_route(root) +
                 check_intrusive_links(root) +
                 check_simd_intrinsics_route(root) +
+                check_comm_route(root) +
                 check_region_data_route(root))
     if args.json:
         import json
@@ -654,7 +737,7 @@ def main(argv: list[str]) -> int:
     if not args.json:
         print("ca_lint: clean (byte-copy-route, wall-clock, dm-audit, "
               "kernel-scratch-route, intrusive-links, simd-intrinsics-route, "
-              "region-data-route)")
+              "comm-route, region-data-route)")
     return 0
 
 

@@ -35,6 +35,13 @@
 #            CA_RACE schedule explorer (flagged-then-fixed across >=1000
 #            distinct schedules), and the K=4 shared-manager bench on its
 #            smoke shape (bench-smoke.micro_multitenant).
+#   comm     data-parallel comm gate: the comm suite (interconnect cost
+#            models, CommEngine, dp::Trainer, determinism) under the ASan
+#            build and the TSan build, the allreduce lifecycle hazards
+#            (bucket reuse before reduce complete, free while on wire)
+#            under the CA_RACE schedule explorer (flagged-then-fixed
+#            across >=1000 distinct schedules), and the bucketed-allreduce
+#            bench on its smoke shape (bench-smoke.micro_allreduce).
 #   kparity  kernel-parity: the fast compute-kernel tier vs the scalar
 #            reference kernels (ctest -R kparity) under BOTH the ASan build
 #            and the CA_RACE build, so the blocked GEMM / im2col / parallel
@@ -67,7 +74,7 @@
 #
 # Usage: tools/check.sh [--jobs N] [--require-all]
 #                       [--skip-tsan] [--skip-race] [--skip-lockdep]
-#                       [--skip-ptrprov] [--skip-multitenant]
+#                       [--skip-ptrprov] [--skip-multitenant] [--skip-comm]
 #                       [--skip-kparity] [--skip-simd]
 #                       [--skip-bench] [--skip-tidy] [--skip-lint]
 set -euo pipefail
@@ -79,6 +86,7 @@ RUN_RACE=1
 RUN_LOCKDEP=1
 RUN_PTRPROV=1
 RUN_MULTITENANT=1
+RUN_COMM=1
 RUN_KPARITY=1
 RUN_SIMD=1
 RUN_BENCH=1
@@ -94,6 +102,7 @@ while [[ $# -gt 0 ]]; do
     --skip-lockdep) RUN_LOCKDEP=0; shift ;;
     --skip-ptrprov) RUN_PTRPROV=0; shift ;;
     --skip-multitenant) RUN_MULTITENANT=0; shift ;;
+    --skip-comm) RUN_COMM=0; shift ;;
     --skip-kparity) RUN_KPARITY=0; shift ;;
     --skip-simd) RUN_SIMD=0; shift ;;
     --skip-bench) RUN_BENCH=0; shift ;;
@@ -258,6 +267,36 @@ else
   skip multitenant "--skip-multitenant"
 fi
 
+# --- comm: data-parallel allreduce gate ---------------------------------------
+if [[ "$RUN_COMM" -eq 1 ]]; then
+  note "comm: suite under ASan (cost models + CommEngine + dp::Trainer)"
+  cmake --build build-asan -j "$JOBS" --target test_comm
+  ( cd build-asan && ctest -R '^comm\.' --output-on-failure )
+
+  note "comm: suite under TSan"
+  # Self-contained under --skip-tsan (CI runs comm as its own job).
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCA_SANITIZE=thread \
+    -DCA_WERROR=OFF > /dev/null
+  cmake --build build-tsan -j "$JOBS" --target test_comm
+  ( cd build-tsan && ctest -R '^comm\.' --output-on-failure )
+
+  note "comm: allreduce lifecycle hazards under the CA_RACE schedule explorer"
+  # Self-contained under --skip-race; CA_RACE arms the explorer the
+  # flagged-then-fixed hazard scenarios need (>=1000 distinct schedules).
+  cmake -B build-race -S . -DCA_RACE=ON -DCA_WERROR=OFF > /dev/null
+  cmake --build build-race -j "$JOBS" --target test_comm
+  ( cd build-race && ctest -R '^comm\.' --output-on-failure )
+
+  note "comm: bucketed-allreduce bench on the smoke shape"
+  cmake --build build-asan -j "$JOBS" --target micro_allreduce
+  ( cd build-asan && ctest -R 'bench-smoke\.micro_allreduce' \
+      --output-on-failure )
+else
+  skip comm "--skip-comm"
+fi
+
 # --- kparity: fast kernel tier vs the scalar reference ------------------------
 if [[ "$RUN_KPARITY" -eq 1 ]]; then
   note "kparity: kernel parity suite under ASan (ctest -R kparity)"
@@ -303,7 +342,7 @@ if [[ "$RUN_BENCH" -eq 1 ]]; then
   note "bench: every bench entry point on tiny shapes"
   cmake --build build-asan -j "$JOBS" \
     --target ablation_async micro_kernels micro_async_mover micro_allocator \
-             micro_copy_engine micro_multitenant micro_ptrprov
+             micro_copy_engine micro_multitenant micro_allreduce micro_ptrprov
   ( cd build-asan && ctest -L bench-smoke --output-on-failure )
 else
   skip bench "--skip-bench"
